@@ -1,0 +1,154 @@
+// Command scarbench regenerates the SCAR paper's evaluation tables and
+// figures (Section V) and prints them as text tables. Each experiment is
+// indexed against the paper in DESIGN.md; the measured-vs-paper
+// comparison is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	scarbench -exp all
+//	scarbench -exp fig2,table4,fig7,fig8,fig9,table5,fig11,fig12,fig13
+//	scarbench -exp nsplits,prov,packing,complexity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/experiments"
+	"example.com/scar/internal/maestro"
+)
+
+var allExperiments = []string{
+	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
+	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
+	"sensitivity",
+}
+
+func main() {
+	var (
+		exps = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		fast = flag.Bool("fast", false, "use reduced search budgets")
+		seed = flag.Int64("seed", 1, "search seed")
+	)
+	flag.Parse()
+
+	suite := experiments.NewSuite()
+	if *fast {
+		suite.Opts = core.FastOptions()
+	}
+	suite.Opts.Seed = *seed
+
+	list := allExperiments
+	if *exps != "all" {
+		list = strings.Split(*exps, ",")
+	}
+	for _, name := range list {
+		start := time.Now()
+		if err := run(suite, strings.TrimSpace(name)); err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(s *experiments.Suite, name string) error {
+	w := os.Stdout
+	switch name {
+	case "fig2":
+		res, err := s.Motivational()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table4", "fig7":
+		res, err := s.Datacenter()
+		if err != nil {
+			return err
+		}
+		if name == "table4" {
+			res.PrintTableIV(w)
+		} else {
+			res.PrintFig7(w)
+		}
+	case "fig8":
+		for _, sc := range []int{3, 4} {
+			res, err := s.Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
+			if err != nil {
+				return err
+			}
+			res.Print(w)
+		}
+	case "fig9":
+		res, err := s.TopSchedule()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "table5", "fig10":
+		res, err := s.ARVR()
+		if err != nil {
+			return err
+		}
+		res.PrintTableV(w)
+	case "fig11":
+		for _, sc := range []int{6, 7, 8, 10} {
+			res, err := s.Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultEdgeChiplet())
+			if err != nil {
+				return err
+			}
+			res.Print(w)
+		}
+	case "fig12":
+		res, err := s.Triangular()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "fig13":
+		res, err := s.Scale6x6()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "nsplits":
+		res, err := s.Nsplits()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "prov":
+		res, err := s.ProvAblation()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "packing":
+		res, err := s.Packing()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+	case "complexity":
+		s.Complexity().Print(w)
+	case "sensitivity":
+		for _, runSweep := range []func() (*experiments.SensitivityResult, error){
+			s.CostModelSensitivity, s.ContentionSensitivity,
+			s.BudgetSensitivity, s.MappingSensitivity,
+		} {
+			res, err := runSweep()
+			if err != nil {
+				return err
+			}
+			res.Print(w)
+			fmt.Fprintf(w, "heterogeneous advantage robust: %v\n\n", res.RobustlyHeterogeneous())
+		}
+	default:
+		return fmt.Errorf("unknown experiment (know: %s)", strings.Join(allExperiments, ", "))
+	}
+	return nil
+}

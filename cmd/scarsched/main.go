@@ -1,0 +1,126 @@
+// Command scarsched runs the SCAR scheduler on description files: a JSON
+// multi-model workload and a JSON MCM specification (the framework inputs
+// of the paper's Figure 4). It prints the optimized schedule and metrics,
+// and optionally writes the schedule as JSON.
+//
+// Usage:
+//
+//	scarsched -workload workload.json -mcm mcm.json [-objective edp]
+//	          [-nsplits 4] [-seed 1] [-fast] [-evolutionary] [-out schedule.json]
+//
+// Built-in inputs are also supported:
+//
+//	scarsched -scenario 4 -pattern het-sides [-size 3x3] [-profile datacenter]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	var (
+		workloadPath = flag.String("workload", "", "JSON workload description file")
+		mcmPath      = flag.String("mcm", "", "JSON MCM description file")
+		scenario     = flag.Int("scenario", 0, "built-in Table III scenario number (1-10)")
+		pattern      = flag.String("pattern", "het-sides", "built-in MCM pattern (with -scenario)")
+		size         = flag.String("size", "3x3", "package grid size WxH (with -pattern)")
+		profile      = flag.String("profile", "datacenter", "chiplet profile: datacenter or edge")
+		objective    = flag.String("objective", "edp", "optimization metric: latency, energy or edp")
+		nsplits      = flag.Int("nsplits", 4, "max time-window splits")
+		seed         = flag.Int64("seed", 1, "search seed")
+		fast         = flag.Bool("fast", false, "use reduced search budgets")
+		evolutionary = flag.Bool("evolutionary", false, "use the evolutionary per-window search")
+		outPath      = flag.String("out", "", "write the schedule as JSON to this file")
+		quiet        = flag.Bool("quiet", false, "suppress the schedule rendering")
+	)
+	flag.Parse()
+
+	sc, pkg, err := loadInputs(*workloadPath, *mcmPath, *scenario, *pattern, *size, *profile)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := scar.ObjectiveByName(*objective)
+	if err != nil {
+		fatal(err)
+	}
+	opts := scar.DefaultOptions()
+	if *fast {
+		opts = scar.FastOptions()
+	}
+	opts.NSplits = *nsplits
+	opts.Seed = *seed
+	if *evolutionary {
+		opts.Search = scar.SearchEvolutionary
+	}
+
+	if !*quiet {
+		stats := sc.Stats()
+		stats.Print(os.Stdout)
+		fmt.Println()
+	}
+
+	sched := scar.NewScheduler(opts)
+	res, err := sched.Schedule(&sc, pkg, obj)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s search on %s: latency %.6g s, energy %.6g J, EDP %.6g J.s (%d windows, %d candidate evals)\n",
+		obj.Name, pkg.Name, res.Metrics.LatencySec, res.Metrics.EnergyJ, res.Metrics.EDP,
+		len(res.Schedule.Windows), res.WindowEvals)
+	if !*quiet {
+		fmt.Println()
+		fmt.Print(scar.RenderPackage(pkg))
+		fmt.Println()
+		fmt.Print(scar.RenderSchedule(&sc, pkg, res.Schedule, res.Metrics))
+	}
+	if *outPath != "" {
+		data, err := scar.ExportSchedule(&sc, pkg, res.Schedule, res.Metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedule written to %s\n", *outPath)
+	}
+}
+
+func loadInputs(workloadPath, mcmPath string, scenario int, pattern, size, profile string) (scar.Scenario, *scar.MCM, error) {
+	var sc scar.Scenario
+	var err error
+	switch {
+	case workloadPath != "":
+		sc, err = scar.LoadWorkload(workloadPath)
+	case scenario >= 1:
+		sc, err = scar.ScenarioByNumber(scenario)
+	default:
+		return sc, nil, fmt.Errorf("scarsched: provide -workload or -scenario")
+	}
+	if err != nil {
+		return sc, nil, err
+	}
+
+	if mcmPath != "" {
+		pkg, err := scar.LoadMCM(mcmPath)
+		return sc, pkg, err
+	}
+	var w, h int
+	if _, err := fmt.Sscanf(size, "%dx%d", &w, &h); err != nil {
+		return sc, nil, fmt.Errorf("scarsched: bad -size %q (want WxH)", size)
+	}
+	spec := scar.DatacenterChiplet()
+	if profile == "edge" {
+		spec = scar.EdgeChiplet()
+	}
+	pkg, err := scar.MCMByName(pattern, w, h, spec)
+	return sc, pkg, err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scarsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command scarviz renders MCM package organizations and schedules as
+// text: the chiplet grid with dataflows (Figure 6 style) and, when a
+// scenario is given, the per-window chiplet occupancy of the optimized
+// schedule (Figure 9 style).
+//
+// Usage:
+//
+//	scarviz -pattern het-sides -size 3x3
+//	scarviz -pattern het-cross -size 6x6 -scenario 4 -objective edp -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	var (
+		pattern   = flag.String("pattern", "", "MCM pattern to render (empty = list all)")
+		size      = flag.String("size", "3x3", "package grid size WxH")
+		profile   = flag.String("profile", "datacenter", "chiplet profile: datacenter or edge")
+		scenario  = flag.Int("scenario", 0, "optionally schedule Table III scenario n and render it")
+		objective = flag.String("objective", "edp", "optimization metric")
+		fast      = flag.Bool("fast", false, "use reduced search budgets")
+		gantt     = flag.Int("gantt", 72, "timeline chart width in columns (0 disables)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON to this file")
+	)
+	flag.Parse()
+
+	var w, h int
+	if _, err := fmt.Sscanf(*size, "%dx%d", &w, &h); err != nil {
+		fatal(fmt.Errorf("bad -size %q", *size))
+	}
+	spec := scar.DatacenterChiplet()
+	if *profile == "edge" {
+		spec = scar.EdgeChiplet()
+	}
+
+	if *pattern == "" {
+		for _, name := range scar.MCMPatterns() {
+			if name == "het-cross" {
+				continue // fixed 6x6; rendered only when asked for
+			}
+			pkg, err := scar.MCMByName(name, w, h, spec)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(scar.RenderPackage(pkg))
+			fmt.Println()
+		}
+		return
+	}
+
+	pkg, err := scar.MCMByName(*pattern, w, h, spec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(scar.RenderPackage(pkg))
+
+	if *scenario >= 1 {
+		sc, err := scar.ScenarioByNumber(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		obj, err := scar.ObjectiveByName(*objective)
+		if err != nil {
+			fatal(err)
+		}
+		opts := scar.DefaultOptions()
+		if *fast {
+			opts = scar.FastOptions()
+		}
+		if pkg.NumChiplets() > 16 {
+			opts.Search = scar.SearchEvolutionary
+		}
+		sched := scar.NewScheduler(opts)
+		res, err := sched.Schedule(&sc, pkg, obj)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(scar.RenderSchedule(&sc, pkg, res.Schedule, res.Metrics))
+		fmt.Println()
+		for _, win := range res.Schedule.Windows {
+			fmt.Print(scar.RenderOccupancy(&sc, pkg, win))
+		}
+		tl := sched.Timeline(&sc, pkg, res.Schedule)
+		if *gantt > 0 {
+			fmt.Println()
+			fmt.Print(tl.Gantt(*gantt))
+		}
+		if *traceOut != "" {
+			data, err := tl.ChromeTrace()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (open in chrome://tracing)\n", *traceOut)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scarviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,73 @@
+package scar_test
+
+import (
+	"fmt"
+
+	scar "example.com/scar"
+)
+
+// Build a workload from the model zoo, schedule it on a heterogeneous
+// package and inspect the result.
+func ExampleScheduler_Schedule() {
+	resnet, _ := scar.ModelByName("resnet50", 4)
+	bert, _ := scar.ModelByName("bert-base", 2)
+	scenario := scar.NewScenario("tenants", resnet, bert)
+
+	pkg, _ := scar.MCMByName("het-cb", 3, 3, scar.DatacenterChiplet())
+	sched := scar.NewScheduler(scar.FastOptions())
+	res, err := sched.Schedule(&scenario, pkg, scar.EDPObjective())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Metrics.EDP > 0, len(res.Schedule.Windows) >= 1)
+	// Output: true true
+}
+
+// Package organizations follow Figure 6 of the paper.
+func ExampleMCMByName() {
+	pkg, _ := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
+	counts := pkg.DataflowCounts()
+	fmt.Println(pkg.Name, counts["nvdla"], counts["shi"], pkg.IsHeterogeneous())
+	// Output: het-sides-3x3 6 3 true
+}
+
+// Probe the cost model directly for layer-dataflow affinity.
+func ExampleAnalyzeLayer() {
+	ffn := scar.GEMM("ffn", 128, 1280, 5120)
+	nvd := scar.AnalyzeLayer(ffn, scar.NVDLA(), scar.DatacenterChiplet())
+	shi := scar.AnalyzeLayer(ffn, scar.ShiDianNao(), scar.DatacenterChiplet())
+	fmt.Println("transformer FFN prefers weight-stationary:", nvd.ComputeSeconds < shi.ComputeSeconds)
+	// Output: transformer FFN prefers weight-stationary: true
+}
+
+// Table III scenarios come built in.
+func ExampleScenarioByNumber() {
+	sc, _ := scar.ScenarioByNumber(4)
+	fmt.Println(sc.Name, sc.NumModels())
+	// Output: sc4-lms-seg-image 4
+}
+
+// Workload and MCM descriptions load from JSON (the framework inputs of
+// the paper's Figure 4).
+func ExampleParseWorkload() {
+	sc, err := scar.ParseWorkload([]byte(`{
+		"name": "edge-pair",
+		"models": [
+			{"zoo": "eyecod", "batch": 30},
+			{"zoo": "handsp", "batch": 15}
+		]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sc.Models[0].Name, sc.Models[1].Batch)
+	// Output: eyecod 15
+}
+
+// Custom objectives implement Definition 10's user-defined metrics; this
+// one is the paper's Section VI latency-bounded EDP.
+func ExampleCustomObjective() {
+	obj := scar.CustomObjective("bounded-edp", scar.LatencyBoundedEDP(0.5))
+	fmt.Println(obj.Name)
+	// Output: bounded-edp
+}

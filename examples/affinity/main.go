@@ -1,0 +1,84 @@
+// Layer-dataflow affinity explorer: probe the intra-chiplet cost model to
+// see which dataflow each layer of a network prefers — the Section II-C
+// analysis behind the paper's case for heterogeneous-dataflow MCMs
+// ("no single pattern fits all").
+//
+// Run with:
+//
+//	go run ./examples/affinity
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	spec := scar.DatacenterChiplet()
+	nvd, shi := scar.NVDLA(), scar.ShiDianNao()
+
+	// Per-layer affinity of ResNet-50: the EDP ratio between dataflows.
+	model, err := scar.ModelByName("resnet50", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ResNet-50 per-layer dataflow affinity (4096-PE chiplet):")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "layer\ttype\tnvdla EDP\tshi EDP\tprefers")
+	shown := 0
+	for _, l := range model.Layers {
+		if !l.Type.HasWeights() {
+			continue // pool/eltwise are dataflow-neutral
+		}
+		n := scar.AnalyzeLayer(l, nvd, spec)
+		s := scar.AnalyzeLayer(l, shi, spec)
+		nEDP := n.ComputeSeconds * n.EnergyPJ
+		sEDP := s.ComputeSeconds * s.EnergyPJ
+		pref := "nvdla"
+		if sEDP < nEDP {
+			pref = "shi"
+		}
+		if shown < 12 || pref == "shi" {
+			fmt.Fprintf(tw, "%s\t%s\t%.3g\t%.3g\t%s\n", l.Name, l.Type, nEDP, sEDP, pref)
+			shown++
+		}
+	}
+	tw.Flush()
+
+	// Zoo-wide summary: what fraction of each network's weighted
+	// compute prefers each dataflow. Diverse mixes are exactly what
+	// heterogeneous MCMs exploit.
+	fmt.Println("\nzoo-wide affinity summary (per-model, EDP-preferred dataflow, MAC-weighted):")
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "model\tlayers\t%MACs prefer nvdla\t%MACs prefer shi")
+	for _, name := range scar.ModelNames() {
+		m, err := scar.ModelByName(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var nvdMACs, shiMACs int64
+		for _, l := range m.Layers {
+			if !l.Type.HasWeights() {
+				continue
+			}
+			n := scar.AnalyzeLayer(l, nvd, spec)
+			s := scar.AnalyzeLayer(l, shi, spec)
+			if n.ComputeSeconds*n.EnergyPJ <= s.ComputeSeconds*s.EnergyPJ {
+				nvdMACs += l.MACs()
+			} else {
+				shiMACs += l.MACs()
+			}
+		}
+		total := float64(nvdMACs + shiMACs)
+		if total == 0 {
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%.0f%%\t%.0f%%\n", name, m.NumLayers(),
+			100*float64(nvdMACs)/total, 100*float64(shiMACs)/total)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,63 @@
+// Datacenter multi-tenancy: schedule the paper's heaviest mixed workload
+// (Table III Scenario 4: GPT-L b=8, BERT-L b=24, U-Net b=1, ResNet-50
+// b=32) on homogeneous and heterogeneous 3x3 MCMs, reproducing the
+// Section V-B comparison that motivates heterogeneous integration.
+//
+// Run with:
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	scenario, err := scar.ScenarioByNumber(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %q: %d models, %d layers total\n\n", scenario.Name,
+		scenario.NumModels(), scenario.TotalLayers())
+
+	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tlatency(s)\tenergy(J)\tEDP(J.s)")
+
+	var hetEDP, homoEDP float64
+	for _, pattern := range []string{"simba-shi", "simba-nvd", "het-cb", "het-sides"} {
+		pkg, err := scar.MCMByName(pattern, 3, 3, scar.DatacenterChiplet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\t%.4g\n",
+			pattern, res.Metrics.LatencySec, res.Metrics.EnergyJ, res.Metrics.EDP)
+		switch pattern {
+		case "simba-nvd":
+			homoEDP = res.Metrics.EDP
+		case "het-sides":
+			hetEDP = res.Metrics.EDP
+		}
+	}
+	tw.Flush()
+	fmt.Printf("\nHet-Sides vs Simba (NVD): %.1f%% less EDP (paper reports 46.0%% on this scenario)\n",
+		(1-hetEDP/homoEDP)*100)
+
+	// Show the winning heterogeneous schedule in detail.
+	pkg, _ := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
+	res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(scar.RenderSchedule(&scenario, pkg, res.Schedule, res.Metrics))
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a small two-model workload by hand, schedule it on a
+// heterogeneous 3x3 MCM with the EDP search, and print the result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	// A multi-model workload: a small CNN (vision) running alongside a
+	// small transformer (language), the operator mix that motivates
+	// heterogeneous-dataflow MCMs.
+	cnn := scar.NewModel("vision", 8, []scar.Layer{
+		scar.Conv("stem", 3, 32, 114, 114, 7, 2),
+		scar.Conv("block1", 32, 64, 58, 58, 3, 1),
+		scar.Conv("block2", 64, 128, 30, 30, 3, 1),
+		scar.Conv("block3", 128, 256, 16, 16, 3, 2),
+		scar.Pool("gap", 256, 7, 7, 7, 7),
+		scar.GEMM("classifier", 1, 256, 1000),
+	})
+	lm := scar.NewModel("language", 2, []scar.Layer{
+		scar.GEMM("qkv", 128, 512, 1536),
+		scar.GEMM("attn_proj", 128, 512, 512),
+		scar.GEMM("ffn_up", 128, 512, 2048),
+		scar.GEMM("ffn_down", 128, 2048, 512),
+	})
+	scenario := scar.NewScenario("quickstart", cnn, lm)
+
+	// A 3x3 package mixing NVDLA-like (weight-stationary) and
+	// ShiDianNao-like (output-stationary) chiplets, column-striped with
+	// off-chip DRAM interfaces on the sides — the paper's Het-Sides.
+	pkg, err := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(scar.RenderPackage(pkg))
+	fmt.Println()
+
+	// Run the EDP search (the paper's default objective).
+	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(scar.RenderSchedule(&scenario, pkg, res.Schedule, res.Metrics))
+	fmt.Println()
+	for _, w := range res.Schedule.Windows {
+		fmt.Print(scar.RenderOccupancy(&scenario, pkg, w))
+	}
+	fmt.Println()
+	fmt.Print(scheduler.Timeline(&scenario, pkg, res.Schedule).Gantt(64))
+
+	// Compare against the paper's Standalone baseline.
+	_, standalone, err := scheduler.Standalone(&scenario, pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nSCAR EDP: %.4g J.s vs Standalone: %.4g J.s (%.1f%% less)\n",
+		res.Metrics.EDP, standalone.EDP, (1-res.Metrics.EDP/standalone.EDP)*100)
+}

@@ -1,0 +1,65 @@
+// NoP topology exploration: compare the 2-D mesh against the triangular
+// network-on-package (the paper's Figure 12 ablation) for a mixed
+// LM+vision workload, and scale up to the full 6x6 Simba system with the
+// evolutionary search (Figure 13).
+//
+// Run with:
+//
+//	go run ./examples/topology
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	scar "example.com/scar"
+)
+
+func main() {
+	scenario, err := scar.ScenarioByNumber(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "package\ttopology\tlatency(s)\tEDP(J.s)")
+	for _, pattern := range []string{"simba-nvd", "simba-t-nvd", "het-cb", "het-t"} {
+		pkg, err := scar.MCMByName(pattern, 3, 3, scar.DatacenterChiplet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\n",
+			pkg.Name, pkg.Topology, res.Metrics.LatencySec, res.Metrics.EDP)
+	}
+	tw.Flush()
+
+	// Scaling to the full 6x6 Simba system: the brute-force tree search
+	// would drown, so switch to the paper's evolutionary configuration
+	// (population 10, 4 generations).
+	fmt.Println("\nscaling to 6x6 with the evolutionary search:")
+	opts := scar.DefaultOptions()
+	opts.Search = scar.SearchEvolutionary
+	opts.NSplits = 2
+	evoScheduler := scar.NewScheduler(opts)
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "package\tlatency(s)\tEDP(J.s)")
+	for _, pattern := range []string{"simba-nvd", "het-cross"} {
+		pkg, err := scar.MCMByName(pattern, 6, 6, scar.DatacenterChiplet())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := evoScheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.4g\t%.4g\n", pkg.Name, res.Metrics.LatencySec, res.Metrics.EDP)
+	}
+	tw.Flush()
+}

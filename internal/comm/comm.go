@@ -1,0 +1,67 @@
+// Package comm implements the MCM communication cost model of Section
+// III-E of the SCAR paper: the Lat_com cases for same-chiplet,
+// same-package and off-chip transfers, and the corresponding energy model
+// (data size x hops x per-bit transmission energy, plus memory access
+// energy). All constants come from the MCM definition (Table II).
+package comm
+
+import "example.com/scar/internal/mcm"
+
+// Cost is a (latency, energy) pair for one transfer.
+type Cost struct {
+	// Seconds is the transfer latency.
+	Seconds float64
+	// EnergyPJ is the transfer energy in picojoules.
+	EnergyPJ float64
+}
+
+// Add accumulates another cost.
+func (c Cost) Add(o Cost) Cost {
+	return Cost{Seconds: c.Seconds + o.Seconds, EnergyPJ: c.EnergyPJ + o.EnergyPJ}
+}
+
+// ChipToChip returns the cost of moving bytes from chiplet src to chiplet
+// dst across the network-on-package:
+//
+//	Lat = Sz/BW_nop + n_hops * Lat_hop + delta
+//
+// contention is the delta term of the paper's Lat_com: a dimensionless
+// factor >= 0 that scales the serialization component to account for NoP
+// traffic conflicts (the evaluator derives it from concurrent flows in the
+// time window). A transfer to the same chiplet is free.
+func ChipToChip(m *mcm.MCM, src, dst int, bytes int64, contention float64) Cost {
+	if src == dst || bytes <= 0 {
+		return Cost{}
+	}
+	hops := m.Hops(src, dst)
+	serial := float64(bytes) / m.NoPBandwidth * (1 + contention)
+	lat := serial + float64(hops)*m.NoPHopLatency
+	energy := float64(bytes) * m.NoPEnergyPerByte * float64(hops)
+	return Cost{Seconds: lat, EnergyPJ: energy}
+}
+
+// OffchipRead returns the cost of loading bytes from DRAM into chiplet id:
+// DRAM serialization and access latency plus the NoP hops from the
+// nearest memory interface.
+func OffchipRead(m *mcm.MCM, id int, bytes int64, contention float64) Cost {
+	return offchip(m, id, bytes, contention)
+}
+
+// OffchipWrite returns the cost of storing bytes from chiplet id to DRAM.
+// The model is symmetric with reads (Table II gives one DRAM energy and
+// bandwidth figure).
+func OffchipWrite(m *mcm.MCM, id int, bytes int64, contention float64) Cost {
+	return offchip(m, id, bytes, contention)
+}
+
+func offchip(m *mcm.MCM, id int, bytes int64, contention float64) Cost {
+	if bytes <= 0 {
+		return Cost{}
+	}
+	hops := m.NearestMemIFHops(id)
+	serial := float64(bytes) / m.OffchipBandwidth * (1 + contention)
+	lat := serial + float64(hops)*m.NoPHopLatency + m.OffchipLatency
+	energy := float64(bytes)*m.OffchipEnergyPerByte +
+		float64(bytes)*m.NoPEnergyPerByte*float64(hops)
+	return Cost{Seconds: lat, EnergyPJ: energy}
+}

@@ -1,0 +1,133 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+)
+
+func pkg() *mcm.MCM {
+	return mcm.Simba(3, 3, dataflow.NVDLA(), maestro.DefaultDatacenterChiplet())
+}
+
+func TestSameChipletFree(t *testing.T) {
+	m := pkg()
+	c := ChipToChip(m, 4, 4, 1<<20, 0)
+	if c.Seconds != 0 || c.EnergyPJ != 0 {
+		t.Errorf("same-chiplet transfer cost %+v, want zero", c)
+	}
+}
+
+func TestChipToChipTableII(t *testing.T) {
+	m := pkg()
+	// 1 MB over one hop at 100 GB/s + 35 ns.
+	bytes := int64(1 << 20)
+	c := ChipToChip(m, 0, 1, bytes, 0)
+	wantLat := float64(bytes)/100e9 + 35e-9
+	if math.Abs(c.Seconds-wantLat)/wantLat > 1e-9 {
+		t.Errorf("1-hop latency = %v, want %v", c.Seconds, wantLat)
+	}
+	wantE := float64(bytes) * 2.04 * 8
+	if math.Abs(c.EnergyPJ-wantE)/wantE > 1e-9 {
+		t.Errorf("1-hop energy = %v, want %v", c.EnergyPJ, wantE)
+	}
+}
+
+func TestEnergyScalesWithHops(t *testing.T) {
+	m := pkg()
+	bytes := int64(4096)
+	one := ChipToChip(m, 0, 1, bytes, 0)
+	four := ChipToChip(m, 0, 8, bytes, 0) // corner to corner: 4 hops
+	if math.Abs(four.EnergyPJ-4*one.EnergyPJ) > 1e-6 {
+		t.Errorf("4-hop energy = %v, want 4x 1-hop %v", four.EnergyPJ, one.EnergyPJ)
+	}
+	if four.Seconds <= one.Seconds {
+		t.Error("more hops not slower")
+	}
+}
+
+func TestOffchipIncludesDRAMLatency(t *testing.T) {
+	m := pkg()
+	c := OffchipRead(m, 0, 1, 0) // 1 byte from a side chiplet: latency floor
+	if c.Seconds < 200e-9 {
+		t.Errorf("offchip latency %v below DRAM latency 200ns", c.Seconds)
+	}
+	// Center chiplet pays an extra hop.
+	center := OffchipRead(m, 4, 1, 0)
+	if center.Seconds <= c.Seconds {
+		t.Error("center chiplet offchip not slower than side chiplet")
+	}
+}
+
+func TestOffchipEnergyTableII(t *testing.T) {
+	m := pkg()
+	bytes := int64(1000)
+	c := OffchipRead(m, 0, bytes, 0) // side chiplet: 0 hops
+	want := float64(bytes) * 14.8 * 8
+	if math.Abs(c.EnergyPJ-want)/want > 1e-9 {
+		t.Errorf("DRAM energy = %v, want %v", c.EnergyPJ, want)
+	}
+	w := OffchipWrite(m, 0, bytes, 0)
+	if w != c {
+		t.Errorf("write cost %+v != read cost %+v", w, c)
+	}
+}
+
+func TestContentionSlowsSerialization(t *testing.T) {
+	m := pkg()
+	bytes := int64(10 << 20)
+	free := ChipToChip(m, 0, 1, bytes, 0)
+	busy := ChipToChip(m, 0, 1, bytes, 1.0)
+	if busy.Seconds <= free.Seconds {
+		t.Error("contention did not slow the transfer")
+	}
+	if busy.EnergyPJ != free.EnergyPJ {
+		t.Error("contention changed transfer energy")
+	}
+}
+
+func TestZeroBytesFree(t *testing.T) {
+	m := pkg()
+	if c := ChipToChip(m, 0, 5, 0, 0); c != (Cost{}) {
+		t.Errorf("zero-byte transfer cost %+v", c)
+	}
+	if c := OffchipRead(m, 4, 0, 0); c != (Cost{}) {
+		t.Errorf("zero-byte offchip cost %+v", c)
+	}
+}
+
+func TestCostAdd(t *testing.T) {
+	a := Cost{Seconds: 1, EnergyPJ: 2}
+	b := Cost{Seconds: 3, EnergyPJ: 4}
+	if got := a.Add(b); got.Seconds != 4 || got.EnergyPJ != 6 {
+		t.Errorf("Add = %+v", got)
+	}
+}
+
+// Property: latency and energy are monotone non-decreasing in transfer
+// size and non-negative.
+func TestQuickMonotoneInBytes(t *testing.T) {
+	m := pkg()
+	f := func(kb uint16, src4, dst4 uint8) bool {
+		src := int(src4) % 9
+		dst := int(dst4) % 9
+		b1 := int64(kb) * 1024
+		b2 := b1 + 4096
+		c1 := ChipToChip(m, src, dst, b1, 0)
+		c2 := ChipToChip(m, src, dst, b2, 0)
+		if c1.Seconds < 0 || c1.EnergyPJ < 0 {
+			return false
+		}
+		if src == dst {
+			return c1 == Cost{} && c2 == Cost{}
+		}
+		return c2.Seconds >= c1.Seconds && c2.EnergyPJ >= c1.EnergyPJ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

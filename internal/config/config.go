@@ -1,0 +1,264 @@
+// Package config reads and writes the SCAR framework's description files
+// (Figure 4's inputs): multi-model workload descriptions and MCM hardware
+// specifications, both as JSON, plus schedule export. Workload models can
+// reference the built-in zoo by name or spell out layers explicitly.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+	"example.com/scar/internal/workload"
+)
+
+// LayerSpec describes one layer in a workload description file.
+type LayerSpec struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"` // conv, dwconv, gemm, pool, eltwise, embedding
+	N      int    `json:"n,omitempty"`
+	K      int    `json:"k,omitempty"`
+	C      int    `json:"c,omitempty"`
+	Y      int    `json:"y,omitempty"`
+	X      int    `json:"x,omitempty"`
+	R      int    `json:"r,omitempty"`
+	S      int    `json:"s,omitempty"`
+	Stride int    `json:"stride,omitempty"`
+}
+
+// ModelSpec describes one model: either a zoo reference or explicit
+// layers.
+type ModelSpec struct {
+	// Zoo names a built-in model (see models.Names).
+	Zoo string `json:"zoo,omitempty"`
+	// Name labels an explicit model.
+	Name string `json:"name,omitempty"`
+	// Batch is the model's batch size (default 1).
+	Batch int `json:"batch,omitempty"`
+	// Layers spells out the model when Zoo is empty.
+	Layers []LayerSpec `json:"layers,omitempty"`
+}
+
+// WorkloadSpec is a multi-model workload description file.
+type WorkloadSpec struct {
+	Name   string      `json:"name"`
+	Models []ModelSpec `json:"models"`
+}
+
+// ChipletSpec overrides the chiplet hardware parameters.
+type ChipletSpec struct {
+	NumPEs  int     `json:"num_pes,omitempty"`
+	L2MB    float64 `json:"l2_mb,omitempty"`
+	NoCGBps float64 `json:"noc_gbps,omitempty"`
+	// ClockMHz is the accelerator clock (paper: 500).
+	ClockMHz float64 `json:"clock_mhz,omitempty"`
+}
+
+// MCMSpec is an MCM hardware description file.
+type MCMSpec struct {
+	// Pattern is one of the Figure 6 organizations (see
+	// mcm.PatternNames).
+	Pattern string `json:"pattern"`
+	Width   int    `json:"width"`
+	Height  int    `json:"height"`
+	// Profile selects baseline chiplet hardware: "datacenter"
+	// (4096 PEs) or "edge" (256 PEs). Default datacenter.
+	Profile string      `json:"profile,omitempty"`
+	Chiplet ChipletSpec `json:"chiplet,omitempty"`
+}
+
+// ParseWorkload decodes a workload description into a scenario.
+func ParseWorkload(data []byte) (workload.Scenario, error) {
+	var spec WorkloadSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return workload.Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	return BuildWorkload(spec)
+}
+
+// BuildWorkload converts a decoded spec into a scenario.
+func BuildWorkload(spec WorkloadSpec) (workload.Scenario, error) {
+	if len(spec.Models) == 0 {
+		return workload.Scenario{}, fmt.Errorf("config: workload %q has no models", spec.Name)
+	}
+	var ms []workload.Model
+	for i, m := range spec.Models {
+		batch := m.Batch
+		if batch < 1 {
+			batch = 1
+		}
+		if m.Zoo != "" {
+			zm, err := models.ByName(m.Zoo, batch)
+			if err != nil {
+				return workload.Scenario{}, fmt.Errorf("config: model %d: %w", i, err)
+			}
+			ms = append(ms, zm)
+			continue
+		}
+		if len(m.Layers) == 0 {
+			return workload.Scenario{}, fmt.Errorf("config: model %d has neither zoo reference nor layers", i)
+		}
+		var ls []workload.Layer
+		for j, l := range m.Layers {
+			built, err := buildLayer(l)
+			if err != nil {
+				return workload.Scenario{}, fmt.Errorf("config: model %d layer %d: %w", i, j, err)
+			}
+			ls = append(ls, built)
+		}
+		name := m.Name
+		if name == "" {
+			name = fmt.Sprintf("model%d", i)
+		}
+		ms = append(ms, workload.NewModel(name, batch, ls))
+	}
+	sc := workload.NewScenario(spec.Name, ms...)
+	if err := sc.Validate(); err != nil {
+		return workload.Scenario{}, err
+	}
+	return sc, nil
+}
+
+func buildLayer(l LayerSpec) (workload.Layer, error) {
+	var t workload.OpType
+	switch l.Type {
+	case "conv":
+		t = workload.OpConv
+	case "dwconv":
+		t = workload.OpDWConv
+	case "gemm":
+		t = workload.OpGEMM
+	case "pool":
+		t = workload.OpPool
+	case "eltwise":
+		t = workload.OpEltwise
+	case "embedding":
+		t = workload.OpEmbedding
+	default:
+		return workload.Layer{}, fmt.Errorf("unknown layer type %q", l.Type)
+	}
+	layer := workload.Layer{
+		Name: l.Name, Type: t,
+		N: l.N, K: l.K, C: l.C, Y: l.Y, X: l.X, R: l.R, S: l.S,
+		Stride: l.Stride,
+	}
+	return layer, layer.Validate()
+}
+
+// ParseMCM decodes an MCM description into a package model.
+func ParseMCM(data []byte) (*mcm.MCM, error) {
+	var spec MCMSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return BuildMCM(spec)
+}
+
+// BuildMCM converts a decoded spec into a package model.
+func BuildMCM(spec MCMSpec) (*mcm.MCM, error) {
+	base := maestro.DefaultDatacenterChiplet()
+	if spec.Profile == "edge" {
+		base = maestro.DefaultEdgeChiplet()
+	} else if spec.Profile != "" && spec.Profile != "datacenter" {
+		return nil, fmt.Errorf("config: unknown profile %q", spec.Profile)
+	}
+	if spec.Chiplet.NumPEs > 0 {
+		base.NumPEs = spec.Chiplet.NumPEs
+	}
+	if spec.Chiplet.L2MB > 0 {
+		base.L2Bytes = int64(spec.Chiplet.L2MB * (1 << 20))
+	}
+	if spec.Chiplet.NoCGBps > 0 {
+		base.NoCBandwidth = spec.Chiplet.NoCGBps * 1e9
+	}
+	if spec.Chiplet.ClockMHz > 0 {
+		base.ClockHz = spec.Chiplet.ClockMHz * 1e6
+	}
+	w, h := spec.Width, spec.Height
+	if w == 0 && h == 0 {
+		w, h = 3, 3
+	}
+	m, err := mcm.ByName(spec.Pattern, w, h, base)
+	if err != nil {
+		return nil, err
+	}
+	return m, m.Validate()
+}
+
+// LoadWorkload reads a workload description file.
+func LoadWorkload(path string) (workload.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return workload.Scenario{}, err
+	}
+	return ParseWorkload(data)
+}
+
+// LoadMCM reads an MCM description file.
+func LoadMCM(path string) (*mcm.MCM, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMCM(data)
+}
+
+// ScheduleExport is the JSON form of an optimized schedule with its
+// expected metrics — the framework's output (Figure 4).
+type ScheduleExport struct {
+	Scenario   string         `json:"scenario"`
+	MCM        string         `json:"mcm"`
+	LatencySec float64        `json:"latency_sec"`
+	EnergyJ    float64        `json:"energy_j"`
+	EDP        float64        `json:"edp_js"`
+	Windows    []WindowExport `json:"windows"`
+}
+
+// WindowExport is one time window in the export.
+type WindowExport struct {
+	Index      int             `json:"index"`
+	LatencySec float64         `json:"latency_sec"`
+	Segments   []SegmentExport `json:"segments"`
+}
+
+// SegmentExport is one segment mapping in the export.
+type SegmentExport struct {
+	Model      string `json:"model"`
+	FirstLayer string `json:"first_layer"`
+	LastLayer  string `json:"last_layer"`
+	Chiplet    int    `json:"chiplet"`
+	Dataflow   string `json:"dataflow"`
+}
+
+// ExportSchedule renders a schedule and its metrics as JSON.
+func ExportSchedule(sc *workload.Scenario, m *mcm.MCM, sched *eval.Schedule, metrics eval.Metrics) ([]byte, error) {
+	out := ScheduleExport{
+		Scenario:   sc.Name,
+		MCM:        m.Name,
+		LatencySec: metrics.LatencySec,
+		EnergyJ:    metrics.EnergyJ,
+		EDP:        metrics.EDP,
+	}
+	for wi, w := range sched.Windows {
+		we := WindowExport{Index: w.Index}
+		if wi < len(metrics.Windows) {
+			we.LatencySec = metrics.Windows[wi].LatencySec
+		}
+		for _, s := range w.Segments {
+			model := sc.Models[s.Model]
+			we.Segments = append(we.Segments, SegmentExport{
+				Model:      model.Name,
+				FirstLayer: model.Layers[s.First].Name,
+				LastLayer:  model.Layers[s.Last].Name,
+				Chiplet:    s.Chiplet,
+				Dataflow:   m.Chiplets[s.Chiplet].Dataflow.Name,
+			})
+		}
+		out.Windows = append(out.Windows, we)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/search"
+)
+
+// This file scales the per-window search to large packages with the
+// evolutionary algorithm of Section V-D (6x6 experiment: population 10,
+// 4 generations). The genome follows the paper's scheduling encoding
+// (Figure 5): per model, the segmentation split points, plus the subtree
+// root chiplet and a path-construction preference seed that together
+// determine the chiplet mapping.
+
+// SearchMode selects the per-window search strategy.
+type SearchMode int
+
+const (
+	// SearchBruteForce is the bounded exhaustive tree search (the
+	// paper's 3x3 configuration).
+	SearchBruteForce SearchMode = iota
+	// SearchEvolutionary is the GA of Section V-D (for 6x6 and larger).
+	SearchEvolutionary
+)
+
+// evoGenome describes the gene layout for one window.
+type evoGenome struct {
+	active []int        // model indices
+	ranges []layerRange // per active model
+	allocs []int        // nodes per active model
+	bounds []search.IntRange
+	// cutsAt[i] is the gene offset of model i's cut genes; rootAt[i]
+	// and seedAt[i] locate its mapping genes.
+	cutsAt []int
+	rootAt []int
+	seedAt []int
+}
+
+func buildEvoGenome(active []int, ranges []layerRange, allocs []int, chiplets int) evoGenome {
+	g := evoGenome{active: active, ranges: ranges, allocs: allocs}
+	for i := range active {
+		l := ranges[i].numLayers()
+		nCuts := allocs[i] - 1
+		if nCuts > l-1 {
+			nCuts = l - 1
+		}
+		if nCuts < 0 {
+			nCuts = 0
+		}
+		g.cutsAt = append(g.cutsAt, len(g.bounds))
+		for c := 0; c < nCuts; c++ {
+			g.bounds = append(g.bounds, search.IntRange{Min: 0, Max: l - 2})
+		}
+		g.rootAt = append(g.rootAt, len(g.bounds))
+		g.bounds = append(g.bounds, search.IntRange{Min: 0, Max: chiplets - 1})
+		g.seedAt = append(g.seedAt, len(g.bounds))
+		g.bounds = append(g.bounds, search.IntRange{Min: 0, Max: 255})
+	}
+	return g
+}
+
+// decode turns a genome into window segments, or ok=false when the
+// mapping is infeasible (occupied root or dead-end path).
+func (g evoGenome) decode(genes []int, m intGraph) ([]eval.Segment, bool) {
+	used := make([]bool, m.n)
+	var segs []eval.Segment
+	// Assign models in descending allocation order so constrained
+	// subtrees claim chiplets first, mirroring the tree search.
+	order := make([]int, len(g.active))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return g.allocs[order[a]] > g.allocs[order[b]] })
+
+	for _, i := range order {
+		l := g.ranges[i].numLayers()
+		nCuts := g.rootAt[i] - g.cutsAt[i]
+		cutSet := map[int]bool{}
+		for c := 0; c < nCuts; c++ {
+			cutSet[genes[g.cutsAt[i]+c]] = true
+		}
+		ends := make([]int, 0, len(cutSet)+1)
+		for c := range cutSet {
+			if c < l-1 {
+				ends = append(ends, c)
+			}
+		}
+		sort.Ints(ends)
+		ends = append(ends, l-1)
+
+		root := genes[g.rootAt[i]]
+		seed := genes[g.seedAt[i]]
+		path, ok := greedyPath(m, root, len(ends), used, seed)
+		if !ok {
+			return nil, false
+		}
+		for _, c := range path {
+			used[c] = true
+		}
+		plan := modelPlan{model: g.active[i], r: g.ranges[i], ends: ends}
+		segs = append(segs, plan.segmentsFor(path)...)
+	}
+	return segs, true
+}
+
+// intGraph is a minimal adjacency view of the package.
+type intGraph struct {
+	n   int
+	adj [][]bool
+}
+
+// greedyPath walks the adjacency from root for length nodes, choosing at
+// each step the unused neighbor ranked by a seed-permuted preference;
+// ok=false on a dead end or occupied root.
+func greedyPath(m intGraph, root, length int, used []bool, seed int) ([]int, bool) {
+	if used[root] {
+		return nil, false
+	}
+	path := []int{root}
+	local := map[int]bool{root: true}
+	cur := root
+	for len(path) < length {
+		best := -1
+		bestKey := math.MaxInt64
+		for next := 0; next < m.n; next++ {
+			if !m.adj[cur][next] || used[next] || local[next] {
+				continue
+			}
+			key := (next*131 + seed*31) % 251
+			if key < bestKey || (key == bestKey && next < best) {
+				bestKey = key
+				best = next
+			}
+		}
+		if best < 0 {
+			return nil, false
+		}
+		path = append(path, best)
+		local[best] = true
+		cur = best
+	}
+	return path, true
+}
+
+// searchWindowEvo is the evolutionary counterpart of searchWindow: PROV
+// provisions nodes, then the GA explores segmentation and mapping
+// together. Falls back to the brute-force tree search when the GA cannot
+// find a feasible genome.
+func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, winIdx int) ([]eval.Segment, error) {
+	var active []int
+	var ranges []layerRange
+	var weights []float64
+	var layerCounts []int
+	for mi, rg := range w {
+		if rg.empty() {
+			continue
+		}
+		active = append(active, mi)
+		ranges = append(ranges, rg)
+		var lat, eng float64
+		for li := rg.First; li <= rg.Last; li++ {
+			lat += r.expLat[mi][li]
+			eng += r.expE[mi][li]
+		}
+		weights = append(weights, r.obj.proxy(lat, eng))
+		layerCounts = append(layerCounts, rg.numLayers())
+	}
+	alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap)
+	if err != nil {
+		return nil, err
+	}
+
+	graph := intGraph{n: r.m.NumChiplets(), adj: r.m.AdjacencyMatrix()}
+	genome := buildEvoGenome(active, ranges, alloc, r.m.NumChiplets())
+	fitness := func(genes []int) float64 {
+		segs, ok := genome.decode(genes, graph)
+		if !ok {
+			return math.Inf(1)
+		}
+		wm := r.ev.Window(eval.TimeWindow{Segments: segs})
+		r.evals++
+		return r.obj.windowScore(wm)
+	}
+	gaOpts := s.opts.Evo
+	gaOpts.Seed = s.opts.Seed + int64(winIdx)*7919
+	res, err := search.Run(search.Problem{Bounds: genome.bounds, Fitness: fitness}, gaOpts)
+	if err != nil || math.IsInf(res.BestFitness, 1) {
+		// GA found nothing feasible: fall back to the tree search.
+		return s.searchWindow(r, w)
+	}
+	segs, ok := genome.decode(res.Best, graph)
+	if !ok {
+		return s.searchWindow(r, w)
+	}
+	return segs, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/search"
+)
+
+func TestEvolutionarySchedule3x3(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	sc := smallScenario()
+	opts := FastOptions()
+	opts.Search = SearchEvolutionary
+	opts.Evo = search.Options{Population: 10, Generations: 4, MutationRate: 0.2, Elite: 2, Seed: 1}
+	s := New(db, opts)
+	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	if err != nil {
+		t.Fatalf("evolutionary Schedule: %v", err)
+	}
+	if err := res.Schedule.Validate(&sc, pkg); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+	if res.Metrics.EDP <= 0 {
+		t.Errorf("EDP = %v", res.Metrics.EDP)
+	}
+}
+
+func TestEvolutionarySchedule6x6(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCross(maestro.DefaultDatacenterChiplet())
+	sc := smallScenario()
+	opts := FastOptions()
+	opts.Search = SearchEvolutionary
+	s := New(db, opts)
+	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	if err != nil {
+		t.Fatalf("6x6 evolutionary Schedule: %v", err)
+	}
+	if err := res.Schedule.Validate(&sc, pkg); err != nil {
+		t.Errorf("invalid schedule: %v", err)
+	}
+}
+
+func TestEvolutionaryDeterministic(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	sc := smallScenario()
+	opts := FastOptions()
+	opts.Search = SearchEvolutionary
+	s := New(db, opts)
+	a, err := s.Schedule(&sc, pkg, EDPObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Schedule(&sc, pkg, EDPObjective())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Metrics.EDP != b.Metrics.EDP {
+		t.Errorf("non-deterministic GA schedule: %v vs %v", a.Metrics.EDP, b.Metrics.EDP)
+	}
+}
+
+func TestGreedyPathProperties(t *testing.T) {
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	g := intGraph{n: pkg.NumChiplets(), adj: pkg.AdjacencyMatrix()}
+	used := make([]bool, g.n)
+	for seed := 0; seed < 16; seed++ {
+		path, ok := greedyPath(g, 0, 4, used, seed)
+		if !ok {
+			t.Fatalf("seed %d: no path of length 4 from corner", seed)
+		}
+		if len(path) != 4 {
+			t.Fatalf("seed %d: path length %d", seed, len(path))
+		}
+		seen := map[int]bool{}
+		for i, c := range path {
+			if seen[c] {
+				t.Fatalf("seed %d: revisits chiplet %d", seed, c)
+			}
+			seen[c] = true
+			if i > 0 && !g.adj[path[i-1]][c] {
+				t.Fatalf("seed %d: non-adjacent step %d->%d", seed, path[i-1], c)
+			}
+		}
+	}
+	// Occupied root fails.
+	used[0] = true
+	if _, ok := greedyPath(g, 0, 2, used, 0); ok {
+		t.Error("path from occupied root accepted")
+	}
+}
+
+func TestGreedyPathDeadEnd(t *testing.T) {
+	pkg := mcm.Simba(2, 2, dfNVD(), maestro.DefaultDatacenterChiplet())
+	g := intGraph{n: 4, adj: pkg.AdjacencyMatrix()}
+	used := make([]bool, 4)
+	used[1] = true
+	used[2] = true
+	// From chiplet 0 both neighbors (1, 2) are used: length-2 paths are
+	// impossible.
+	if _, ok := greedyPath(g, 0, 2, used, 3); ok {
+		t.Error("dead-end path accepted")
+	}
+}

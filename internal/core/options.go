@@ -1,0 +1,116 @@
+// Package core implements SCAR, the multi-model scheduling framework of
+// the paper (Section IV): the MCM-Reconfig engine (time-window
+// characterization and greedy layer packing, Algorithm 1), the PROV
+// engine (rule-based and exhaustive node provisioning, Equation 2), the
+// SEG engine (layer segmentation with Heuristics 1-2) and the SCHED
+// engine (scheduling-tree forests over the package adjacency, constrained
+// DFS, schedule encoding), composed into the two-level top-level /
+// per-window search of Figure 3.
+package core
+
+import (
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/search"
+)
+
+// ProvMode selects the PROV engine's node-distribution strategy.
+type ProvMode int
+
+const (
+	// ProvRuleBased applies the uniform-distribution rule of Equation
+	// (2).
+	ProvRuleBased ProvMode = iota
+	// ProvExhaustive enumerates node allocations (the Section V-E
+	// ablation), bounded by MaxProvOptions.
+	ProvExhaustive
+)
+
+// Options are the scheduler's hyperparameters. The defaults follow the
+// paper's settings where it states them (nsplits=4, top-k segmentation
+// candidates) and use bounded enumeration budgets elsewhere so that the
+// brute-force search stays tractable, as the paper's heuristics intend.
+type Options struct {
+	// NSplits is the maximum number of time-window splits explored by
+	// MCM-Reconfig (paper default 4, i.e. up to 5 windows). Candidates
+	// with 0..NSplits splits are generated and the best kept.
+	NSplits int
+	// ExactSplits restricts MCM-Reconfig to exactly NSplits splits
+	// instead of sweeping 0..NSplits — used by the time-partitioning
+	// and packing ablations to compare like with like.
+	ExactSplits bool
+	// TopKSeg is Heuristic 1's per-model segmentation shortlist size.
+	TopKSeg int
+	// SegEnumLimit is the maximum segmentation-candidate count that is
+	// exhaustively enumerated per model; above it the SEG engine falls
+	// back to cost-balanced splits plus seeded random samples.
+	SegEnumLimit int
+	// SegSamples is the number of sampled segmentations when falling
+	// back.
+	SegSamples int
+	// NodeAllocCap is Heuristic 2's node allocation constraint: an
+	// upper bound on nodes per model (0 disables it).
+	NodeAllocCap int
+	// Prov selects rule-based or exhaustive provisioning.
+	Prov ProvMode
+	// MaxProvOptions bounds exhaustive provisioning.
+	MaxProvOptions int
+	// MaxTrees bounds the number of scheduling trees (root-position
+	// tuples) explored per segmentation combination.
+	MaxTrees int
+	// MaxCombos bounds the segmentation combinations per window
+	// (cartesian product of per-model top-k lists, rank-ordered).
+	MaxCombos int
+	// WindowEvalBudget caps full window-schedule evaluations per
+	// window; the tree search stops once it is exhausted.
+	WindowEvalBudget int
+	// Seed drives the SEG engine's sampling fallback.
+	Seed int64
+	// Search selects brute-force tree search (3x3 default) or the
+	// evolutionary algorithm (the paper's 6x6 configuration).
+	Search SearchMode
+	// FreePlacement disables the scheduling trees' adjacency
+	// constraint: segment paths may use any unoccupied chiplet rather
+	// than interposer neighbors. This is an ablation knob for the
+	// RA-tree design choice — the paper's trees follow package
+	// adjacency to keep pipeline hops short.
+	FreePlacement bool
+	// Evo configures the evolutionary search (paper: population 10,
+	// 4 generations).
+	Evo search.Options
+	// Eval configures the schedule evaluator's contention model.
+	Eval eval.Options
+}
+
+// DefaultOptions returns the paper-default configuration.
+func DefaultOptions() Options {
+	return Options{
+		NSplits:          4,
+		TopKSeg:          3,
+		SegEnumLimit:     2000,
+		SegSamples:       120,
+		NodeAllocCap:     0,
+		Prov:             ProvRuleBased,
+		MaxProvOptions:   64,
+		MaxTrees:         60,
+		MaxCombos:        27,
+		WindowEvalBudget: 1500,
+		Seed:             1,
+		Search:           SearchBruteForce,
+		Evo:              search.DefaultOptions(),
+		Eval:             eval.DefaultOptions(),
+	}
+}
+
+// FastOptions returns a reduced-budget configuration for tests and quick
+// exploration.
+func FastOptions() Options {
+	o := DefaultOptions()
+	o.NSplits = 2
+	o.TopKSeg = 2
+	o.SegEnumLimit = 300
+	o.SegSamples = 40
+	o.MaxTrees = 16
+	o.MaxCombos = 8
+	o.WindowEvalBudget = 300
+	return o
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// randomScenario builds a small random multi-model workload from a seed:
+// 2-3 models, 2-8 layers each, mixed conv/GEMM shapes.
+func randomScenario(seed int64) workload.Scenario {
+	rng := rand.New(rand.NewSource(seed))
+	nModels := 2 + rng.Intn(2)
+	var ms []workload.Model
+	for mi := 0; mi < nModels; mi++ {
+		nLayers := 2 + rng.Intn(7)
+		var ls []workload.Layer
+		ch := 16 << rng.Intn(3)
+		sp := 16 << rng.Intn(3)
+		for li := 0; li < nLayers; li++ {
+			name := string(rune('a'+mi)) + string(rune('0'+li))
+			if rng.Intn(2) == 0 {
+				out := ch * (1 + rng.Intn(2))
+				ls = append(ls, workload.Conv(name, ch, out, sp+2, sp+2, 3, 1))
+				ch = out
+			} else {
+				k := 64 << rng.Intn(4)
+				ls = append(ls, workload.GEMM(name, 32+rng.Intn(96), ch*sp, k))
+				// GEMMs end spatial tracking; treat output as a
+				// vector re-shaped back.
+				ch, sp = 16, 16
+			}
+		}
+		ms = append(ms, workload.NewModel("m"+string(rune('a'+mi)), 1+rng.Intn(4), ls))
+	}
+	return workload.NewScenario("random", ms...)
+}
+
+// Property: for random scenarios and both heterogeneous patterns, the
+// scheduler always emits schedules that pass full validation, with
+// positive metrics, under every objective.
+func TestQuickSchedulerAlwaysValid(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	patterns := []*mcm.MCM{
+		mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet()),
+		mcm.HetSides(3, 3, maestro.DefaultDatacenterChiplet()),
+	}
+	objectives := []Objective{LatencyObjective(), EnergyObjective(), EDPObjective()}
+	f := func(seed int64) bool {
+		sc := randomScenario(seed)
+		pkg := patterns[int(uint64(seed)%2)]
+		obj := objectives[int(uint64(seed)%3)]
+		s := New(db, FastOptions())
+		res, err := s.Schedule(&sc, pkg, obj)
+		if err != nil {
+			return false
+		}
+		if err := res.Schedule.Validate(&sc, pkg); err != nil {
+			return false
+		}
+		return res.Metrics.LatencySec > 0 && res.Metrics.EnergyJ > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the latency-search result is never slower than the energy-
+// search result on the same inputs (both search the same space; latency
+// optimizes latency directly).
+func TestQuickObjectiveConsistency(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	f := func(seed int64) bool {
+		sc := randomScenario(seed)
+		s := New(db, FastOptions())
+		lat, err := s.Schedule(&sc, pkg, LatencyObjective())
+		if err != nil {
+			return false
+		}
+		eng, err := s.Schedule(&sc, pkg, EnergyObjective())
+		if err != nil {
+			return false
+		}
+		return lat.Metrics.LatencySec <= eng.Metrics.LatencySec*1.0001 &&
+			eng.Metrics.EnergyJ <= lat.Metrics.EnergyJ*1.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(13))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/mcm"
+)
+
+// This file is the SCHED engine (Section IV-D): it maps layer segments
+// onto physical chiplets. The search space is a forest of scheduling
+// trees — every tree is identified by a tuple of subtree root chiplets
+// (one per model) and every candidate schedule is a set of
+// adjacency-respecting paths, one per model, pairwise disjoint (exclusive
+// chiplet occupancy). A constrained DFS enumerates paths per subtree,
+// constrained on the chiplets taken by preceding subtrees, exactly as in
+// Figure 5.
+
+// modelPlan is one model's segmentation choice inside a window.
+type modelPlan struct {
+	model int
+	r     layerRange
+	ends  []int // window-relative inclusive segment ends
+}
+
+func (p modelPlan) numSegments() int { return len(p.ends) }
+
+// segmentsFor expands the plan into eval Segments along a chiplet path.
+func (p modelPlan) segmentsFor(path []int) []eval.Segment {
+	segs := make([]eval.Segment, 0, len(p.ends))
+	start := 0
+	for q, end := range p.ends {
+		segs = append(segs, eval.Segment{
+			Model:   p.model,
+			First:   p.r.First + start,
+			Last:    p.r.First + end,
+			Chiplet: path[q],
+		})
+		start = end + 1
+	}
+	return segs
+}
+
+// treeResult is the best window schedule found by the tree search.
+type treeResult struct {
+	segments []eval.Segment
+	metrics  eval.WindowMetrics
+	score    float64
+	evals    int
+	found    bool
+}
+
+// treeSearch explores up to maxTrees scheduling trees with a total
+// evaluation budget, returning the best window schedule under the
+// objective. Plans are ordered internally by descending segment count so
+// the most constrained subtree claims chiplets first. When freePlacement
+// is set, paths may extend to any unoccupied chiplet instead of
+// interposer neighbors (the mapping-locality ablation).
+func treeSearch(
+	ev *eval.Evaluator, m *mcm.MCM, plans []modelPlan,
+	obj Objective, maxTrees, budget int, rng *rand.Rand, freePlacement bool,
+) treeResult {
+	ordered := make([]modelPlan, len(plans))
+	copy(ordered, plans)
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].numSegments() > ordered[j].numSegments()
+	})
+
+	tuples := rootTuples(m.NumChiplets(), len(ordered), maxTrees, rng)
+	if len(tuples) == 0 {
+		return treeResult{}
+	}
+	perTree := budget / len(tuples)
+	if perTree < 4 {
+		perTree = 4
+	}
+
+	res := treeResult{score: math.Inf(1)}
+	used := make([]bool, m.NumChiplets())
+	segs := make([]eval.Segment, 0, 16)
+
+	adj := m.AdjacencyMatrix()
+	for _, roots := range tuples {
+		if res.evals >= budget {
+			break
+		}
+		left := perTree
+		var assign func(k int)
+		assign = func(k int) {
+			if left <= 0 || res.evals >= budget {
+				return
+			}
+			if k == len(ordered) {
+				w := eval.TimeWindow{Segments: append([]eval.Segment(nil), segs...)}
+				wm := ev.Window(w)
+				score := obj.windowScore(wm)
+				res.evals++
+				left--
+				if score < res.score {
+					res.score = score
+					res.metrics = wm
+					res.segments = w.Segments
+					res.found = true
+				}
+				return
+			}
+			plan := ordered[k]
+			root := roots[k]
+			if used[root] {
+				return
+			}
+			path := make([]int, 0, plan.numSegments())
+			var dfs func(cur int)
+			dfs = func(cur int) {
+				if left <= 0 {
+					return
+				}
+				used[cur] = true
+				path = append(path, cur)
+				if len(path) == plan.numSegments() {
+					n := len(segs)
+					segs = append(segs, plan.segmentsFor(path)...)
+					assign(k + 1)
+					segs = segs[:n]
+				} else {
+					for next := 0; next < len(adj[cur]); next++ {
+						if (freePlacement || adj[cur][next]) && !used[next] && next != cur {
+							dfs(next)
+						}
+					}
+				}
+				path = path[:len(path)-1]
+				used[cur] = false
+			}
+			dfs(root)
+		}
+		assign(0)
+	}
+	return res
+}
+
+// rootTuples generates up to maxTrees injective chiplet tuples of the
+// given arity: the canonical ascending tuple first (so small searches are
+// stable) followed by deterministic seeded samples for coverage of the
+// forest.
+func rootTuples(chiplets, arity, maxTrees int, rng *rand.Rand) [][]int {
+	if arity > chiplets || arity == 0 {
+		return nil
+	}
+	var out [][]int
+	seen := map[string]bool{}
+	add := func(t []int) bool {
+		k := fmtAlloc(t)
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		out = append(out, t)
+		return true
+	}
+	canonical := make([]int, arity)
+	for i := range canonical {
+		canonical[i] = i
+	}
+	add(canonical)
+	// Sampling with rejection; the attempt bound keeps termination
+	// certain when maxTrees approaches the tuple-space size.
+	attempts := maxTrees * 20
+	perm := make([]int, chiplets)
+	for len(out) < maxTrees && attempts > 0 {
+		attempts--
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(chiplets, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		t := append([]int(nil), perm[:arity]...)
+		add(t)
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// Scheduler is the SCAR framework: it owns the offline cost database and
+// hyperparameters and schedules multi-model scenarios onto MCMs.
+type Scheduler struct {
+	db   *costdb.DB
+	opts Options
+}
+
+// New builds a scheduler over the given cost database.
+func New(db *costdb.DB, opts Options) *Scheduler {
+	return &Scheduler{db: db, opts: opts}
+}
+
+// Options returns the scheduler's configuration.
+func (s *Scheduler) Options() Options { return s.opts }
+
+// Result is the scheduler's output: the optimized schedule, its evaluated
+// metrics, and search statistics.
+type Result struct {
+	// Schedule is the best schedule instance found.
+	Schedule *eval.Schedule
+	// Metrics is its full evaluation.
+	Metrics eval.Metrics
+	// Splits is the number of time-window splits of the winning
+	// MCM-Reconfig candidate.
+	Splits int
+	// WindowEvals counts full window-schedule evaluations performed.
+	WindowEvals int
+	// Candidates counts MCM-Reconfig partitioning candidates explored.
+	Candidates int
+	// Explored holds the metrics of every feasible partitioning
+	// candidate (the per-candidate cloud behind the paper's Pareto
+	// plots).
+	Explored []CandidateMetrics
+}
+
+// CandidateMetrics records one explored MCM-Reconfig candidate.
+type CandidateMetrics struct {
+	Splits  int
+	Windows int
+	Metrics eval.Metrics
+}
+
+// run bundles one scheduling invocation's state.
+type run struct {
+	s      *Scheduler
+	sc     *workload.Scenario
+	m      *mcm.MCM
+	ev     *eval.Evaluator
+	obj    Objective
+	expLat [][]float64
+	expE   [][]float64
+	rng    *rand.Rand
+	evals  int
+}
+
+// Schedule runs the full two-level search of Figure 3 for the scenario on
+// the MCM under the objective, returning the optimized schedule.
+func (s *Scheduler) Schedule(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		s:      s,
+		sc:     sc,
+		m:      m,
+		ev:     eval.New(s.db, m, sc, s.opts.Eval),
+		obj:    obj,
+		expLat: expectedLatencies(s.db, sc, m),
+		expE:   expectedEnergies(s.db, sc, m),
+		rng:    rand.New(rand.NewSource(s.opts.Seed)),
+	}
+	cands := candidatePartitionings(r.expLat, s.opts.NSplits, s.opts.ExactSplits)
+	return s.searchPartitionings(r, cands)
+}
+
+// ScheduleUniformPacking is the Section V-E packing-ablation entry point:
+// identical to Schedule but with count-uniform layer-to-window packing in
+// place of Algorithm 1.
+func (s *Scheduler) ScheduleUniformPacking(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := &run{
+		s:      s,
+		sc:     sc,
+		m:      m,
+		ev:     eval.New(s.db, m, sc, s.opts.Eval),
+		obj:    obj,
+		expLat: expectedLatencies(s.db, sc, m),
+		expE:   expectedEnergies(s.db, sc, m),
+		rng:    rand.New(rand.NewSource(s.opts.Seed)),
+	}
+	lo := 0
+	if s.opts.ExactSplits {
+		lo = s.opts.NSplits
+	}
+	var cands []partitioning
+	seen := map[string]bool{}
+	for j := lo; j <= s.opts.NSplits; j++ {
+		p := uniformPack(sc, j)
+		k := fingerprint(p)
+		if !seen[k] {
+			seen[k] = true
+			cands = append(cands, p)
+		}
+	}
+	return s.searchPartitionings(r, cands)
+}
+
+// searchPartitionings evaluates every MCM-Reconfig candidate end to end
+// and returns the best schedule under the objective.
+func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, error) {
+	var best *Result
+	bestScore := math.Inf(1)
+	var lastErr error
+	var explored []CandidateMetrics
+	for _, p := range cands {
+		sched, err := s.buildSchedule(r, p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		metrics, err := r.ev.Evaluate(sched)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal error, produced invalid schedule: %w", err)
+		}
+		explored = append(explored, CandidateMetrics{
+			Splits:  p.splits,
+			Windows: len(p.windows),
+			Metrics: metrics,
+		})
+		score := r.obj.Score(metrics)
+		if score < bestScore {
+			bestScore = score
+			best = &Result{
+				Schedule: sched,
+				Metrics:  metrics,
+				Splits:   p.splits,
+			}
+		}
+	}
+	if best == nil {
+		if lastErr != nil {
+			return nil, fmt.Errorf("core: no feasible schedule: %w", lastErr)
+		}
+		return nil, fmt.Errorf("core: no feasible schedule found")
+	}
+	best.WindowEvals = r.evals
+	best.Candidates = len(cands)
+	best.Explored = explored
+	return best, nil
+}
+
+// buildSchedule runs the per-window search for every window of a
+// partitioning candidate.
+func (s *Scheduler) buildSchedule(r *run, p partitioning) (*eval.Schedule, error) {
+	sched := &eval.Schedule{}
+	for wi, w := range p.windows {
+		var segs []eval.Segment
+		var err error
+		if s.opts.Search == SearchEvolutionary {
+			segs, err = s.searchWindowEvo(r, w, wi)
+		} else {
+			segs, err = s.searchWindow(r, w)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: window %d: %w", wi, err)
+		}
+		sched.Windows = append(sched.Windows, eval.TimeWindow{Index: wi, Segments: segs})
+	}
+	return sched, nil
+}
+
+// searchWindow runs PROV -> SEG -> SCHED for one window and returns the
+// best segment mapping found.
+func (s *Scheduler) searchWindow(r *run, w windowAssignment) ([]eval.Segment, error) {
+	// Active models and their objective-proxy weights E(P_i).
+	var active []int
+	var weights []float64
+	var layerCounts []int
+	for mi, rg := range w {
+		if rg.empty() {
+			continue
+		}
+		active = append(active, mi)
+		var lat, eng float64
+		for li := rg.First; li <= rg.Last; li++ {
+			lat += r.expLat[mi][li]
+			eng += r.expE[mi][li]
+		}
+		weights = append(weights, r.obj.proxy(lat, eng))
+		layerCounts = append(layerCounts, rg.numLayers())
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("empty window")
+	}
+
+	// PROV: node allocations.
+	var allocOptions [][]int
+	switch s.opts.Prov {
+	case ProvExhaustive:
+		opts, err := provisionExhaustive(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap, s.opts.MaxProvOptions)
+		if err != nil {
+			return nil, err
+		}
+		allocOptions = opts
+	default:
+		alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap)
+		if err != nil {
+			return nil, err
+		}
+		allocOptions = [][]int{alloc}
+	}
+
+	best := treeResult{score: math.Inf(1)}
+	for _, alloc := range allocOptions {
+		// SEG: top-k segmentation candidates per model (Heuristic 1).
+		topk := make([][]segCandidate, len(active))
+		for i, mi := range active {
+			rg := w[mi]
+			cands := segmentCandidates(
+				r.sc.Models[mi], rg, alloc[i],
+				r.expLat[mi], r.expE[mi],
+				r.m, r.obj, s.opts, r.rng,
+			)
+			k := s.opts.TopKSeg
+			if k > len(cands) {
+				k = len(cands)
+			}
+			topk[i] = cands[:k]
+		}
+
+		// SCHED: rank segmentation combinations by independent-score
+		// sum, explore the best MaxCombos with the window budget.
+		combos := rankedCombos(topk, s.opts.MaxCombos)
+		if len(combos) == 0 {
+			continue
+		}
+		budget := s.opts.WindowEvalBudget / (len(allocOptions) * len(combos))
+		if budget < 8 {
+			budget = 8
+		}
+		for _, combo := range combos {
+			plans := make([]modelPlan, len(active))
+			for i, mi := range active {
+				plans[i] = modelPlan{model: mi, r: w[mi], ends: topk[i][combo[i]].ends}
+			}
+			res := treeSearch(r.ev, r.m, plans, r.obj, s.opts.MaxTrees, budget, r.rng, s.opts.FreePlacement)
+			r.evals += res.evals
+			if res.found && res.score < best.score {
+				best = res
+			}
+		}
+	}
+	if !best.found {
+		return nil, fmt.Errorf("no feasible chiplet mapping for %d models on %d chiplets", len(active), r.m.NumChiplets())
+	}
+	return best.segments, nil
+}
+
+// rankedCombos enumerates index tuples over the per-model candidate
+// lists, ordered by the sum of candidate ranks (best independent scores
+// first), capped at limit.
+func rankedCombos(topk [][]segCandidate, limit int) [][]int {
+	if len(topk) == 0 {
+		return nil
+	}
+	total := 1
+	for _, l := range topk {
+		if len(l) == 0 {
+			return nil
+		}
+		total *= len(l)
+		if total > 4096 {
+			total = 4096
+			break
+		}
+	}
+	var all [][]int
+	cur := make([]int, len(topk))
+	var rec func(i int)
+	rec = func(i int) {
+		if len(all) >= 4096 {
+			return
+		}
+		if i == len(topk) {
+			all = append(all, append([]int(nil), cur...))
+			return
+		}
+		for j := 0; j < len(topk[i]); j++ {
+			cur[i] = j
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(all, func(a, b int) bool {
+		sa, sb := 0, 0
+		for _, v := range all[a] {
+			sa += v
+		}
+		for _, v := range all[b] {
+			sb += v
+		}
+		return sa < sb
+	})
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	return all
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// This file is the SEG engine (Section IV-C): it partitions a model's
+// window layers into layer segments. A candidate is a sequence of split
+// points; the engine scores candidates for each model independently
+// (Heuristic 1) with a pipeline proxy over expected costs, and the
+// scheduler keeps the top-k per model before the combinatorial SCHED
+// step.
+
+// segCandidate is one segmentation of a model's window layers: ends[q] is
+// the (window-relative, inclusive) last-layer offset of segment q; the
+// final entry is always L-1.
+type segCandidate struct {
+	ends  []int
+	score float64
+}
+
+func (c segCandidate) numSegments() int { return len(c.ends) }
+
+// segmentCandidates enumerates and scores segmentations of model mi's
+// window range into at most maxSegs segments. When the space
+// C(L-1, s-1) summed over s exceeds opts.SegEnumLimit, it falls back to
+// cost-balanced splits plus seeded random samples (the bounded-search
+// analogue of the paper's complexity management).
+func segmentCandidates(
+	model workload.Model, r layerRange, maxSegs int,
+	expLat, expEnergy []float64, // per-layer, window-relative is [r.First..r.Last]
+	m *mcm.MCM, obj Objective, opts Options, rng *rand.Rand,
+) []segCandidate {
+	l := r.numLayers()
+	if maxSegs > l {
+		maxSegs = l
+	}
+	if maxSegs < 1 {
+		maxSegs = 1
+	}
+
+	lat := expLat[r.First : r.Last+1]
+	eng := expEnergy[r.First : r.Last+1]
+
+	spaceSize := segSpaceSize(l, maxSegs, opts.SegEnumLimit)
+	var cands [][]int
+	if spaceSize <= opts.SegEnumLimit {
+		cands = enumerateSegmentations(l, maxSegs)
+	} else {
+		cands = sampledSegmentations(l, maxSegs, lat, opts.SegSamples, rng)
+	}
+
+	out := make([]segCandidate, 0, len(cands))
+	for _, ends := range cands {
+		score := scoreSegmentation(model, r, ends, lat, eng, m, obj)
+		out = append(out, segCandidate{ends: ends, score: score})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score < out[j].score })
+	return out
+}
+
+// segSpaceSize computes sum_{s=1..maxSegs} C(l-1, s-1), saturating at
+// limit+1 to avoid overflow.
+func segSpaceSize(l, maxSegs, limit int) int {
+	total := 0
+	for s := 1; s <= maxSegs; s++ {
+		c := 1
+		for i := 0; i < s-1; i++ {
+			c = c * (l - 1 - i) / (i + 1)
+			if c > limit {
+				return limit + 1
+			}
+		}
+		total += c
+		if total > limit {
+			return limit + 1
+		}
+	}
+	return total
+}
+
+// enumerateSegmentations lists every split of l layers into 1..maxSegs
+// contiguous segments as end-offset vectors.
+func enumerateSegmentations(l, maxSegs int) [][]int {
+	var out [][]int
+	var rec func(start, segsLeft int, ends []int)
+	rec = func(start, segsLeft int, ends []int) {
+		if segsLeft == 1 {
+			final := append(append([]int{}, ends...), l-1)
+			out = append(out, final)
+			return
+		}
+		for end := start; end < l-1; end++ {
+			rec(end+1, segsLeft-1, append(ends, end))
+		}
+	}
+	for s := 1; s <= maxSegs; s++ {
+		rec(0, s, nil)
+	}
+	return out
+}
+
+// sampledSegmentations produces cost-balanced splits for each segment
+// count plus seeded random cut sets.
+func sampledSegmentations(l, maxSegs int, lat []float64, samples int, rng *rand.Rand) [][]int {
+	seen := map[string]bool{}
+	var out [][]int
+	add := func(ends []int) {
+		k := fingerprintEnds(ends)
+		if !seen[k] {
+			seen[k] = true
+			// Copy: callers reuse their slice backing.
+			out = append(out, append([]int(nil), ends...))
+		}
+	}
+	var total float64
+	for _, v := range lat {
+		total += v
+	}
+	for s := 1; s <= maxSegs; s++ {
+		// Balance by expected latency: cut when the running sum
+		// crosses each i/s quantile.
+		ends := make([]int, 0, s)
+		target := total / float64(s)
+		var acc float64
+		for i := 0; i < l && len(ends) < s-1; i++ {
+			acc += lat[i]
+			if acc >= target*float64(len(ends)+1) && i < l-1 {
+				ends = append(ends, i)
+			}
+		}
+		ends = append(ends, l-1)
+		add(ends)
+		// Balance by layer count.
+		ends = ends[:0]
+		for q := 1; q < s; q++ {
+			e := l*q/s - 1
+			if e >= 0 && e < l-1 && (len(ends) == 0 || e > ends[len(ends)-1]) {
+				ends = append(ends, e)
+			}
+		}
+		add(append(append([]int{}, ends...), l-1))
+	}
+	for i := 0; i < samples; i++ {
+		s := 1 + rng.Intn(maxSegs)
+		cuts := map[int]bool{}
+		for len(cuts) < s-1 {
+			cuts[rng.Intn(l-1)] = true
+		}
+		ends := make([]int, 0, s)
+		for c := range cuts {
+			ends = append(ends, c)
+		}
+		sort.Ints(ends)
+		add(append(ends, l-1))
+	}
+	return out
+}
+
+// scoreSegmentation is Heuristic 1's independent per-model proxy: a
+// pipeline estimate over expected (dataflow-averaged) costs. Stage
+// latencies are the per-segment expected sums; the pipeline bottleneck
+// dominates at high batch while the fill time dominates at batch 1; each
+// cut adds a NoP transfer of the boundary activation.
+func scoreSegmentation(
+	model workload.Model, r layerRange, ends []int,
+	lat, eng []float64, m *mcm.MCM, obj Objective,
+) float64 {
+	batch := float64(model.Batch)
+	var sumStages, maxStage, xferLat, xferPJ float64
+	start := 0
+	for _, end := range ends {
+		var stage float64
+		for i := start; i <= end; i++ {
+			stage += lat[i]
+		}
+		sumStages += stage
+		if stage > maxStage {
+			maxStage = stage
+		}
+		if end < len(lat)-1 {
+			bytes := float64(model.Layers[r.First+end].WithBatch(model.Batch).OutputBytes())
+			xferLat += bytes/m.NoPBandwidth + m.NoPHopLatency
+			xferPJ += bytes * m.NoPEnergyPerByte
+		}
+		start = end + 1
+	}
+	// Pipeline proxy: fill with the full sum once, then the bottleneck
+	// amortized over the batch.
+	pipeLat := maxStage + (sumStages-maxStage)/batch + xferLat
+	var totalPJ float64
+	for _, e := range eng {
+		totalPJ += e
+	}
+	totalPJ += xferPJ
+	return obj.proxy(pipeLat, totalPJ)
+}
+
+func fingerprintEnds(ends []int) string {
+	buf := make([]byte, 0, 2*len(ends))
+	for _, e := range ends {
+		buf = append(buf, byte(e), byte(e>>8))
+	}
+	return string(buf)
+}

@@ -1,0 +1,114 @@
+// Package costdb provides the offline per-layer cost database the SCAR
+// framework consults during scheduling. The paper's MCM-Reconfig engine
+// receives "expected latency and energy of each layer on each chiplet
+// class offline-analyzed by MAESTRO" (Section IV-A); this package is that
+// database: it memoizes internal/maestro results per (layer, dataflow,
+// chiplet class) and derives the expectation of Equation (1).
+package costdb
+
+import (
+	"sync"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// key identifies a cached cost-model evaluation. Layers are keyed by
+// shape, not by name, so identical layers across models share entries —
+// exactly what makes the offline database practical.
+type key struct {
+	op                   workload.OpType
+	n, k, c, y, x, r, s  int
+	stride, bytesPerElem int
+	df                   string
+	pes                  int
+	l2                   int64
+}
+
+func makeKey(l workload.Layer, df dataflow.Dataflow, spec maestro.Chiplet) key {
+	return key{
+		op: l.Type, n: l.N, k: l.K, c: l.C, y: l.Y, x: l.X, r: l.R, s: l.S,
+		stride: l.Stride, bytesPerElem: l.BytesPerElem,
+		df: df.Name, pes: spec.NumPEs, l2: spec.L2Bytes,
+	}
+}
+
+// DB is a concurrency-safe memoizing layer-cost database.
+type DB struct {
+	params maestro.Params
+
+	mu    sync.RWMutex
+	cache map[key]maestro.Result
+}
+
+// New creates a database using the given cost-model calibration.
+func New(params maestro.Params) *DB {
+	return &DB{params: params, cache: make(map[key]maestro.Result)}
+}
+
+// Cost returns the intra-chiplet cost of layer l under dataflow df on a
+// chiplet with the given spec, computing and caching it on first use.
+func (db *DB) Cost(l workload.Layer, df dataflow.Dataflow, spec maestro.Chiplet) maestro.Result {
+	k := makeKey(l, df, spec)
+	db.mu.RLock()
+	r, ok := db.cache[k]
+	db.mu.RUnlock()
+	if ok {
+		return r
+	}
+	r = maestro.Analyze(l, df, spec, db.params)
+	db.mu.Lock()
+	db.cache[k] = r
+	db.mu.Unlock()
+	return r
+}
+
+// Size returns the number of cached entries (for tests and diagnostics).
+func (db *DB) Size() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.cache)
+}
+
+// Expected implements Equation (1) of the paper and its energy analogue:
+// the dataflow-composition-weighted expectation of a layer's cost on the
+// package,
+//
+//	E(Lat(l)) = sum_i  n_df_i / |C| * Lat(l -> df_i)
+//
+// It returns expected latency (seconds) and energy (pJ). The expectation
+// is what the MCM-Reconfig and PROV engines use before chiplet assignment
+// is known.
+func (db *DB) Expected(l workload.Layer, m *mcm.MCM) (latSec, energyPJ float64) {
+	total := float64(m.NumChiplets())
+	counts := m.DataflowCounts()
+	for _, df := range m.Dataflows() {
+		// All chiplets of one dataflow class share a spec in the
+		// paper's templates; use the first matching chiplet's spec.
+		var spec maestro.Chiplet
+		for _, c := range m.Chiplets {
+			if c.Dataflow.Name == df.Name {
+				spec = c.Spec
+				break
+			}
+		}
+		w := float64(counts[df.Name]) / total
+		r := db.Cost(l, df, spec)
+		latSec += w * r.ComputeSeconds
+		energyPJ += w * r.EnergyPJ
+	}
+	return latSec, energyPJ
+}
+
+// ExpectedModel sums Expected over a model's layers at its batch size,
+// giving E(P_i) for the PROV engine's Equation (2).
+func (db *DB) ExpectedModel(model workload.Model, m *mcm.MCM) (latSec, energyPJ float64) {
+	for _, l := range model.Layers {
+		lat, e := db.Expected(l.WithBatch(model.Batch), m)
+		latSec += lat
+		energyPJ += e
+	}
+	return latSec, energyPJ
+}

@@ -1,0 +1,92 @@
+// Package dataflow defines the accelerator dataflow styles evaluated in
+// the SCAR paper: the NVDLA-like weight-stationary dataflow and the
+// ShiDianNao-like output-stationary dataflow (Section V-A, "Baselines and
+// MCM patterns").
+//
+// A Dataflow here is a descriptor: it names the stationary tensor and
+// carries the spatial-mapping parameters the cost model needs (which loop
+// dimensions the PE array parallelizes and with what granularity). The
+// performance consequences — reuse factors, utilization, traffic — are
+// derived in internal/maestro from these parameters, never hard-coded per
+// network, so layer→dataflow affinity is emergent (see DESIGN.md).
+package dataflow
+
+import "fmt"
+
+// Style enumerates the supported dataflow classes.
+type Style int
+
+const (
+	// WeightStationary pins weights in the PE array (NVDLA-like). The
+	// array parallelizes input channels x output channels (C x K), with
+	// an atomic-C granularity like NVDLA's MAC cell organization.
+	WeightStationary Style = iota
+	// OutputStationary pins output pixels in the PE array
+	// (ShiDianNao-like). The array parallelizes output spatial positions
+	// (Y' x X') with a small number of concurrent output maps, and
+	// exploits sliding-window input reuse through neighbor links.
+	OutputStationary
+)
+
+// String returns the canonical style name.
+func (s Style) String() string {
+	switch s {
+	case WeightStationary:
+		return "weight-stationary"
+	case OutputStationary:
+		return "output-stationary"
+	default:
+		return fmt.Sprintf("style(%d)", int(s))
+	}
+}
+
+// Dataflow describes one accelerator dataflow configuration.
+type Dataflow struct {
+	// Name is a short identifier ("nvdla", "shi") used in schedules,
+	// config files and reports.
+	Name string
+	// Style selects the stationary tensor.
+	Style Style
+	// AtomicC is the input-channel granularity of the spatial mapping
+	// (weight-stationary only). NVDLA processes C in blocks of 64.
+	AtomicC int
+	// MaxMaps is the number of output feature maps processed
+	// concurrently (output-stationary only). ShiDianNao-like arrays
+	// sweep a small set of output maps over the 2-D pixel grid.
+	MaxMaps int
+}
+
+// NVDLA returns the NVDLA-like weight-stationary dataflow descriptor.
+func NVDLA() Dataflow {
+	return Dataflow{Name: "nvdla", Style: WeightStationary, AtomicC: 64}
+}
+
+// ShiDianNao returns the ShiDianNao-like output-stationary descriptor.
+func ShiDianNao() Dataflow {
+	return Dataflow{Name: "shi", Style: OutputStationary, MaxMaps: 8}
+}
+
+// ByName resolves a dataflow from its short name. It accepts the aliases
+// used in the paper's figures ("nvd", "shidiannao").
+func ByName(name string) (Dataflow, error) {
+	switch name {
+	case "nvdla", "nvd", "ws", "weight-stationary":
+		return NVDLA(), nil
+	case "shi", "shidiannao", "os", "output-stationary":
+		return ShiDianNao(), nil
+	default:
+		return Dataflow{}, fmt.Errorf("dataflow: unknown dataflow %q", name)
+	}
+}
+
+// All returns the dataflow classes supported on heterogeneous MCMs in this
+// reproduction (|DF| = 2, as in the paper's evaluation).
+func All() []Dataflow {
+	return []Dataflow{NVDLA(), ShiDianNao()}
+}
+
+// String implements fmt.Stringer.
+func (d Dataflow) String() string { return d.Name }
+
+// Equal reports whether two descriptors denote the same dataflow.
+func (d Dataflow) Equal(o Dataflow) bool { return d.Name == o.Name && d.Style == o.Style }

@@ -1,0 +1,70 @@
+package dataflow
+
+import "testing"
+
+func TestByNameAliases(t *testing.T) {
+	for _, name := range []string{"nvdla", "nvd", "ws", "weight-stationary"} {
+		df, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if df.Style != WeightStationary {
+			t.Errorf("ByName(%q).Style = %v", name, df.Style)
+		}
+	}
+	for _, name := range []string{"shi", "shidiannao", "os", "output-stationary"} {
+		df, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if df.Style != OutputStationary {
+			t.Errorf("ByName(%q).Style = %v", name, df.Style)
+		}
+	}
+	if _, err := ByName("systolic"); err == nil {
+		t.Error("unknown dataflow accepted")
+	}
+}
+
+func TestDescriptors(t *testing.T) {
+	n := NVDLA()
+	if n.AtomicC != 64 {
+		t.Errorf("NVDLA AtomicC = %d, want 64", n.AtomicC)
+	}
+	s := ShiDianNao()
+	if s.MaxMaps < 1 {
+		t.Errorf("ShiDianNao MaxMaps = %d, want >= 1", s.MaxMaps)
+	}
+	if n.Equal(s) {
+		t.Error("NVDLA equals ShiDianNao")
+	}
+	if !n.Equal(NVDLA()) {
+		t.Error("NVDLA not equal to itself")
+	}
+}
+
+func TestAllCoversBothStyles(t *testing.T) {
+	all := All()
+	if len(all) != 2 {
+		t.Fatalf("All() len = %d, want 2", len(all))
+	}
+	styles := map[Style]bool{}
+	for _, d := range all {
+		styles[d.Style] = true
+	}
+	if !styles[WeightStationary] || !styles[OutputStationary] {
+		t.Error("All() missing a style")
+	}
+}
+
+func TestStyleString(t *testing.T) {
+	if WeightStationary.String() != "weight-stationary" {
+		t.Error("WS string")
+	}
+	if OutputStationary.String() != "output-stationary" {
+		t.Error("OS string")
+	}
+	if Style(9).String() == "" {
+		t.Error("unknown style empty")
+	}
+}

@@ -1,0 +1,422 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"example.com/scar/internal/comm"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// Options tunes the evaluator's contention model (the delta term of
+// Lat_com in Section III-E).
+type Options struct {
+	// NoPContentionAlpha is the serialization penalty per additional
+	// concurrent NoP flow in a window.
+	NoPContentionAlpha float64
+	// OffchipContentionAlpha is the serialization penalty per
+	// additional concurrent off-chip stream in a window (the DRAM
+	// interface is package-shared).
+	OffchipContentionAlpha float64
+}
+
+// DefaultOptions returns the calibrated contention constants. The
+// off-chip factor is deliberately mild: a window's DRAM streams (weight
+// prefetches, boundary activations) are spread over the window rather
+// than fully simultaneous, so each additional stream costs a fraction of
+// full serialization.
+func DefaultOptions() Options {
+	return Options{NoPContentionAlpha: 0.1, OffchipContentionAlpha: 0.15}
+}
+
+// WindowMetrics is the evaluation of one time window.
+type WindowMetrics struct {
+	// LatencySec is Lat(tw): the max across per-model pipeline
+	// latencies and per-chiplet serialization.
+	LatencySec float64
+	// EnergyJ is the window's total energy in joules.
+	EnergyJ float64
+	// ModelLatency maps model index -> that model's pipeline latency in
+	// the window (the Table VI breakdown).
+	ModelLatency map[int]float64
+	// NumLayers is the layer count executed in the window.
+	NumLayers int
+}
+
+// Metrics is the evaluation of a complete schedule.
+type Metrics struct {
+	// LatencySec is Lat(Sc): the sum of window latencies.
+	LatencySec float64
+	// EnergyJ is the scenario energy in joules.
+	EnergyJ float64
+	// EDP is energy-delay product in joule-seconds.
+	EDP float64
+	// Windows holds the per-window breakdown.
+	Windows []WindowMetrics
+	// ModelLatency[m] is model m's end-to-end latency: the completion
+	// time of its last window (window latencies accumulate across the
+	// schedule, and a model finishes inside its final window at its
+	// own pipeline latency). It backs the per-model optimization
+	// targets of Section VI.
+	ModelLatency map[int]float64
+}
+
+// Evaluator scores schedules for one (scenario, MCM) pair.
+type Evaluator struct {
+	db   *costdb.DB
+	m    *mcm.MCM
+	sc   *workload.Scenario
+	opts Options
+}
+
+// New builds an evaluator.
+func New(db *costdb.DB, m *mcm.MCM, sc *workload.Scenario, opts Options) *Evaluator {
+	return &Evaluator{db: db, m: m, sc: sc, opts: opts}
+}
+
+// MCM returns the evaluator's package model.
+func (e *Evaluator) MCM() *mcm.MCM { return e.m }
+
+// Scenario returns the evaluator's workload.
+func (e *Evaluator) Scenario() *workload.Scenario { return e.sc }
+
+// DB returns the evaluator's layer-cost database.
+func (e *Evaluator) DB() *costdb.DB { return e.db }
+
+// Evaluate validates the schedule and returns its metrics.
+func (e *Evaluator) Evaluate(s *Schedule) (Metrics, error) {
+	if err := s.Validate(e.sc, e.m); err != nil {
+		return Metrics{}, err
+	}
+	return e.EvaluateUnchecked(s), nil
+}
+
+// EvaluateUnchecked scores a schedule without validity checking; the
+// search inner loops use it on schedules that are valid by construction.
+func (e *Evaluator) EvaluateUnchecked(s *Schedule) Metrics {
+	m := Metrics{ModelLatency: map[int]float64{}}
+	var elapsed float64
+	for _, w := range s.Windows {
+		wm := e.Window(w)
+		m.Windows = append(m.Windows, wm)
+		for mi, lat := range wm.ModelLatency {
+			m.ModelLatency[mi] = elapsed + lat
+		}
+		elapsed += wm.LatencySec
+		m.LatencySec += wm.LatencySec
+		m.EnergyJ += wm.EnergyJ
+	}
+	m.EDP = m.LatencySec * m.EnergyJ
+	return m
+}
+
+// stage is a maximal run of consecutive same-chiplet segments of one
+// model inside a window: the unit of inter-chiplet pipelining. Segments
+// that share a chiplet cannot overlap in time, so they fuse into one
+// pipeline stage.
+type stage struct {
+	chiplet  int
+	segments []Segment
+}
+
+func groupStages(segs []Segment) []stage {
+	var out []stage
+	for _, s := range segs {
+		if n := len(out); n > 0 && out[n-1].chiplet == s.Chiplet {
+			out[n-1].segments = append(out[n-1].segments, s)
+			continue
+		}
+		out = append(out, stage{chiplet: s.Chiplet, segments: []Segment{s}})
+	}
+	return out
+}
+
+// StageTiming is the evaluated timing of one pipeline stage within a
+// window. Times are seconds relative to the window start. BusyEnd
+// approximates the completion of the stage's final pass (exact for the
+// bottleneck stage; other stages drain by then in steady state).
+type StageTiming struct {
+	// Model is the scenario model index; Chiplet the hosting die.
+	Model   int
+	Chiplet int
+	// Segments are the fused same-chiplet segments of the stage.
+	Segments []Segment
+	// WeightSec is the weight prefetch duration (overlaps upstream
+	// fill).
+	WeightSec float64
+	// FirstStart / FirstEnd bound the first pipeline pass.
+	FirstStart, FirstEnd float64
+	// PassSec is the steady per-pass latency; Passes the pass count
+	// (batch / mini-batch).
+	PassSec float64
+	Passes  int
+	// BusyEnd is the stage's approximate completion time.
+	BusyEnd float64
+	// EnergyPJ is the stage's total energy including weight load.
+	EnergyPJ float64
+}
+
+// modelTimings evaluates one model's stages inside a window, returning
+// the stage timings, the model's pipeline latency and its energy.
+func (e *Evaluator) modelTimings(w TimeWindow, mi int, nopC, offC float64) ([]StageTiming, float64, float64) {
+	segs := w.ModelSegments(mi)
+	stages := groupStages(segs)
+	model := e.sc.Models[mi]
+	batch := model.Batch
+	// Mini-batch b' (Section III-E): "the max number of samples any
+	// chiplet can process at a time". Multi-stage pipelines stream
+	// per-sample; a single stage runs the largest mini-batch whose
+	// activations stay resident in L2.
+	bp := 1
+	if len(stages) == 1 {
+		bp = e.residentBatch(model, segs, stages[0].chiplet)
+	}
+	passes := (batch + bp - 1) / bp
+
+	// First-pass pipeline fill: stage k starts once the previous
+	// stage's first pass completes AND its own weights have arrived
+	// (weight prefetch overlaps upstream compute; the off-chip
+	// contention factor already prices the concurrent DRAM streams).
+	timings := make([]StageTiming, 0, len(stages))
+	var prevOut, steadyMax float64
+	var energyPJ float64
+	for si, st := range stages {
+		c := e.m.Chiplets[st.chiplet]
+
+		// One-time weight load from DRAM.
+		var weightBytes int64
+		var computeSec, computePJ float64
+		var spillBytes int64
+		for _, seg := range st.segments {
+			for li := seg.First; li <= seg.Last; li++ {
+				layer := model.Layers[li].WithBatch(bp)
+				r := e.db.Cost(layer, c.Dataflow, c.Spec)
+				computeSec += r.ComputeSeconds
+				computePJ += r.EnergyPJ
+				spillBytes += r.ExtraDRAMBytes
+				weightBytes += layer.WeightBytes()
+			}
+		}
+		wload := comm.OffchipRead(e.m, st.chiplet, weightBytes, offC)
+
+		// Input arrives from the previous stage's chiplet, or from
+		// DRAM at the window boundary.
+		firstLayer := model.Layers[st.segments[0].First].WithBatch(bp)
+		var in comm.Cost
+		if si == 0 {
+			in = comm.OffchipRead(e.m, st.chiplet, firstLayer.InputBytes(), offC)
+		} else {
+			in = comm.ChipToChip(e.m, stages[si-1].chiplet, st.chiplet, firstLayer.InputBytes(), nopC)
+		}
+
+		// Output leaves to DRAM from the last stage only;
+		// stage-to-stage transfers are charged as the next stage's
+		// input.
+		var out comm.Cost
+		if si == len(stages)-1 {
+			lastSeg := st.segments[len(st.segments)-1]
+			lastLayer := model.Layers[lastSeg.Last].WithBatch(bp)
+			out = comm.OffchipWrite(e.m, st.chiplet, lastLayer.OutputBytes(), offC)
+		}
+
+		spill := comm.OffchipRead(e.m, st.chiplet, spillBytes, offC)
+		passLat := in.Seconds + computeSec + spill.Seconds + out.Seconds
+		start := prevOut
+		if wload.Seconds > start {
+			start = wload.Seconds
+		}
+		passPJ := in.EnergyPJ + computePJ + spill.EnergyPJ + out.EnergyPJ
+		stageE := wload.EnergyPJ + float64(passes)*passPJ
+		energyPJ += stageE
+		timings = append(timings, StageTiming{
+			Model:      mi,
+			Chiplet:    st.chiplet,
+			Segments:   st.segments,
+			WeightSec:  wload.Seconds,
+			FirstStart: start,
+			FirstEnd:   start + passLat,
+			PassSec:    passLat,
+			Passes:     passes,
+			EnergyPJ:   stageE,
+		})
+		prevOut = start + passLat
+		if passLat > steadyMax {
+			steadyMax = passLat
+		}
+	}
+	modelLat := prevOut + float64(passes-1)*steadyMax
+	// Steady-state drain: every stage completes its last pass by the
+	// model's pipeline end, staggered by its remaining downstream
+	// stages' pass latencies (approximated with the bottleneck pass).
+	for i := range timings {
+		timings[i].BusyEnd = timings[i].FirstEnd + float64(passes-1)*steadyMax
+	}
+	return timings, modelLat, energyPJ
+}
+
+// Window evaluates one time window: per-model inter-chiplet pipeline
+// latency with mini-batches (Section III-E, Lat(SG_m)), window latency as
+// the maximum across models and across per-chiplet busy time, and energy
+// as the sum of all compute and communication energies.
+func (e *Evaluator) Window(w TimeWindow) WindowMetrics {
+	wm := WindowMetrics{ModelLatency: map[int]float64{}}
+	nopC, offC := e.ContentionFactors(w)
+
+	chipletBusy := map[int]float64{}
+	for _, mi := range w.Models() {
+		timings, modelLat, energyPJ := e.modelTimings(w, mi, nopC, offC)
+		for _, st := range timings {
+			chipletBusy[st.Chiplet] += st.WeightSec + float64(st.Passes)*st.PassSec
+		}
+		wm.ModelLatency[mi] = modelLat
+		wm.EnergyJ += energyPJ * 1e-12
+		wm.NumLayers += countLayers(w.ModelSegments(mi))
+	}
+
+	for _, lat := range wm.ModelLatency {
+		wm.LatencySec = math.Max(wm.LatencySec, lat)
+	}
+	for _, busy := range chipletBusy {
+		wm.LatencySec = math.Max(wm.LatencySec, busy)
+	}
+	return wm
+}
+
+// WindowTimings returns the evaluated stage timings of every model in the
+// window (the data behind schedule traces and Gantt rendering), in model
+// then pipeline order.
+func (e *Evaluator) WindowTimings(w TimeWindow) []StageTiming {
+	nopC, offC := e.ContentionFactors(w)
+	var out []StageTiming
+	for _, mi := range w.Models() {
+		timings, _, _ := e.modelTimings(w, mi, nopC, offC)
+		out = append(out, timings...)
+	}
+	return out
+}
+
+// residentBatch computes b' for a single-stage mapping: the largest
+// sample count (capped at the model batch) whose per-layer activation
+// working set fits the chiplet's L2 next to that layer's weights. Weights
+// larger than L2 stream regardless, so they reserve only half the
+// capacity in that case.
+func (e *Evaluator) residentBatch(model workload.Model, segs []Segment, chiplet int) int {
+	capacity := float64(e.m.Chiplets[chiplet].Spec.L2Bytes) * 0.9
+	bp := model.Batch
+	for _, seg := range segs {
+		for li := seg.First; li <= seg.Last; li++ {
+			l := model.Layers[li].WithBatch(1)
+			act := float64(l.InputBytes() + l.OutputBytes())
+			if act <= 0 {
+				continue
+			}
+			avail := capacity - float64(l.WeightBytes())
+			if avail < capacity/2 {
+				avail = capacity / 2
+			}
+			fit := int(avail / act)
+			if fit < 1 {
+				fit = 1
+			}
+			if fit < bp {
+				bp = fit
+			}
+		}
+	}
+	if bp < 1 {
+		bp = 1
+	}
+	return bp
+}
+
+// ContentionFactors derives the window's delta factors from its
+// concurrent flows: every stage-to-stage hop is a NoP flow; every stage's
+// weight load plus every model's boundary input/output is an off-chip
+// stream.
+func (e *Evaluator) ContentionFactors(w TimeWindow) (nop, off float64) {
+	crossFlows, offFlows := 0, 0
+	for _, mi := range w.Models() {
+		stages := groupStages(w.ModelSegments(mi))
+		offFlows += 2 // boundary input + output
+		for si := range stages {
+			offFlows++ // weight load
+			if si > 0 && stages[si].chiplet != stages[si-1].chiplet {
+				crossFlows++
+			}
+		}
+	}
+	if crossFlows > 1 {
+		nop = e.opts.NoPContentionAlpha * float64(crossFlows-1)
+	}
+	if offFlows > 1 {
+		off = e.opts.OffchipContentionAlpha * float64(offFlows-1)
+	}
+	return nop, off
+}
+
+func countLayers(segs []Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.NumLayers()
+	}
+	return n
+}
+
+// Score reduces metrics to a single objective value; see OptMetric.
+type Score func(Metrics) float64
+
+// Built-in optimization metrics (Definition 10): latency, energy and EDP
+// searches from the paper, plus the latency-bounded EDP variant discussed
+// in Section VI.
+var (
+	// LatencyScore minimizes end-to-end latency.
+	LatencyScore Score = func(m Metrics) float64 { return m.LatencySec }
+	// EnergyScore minimizes total energy.
+	EnergyScore Score = func(m Metrics) float64 { return m.EnergyJ }
+	// EDPScore minimizes the energy-delay product.
+	EDPScore Score = func(m Metrics) float64 { return m.EDP }
+)
+
+// LatencyBoundedEDP returns an EDP score that invalidates schedules whose
+// latency exceeds bound (Section VI's per-model constraint mechanism,
+// applied at scenario granularity).
+func LatencyBoundedEDP(bound float64) Score {
+	return func(m Metrics) float64 {
+		if m.LatencySec > bound {
+			return math.Inf(1)
+		}
+		return m.EDP
+	}
+}
+
+// PerModelLatencyBoundedEDP implements Section VI's per-model
+// optimization targets: an EDP search lower-bounded by latency
+// constraints on individual models. bounds maps model index -> maximum
+// end-to-end latency in seconds; schedules where any bounded model
+// finishes later are invalidated.
+func PerModelLatencyBoundedEDP(bounds map[int]float64) Score {
+	return func(m Metrics) float64 {
+		for mi, bound := range bounds {
+			if lat, ok := m.ModelLatency[mi]; ok && lat > bound {
+				return math.Inf(1)
+			}
+		}
+		return m.EDP
+	}
+}
+
+// ScoreByName resolves "latency", "energy" or "edp".
+func ScoreByName(name string) (Score, error) {
+	switch name {
+	case "latency":
+		return LatencyScore, nil
+	case "energy":
+		return EnergyScore, nil
+	case "edp":
+		return EDPScore, nil
+	default:
+		return nil, fmt.Errorf("eval: unknown optimization metric %q", name)
+	}
+}

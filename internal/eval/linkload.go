@@ -1,0 +1,43 @@
+package eval
+
+import "example.com/scar/internal/mcm"
+
+// LinkLoads maps the window's inter-chiplet traffic onto NoP links: for
+// every stage-to-stage transfer of every model, the boundary activation
+// bytes are charged to each directed link along the package route. It is
+// the diagnostic behind the contention delta — the paper's "NoP traffic
+// conflicts" — and lets callers inspect where a schedule congests the
+// interposer.
+func (e *Evaluator) LinkLoads(w TimeWindow) map[mcm.Link]int64 {
+	loads := map[mcm.Link]int64{}
+	for _, mi := range w.Models() {
+		model := e.sc.Models[mi]
+		stages := groupStages(w.ModelSegments(mi))
+		batch := model.Batch
+		bp := 1
+		if len(stages) == 1 {
+			continue // no inter-chiplet traffic
+		}
+		for si := 1; si < len(stages); si++ {
+			first := stages[si].segments[0].First
+			bytes := model.Layers[first].WithBatch(bp).InputBytes() * int64(batch)
+			for _, link := range e.m.RouteLinks(stages[si-1].chiplet, stages[si].chiplet) {
+				loads[link] += bytes
+			}
+		}
+	}
+	return loads
+}
+
+// MaxLinkLoad returns the hottest link and its byte count (zero value
+// when the window has no inter-chiplet traffic).
+func (e *Evaluator) MaxLinkLoad(w TimeWindow) (mcm.Link, int64) {
+	var best mcm.Link
+	var max int64
+	for link, bytes := range e.LinkLoads(w) {
+		if bytes > max || (bytes == max && (link.From < best.From || (link.From == best.From && link.To < best.To))) {
+			best, max = link, bytes
+		}
+	}
+	return best, max
+}

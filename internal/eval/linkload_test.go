@@ -1,0 +1,77 @@
+package eval
+
+import (
+	"testing"
+
+	"example.com/scar/internal/mcm"
+)
+
+func TestLinkLoadsEmptyForSingleChiplet(t *testing.T) {
+	db, pkg, sc := testRig(1)
+	e := New(db, pkg, sc, DefaultOptions())
+	w := TimeWindow{Segments: []Segment{
+		{Model: 0, First: 0, Last: 3, Chiplet: 0},
+		{Model: 1, First: 0, Last: 2, Chiplet: 4},
+	}}
+	if loads := e.LinkLoads(w); len(loads) != 0 {
+		t.Errorf("single-chiplet models produced link loads: %v", loads)
+	}
+	if _, max := e.MaxLinkLoad(w); max != 0 {
+		t.Errorf("MaxLinkLoad = %d, want 0", max)
+	}
+}
+
+func TestLinkLoadsFollowRoute(t *testing.T) {
+	db, pkg, sc := testRig(2)
+	e := New(db, pkg, sc, DefaultOptions())
+	// Model 0 pipelines chiplet 0 -> 2: XY route passes through 1.
+	w := TimeWindow{Segments: []Segment{
+		{Model: 0, First: 0, Last: 1, Chiplet: 0},
+		{Model: 0, First: 2, Last: 3, Chiplet: 2},
+		{Model: 1, First: 0, Last: 2, Chiplet: 6},
+	}}
+	loads := e.LinkLoads(w)
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v, want 2 links (0->1, 1->2)", loads)
+	}
+	l01 := loads[mcm.Link{From: 0, To: 1}]
+	l12 := loads[mcm.Link{From: 1, To: 2}]
+	if l01 == 0 || l01 != l12 {
+		t.Errorf("route links unequal: 0->1 %d, 1->2 %d", l01, l12)
+	}
+	// The transfer carries the boundary layer's input for the whole
+	// batch.
+	want := sc.Models[0].Layers[2].WithBatch(1).InputBytes() * int64(sc.Models[0].Batch)
+	if l01 != want {
+		t.Errorf("link bytes = %d, want %d", l01, want)
+	}
+	link, max := e.MaxLinkLoad(w)
+	if max != l01 {
+		t.Errorf("MaxLinkLoad = %d, want %d", max, l01)
+	}
+	if link.From != 0 && link.From != 1 {
+		t.Errorf("hottest link = %+v", link)
+	}
+}
+
+func TestLinkLoadsSharedLinkAccumulates(t *testing.T) {
+	db, pkg, sc := testRig(1)
+	e := New(db, pkg, sc, DefaultOptions())
+	// Both models cross link 1->2 (model 0 via 0->2 XY, model 1 via
+	// 1->2).
+	w := TimeWindow{Segments: []Segment{
+		{Model: 0, First: 0, Last: 1, Chiplet: 0},
+		{Model: 0, First: 2, Last: 3, Chiplet: 2},
+		{Model: 1, First: 0, Last: 1, Chiplet: 1},
+		{Model: 1, First: 2, Last: 2, Chiplet: 2},
+	}}
+	_ = w
+	// Chiplet 2 cannot host two segments in a real SCAR window, but the
+	// evaluator's diagnostic must still accumulate shared-link traffic.
+	loads := e.LinkLoads(w)
+	shared := loads[mcm.Link{From: 1, To: 2}]
+	only0 := loads[mcm.Link{From: 0, To: 1}]
+	if shared <= only0 {
+		t.Errorf("shared link 1->2 (%d) not hotter than exclusive 0->1 (%d)", shared, only0)
+	}
+}

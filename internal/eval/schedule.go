@@ -1,0 +1,131 @@
+// Package eval defines the schedule representation of the SCAR paper
+// (Definitions 4, 5 and 9: time windows, segments, schedule instances) and
+// evaluates schedules on an MCM using the performance model of Section
+// III-E: per-layer costs from the MAESTRO-style database, inter-chiplet
+// and off-chip communication from internal/comm, inter-chiplet pipelining
+// with mini-batches, window latency as the max over per-model pipelines,
+// and latency/energy/EDP aggregation.
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// Segment is a contiguous run of one model's layers mapped to one chiplet
+// for exclusive execution within a time window (Definition 5 plus its
+// spatial/temporal mapping from Definition 7).
+type Segment struct {
+	// Model is the model index within the scenario.
+	Model int
+	// First and Last are the inclusive layer-index range of the run.
+	First, Last int
+	// Chiplet is the assigned chiplet ID.
+	Chiplet int
+	// Order is the execution order among segments sharing the chiplet
+	// within the window (the temporal mapping j of Definition 7).
+	Order int
+}
+
+// Refs expands the segment to its layer references.
+func (s Segment) Refs() []workload.LayerRef {
+	out := make([]workload.LayerRef, 0, s.Last-s.First+1)
+	for i := s.First; i <= s.Last; i++ {
+		out = append(out, workload.LayerRef{Model: s.Model, Index: i})
+	}
+	return out
+}
+
+// NumLayers returns the layer count of the segment.
+func (s Segment) NumLayers() int { return s.Last - s.First + 1 }
+
+// String renders the segment compactly.
+func (s Segment) String() string {
+	return fmt.Sprintf("m%d[%d-%d]@c%d#%d", s.Model, s.First, s.Last, s.Chiplet, s.Order)
+}
+
+// TimeWindow is one execution window (Definition 4): the set of segments
+// scheduled in it.
+type TimeWindow struct {
+	Index    int
+	Segments []Segment
+}
+
+// ModelSegments returns the window's segments for one model, ordered by
+// layer range.
+func (w TimeWindow) ModelSegments(model int) []Segment {
+	var out []Segment
+	for _, s := range w.Segments {
+		if s.Model == model {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].First < out[j].First })
+	return out
+}
+
+// Models returns the sorted model indices present in the window.
+func (w TimeWindow) Models() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range w.Segments {
+		if !seen[s.Model] {
+			seen[s.Model] = true
+			out = append(out, s.Model)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Schedule is a schedule instance (Definition 9): a valid time-window
+// partitioning with segment mappings for each window.
+type Schedule struct {
+	Windows []TimeWindow
+}
+
+// AllSegments returns every segment across windows, window-major.
+func (s *Schedule) AllSegments() []Segment {
+	var out []Segment
+	for _, w := range s.Windows {
+		out = append(out, w.Segments...)
+	}
+	return out
+}
+
+// Validate checks the schedule against Theorems 1-2 and the mapping
+// constraints: exact partition of the scenario's layers, per-model
+// dependency order across windows, and chiplet IDs within range.
+func (s *Schedule) Validate(sc *workload.Scenario, m *mcm.MCM) error {
+	var parts [][]workload.LayerRef
+	for wi, w := range s.Windows {
+		var winRefs []workload.LayerRef
+		// Per-model, segments execute in layer order within a window.
+		for _, mi := range w.Models() {
+			segs := w.ModelSegments(mi)
+			for _, seg := range segs {
+				if seg.First > seg.Last {
+					return fmt.Errorf("eval: window %d segment %v has inverted range", wi, seg)
+				}
+				if seg.Chiplet < 0 || seg.Chiplet >= m.NumChiplets() {
+					return fmt.Errorf("eval: window %d segment %v references chiplet outside MCM", wi, seg)
+				}
+				winRefs = append(winRefs, seg.Refs()...)
+			}
+		}
+		parts = append(parts, winRefs)
+	}
+	if err := workload.ValidatePartition(sc.AllRefs(), parts); err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	if err := workload.ValidateModelOrder(parts); err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	return nil
+}
+
+// NumWindows returns the window count.
+func (s *Schedule) NumWindows() int { return len(s.Windows) }

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/models"
+	"example.com/scar/internal/workload"
+)
+
+// NsplitsResult holds the Section V-E time-partitioning ablation:
+// Scenario 4 on Het-Sides, EDP search, nsplits swept 1..5.
+type NsplitsResult struct {
+	// EDP[i] is the best EDP with nsplits = i+1.
+	EDP []float64
+	// Improvement[i] is EDP(nsplits=i) / EDP(nsplits=i+1) — the paper's
+	// "rate of reduction".
+	Improvement []float64
+}
+
+// Nsplits runs the ablation.
+func (s *Suite) Nsplits() (*NsplitsResult, error) {
+	sc := models.Scenario4()
+	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
+	if err != nil {
+		return nil, err
+	}
+	res := &NsplitsResult{}
+	for n := 1; n <= 5; n++ {
+		opts := s.Opts
+		opts.NSplits = n
+		opts.ExactSplits = true
+		r, err := core.New(s.DB, opts).Schedule(&sc, m, core.EDPObjective())
+		if err != nil {
+			return nil, err
+		}
+		res.EDP = append(res.EDP, r.Metrics.EDP)
+	}
+	for i := 1; i < len(res.EDP); i++ {
+		res.Improvement = append(res.Improvement, res.EDP[i-1]/res.EDP[i])
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *NsplitsResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Ablation: nsplits sweep, Scenario 4, Het-Sides, EDP search\n")
+	fprintf(tw, "nsplits\tEDP(J.s)\timprovement vs previous\n")
+	for i, e := range r.EDP {
+		imp := "-"
+		if i > 0 {
+			imp = fmt.Sprintf("%.3fx", r.Improvement[i-1])
+		}
+		fprintf(tw, "%d\t%.4g\t%s\n", i+1, e, imp)
+	}
+	tw.Flush()
+}
+
+// ProvAblationResult compares rule-based Equation (2) provisioning with
+// the bounded exhaustive search on scenarios 3-5 (Section V-E).
+type ProvAblationResult struct {
+	// Rows[i] = {scenario, ruleEDP, exhaustiveEDP}.
+	Scenarios  []int
+	Rule       []float64
+	Exhaustive []float64
+}
+
+// ProvAblation runs the comparison on Het-Sides.
+func (s *Suite) ProvAblation() (*ProvAblationResult, error) {
+	res := &ProvAblationResult{}
+	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range []int{3, 4, 5} {
+		sc, err := models.ScenarioByNumber(n)
+		if err != nil {
+			return nil, err
+		}
+		rule, err := core.New(s.DB, s.Opts).Schedule(&sc, m, core.EDPObjective())
+		if err != nil {
+			return nil, err
+		}
+		exOpts := s.Opts
+		exOpts.Prov = core.ProvExhaustive
+		exOpts.MaxProvOptions = 16
+		ex, err := core.New(s.DB, exOpts).Schedule(&sc, m, core.EDPObjective())
+		if err != nil {
+			return nil, err
+		}
+		res.Scenarios = append(res.Scenarios, n)
+		res.Rule = append(res.Rule, rule.Metrics.EDP)
+		res.Exhaustive = append(res.Exhaustive, ex.Metrics.EDP)
+	}
+	return res, nil
+}
+
+// Print renders the comparison.
+func (r *ProvAblationResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Ablation: rule-based vs exhaustive PROV, Het-Sides, EDP search\n")
+	fprintf(tw, "Scenario\tRule EDP\tExhaustive EDP\texhaustive/rule\n")
+	for i, n := range r.Scenarios {
+		ratio := 0.0
+		if r.Rule[i] > 0 {
+			ratio = r.Exhaustive[i] / r.Rule[i]
+		}
+		fprintf(tw, "%d\t%.4g\t%.4g\t%.3f\n", n, r.Rule[i], r.Exhaustive[i], ratio)
+	}
+	tw.Flush()
+}
+
+// PackingResult compares the greedy first-fit packing of Algorithm 1
+// against uniform layer distribution (Section V-E: 21.8% speedup, 8.6%
+// energy reduction in the paper).
+type PackingResult struct {
+	GreedyLat, UniformLat float64
+	GreedyE, UniformE     float64
+}
+
+// Packing runs the comparison on Scenario 4 / Het-Sides.
+func (s *Suite) Packing() (*PackingResult, error) {
+	sc := models.Scenario4()
+	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
+	if err != nil {
+		return nil, err
+	}
+	// End-to-end policy comparison: each packing algorithm picks its
+	// best window count up to the default nsplits.
+	sched := core.New(s.DB, s.Opts)
+	greedy, err := sched.Schedule(&sc, m, core.EDPObjective())
+	if err != nil {
+		return nil, err
+	}
+	uniform, err := sched.ScheduleUniformPacking(&sc, m, core.EDPObjective())
+	if err != nil {
+		return nil, err
+	}
+	return &PackingResult{
+		GreedyLat:  greedy.Metrics.LatencySec,
+		UniformLat: uniform.Metrics.LatencySec,
+		GreedyE:    greedy.Metrics.EnergyJ,
+		UniformE:   uniform.Metrics.EnergyJ,
+	}, nil
+}
+
+// Print renders the speedup/energy comparison.
+func (r *PackingResult) Print(w io.Writer) {
+	fprintf(w, "Ablation: greedy vs uniform packing, Scenario 4, Het-Sides, EDP search\n")
+	fprintf(w, "greedy: lat=%.4gs energy=%.4gJ; uniform: lat=%.4gs energy=%.4gJ\n",
+		r.GreedyLat, r.GreedyE, r.UniformLat, r.UniformE)
+	if r.GreedyLat > 0 && r.GreedyE > 0 {
+		gEDP := r.GreedyLat * r.GreedyE
+		uEDP := r.UniformLat * r.UniformE
+		fprintf(w, "greedy speedup: %.1f%%, energy reduction: %.1f%%, EDP reduction: %.1f%%\n",
+			(r.UniformLat/r.GreedyLat-1)*100, (1-r.GreedyE/r.UniformE)*100, (1-gEDP/uEDP)*100)
+	}
+}
+
+// ComplexityResult reproduces the Section II-D search-space figures.
+type ComplexityResult struct {
+	// MotivationalLog10 is the 2x2 motivational space (paper: O(10^x)
+	// with 1536 combinations quoted for the toy case).
+	MotivationalLog10 float64
+	// FullLog10 is ResNet-50 + U-Net on the 36-chiplet Simba system
+	// (paper: ~O(10^56) lower bound).
+	FullLog10 float64
+}
+
+// Complexity computes both figures.
+func (s *Suite) Complexity() *ComplexityResult {
+	moti := models.MotivationalWorkload()
+	full := workload.Scenario{Models: []workload.Model{
+		{Name: "resnet50", Layers: make([]workload.Layer, 50)},
+		{Name: "unet", Layers: make([]workload.Layer, 23)},
+	}}
+	return &ComplexityResult{
+		MotivationalLog10: workload.Log10SchedulingComplexity(moti, 4),
+		FullLog10:         workload.Log10SchedulingComplexity(full, 36),
+	}
+}
+
+// Print renders the complexity figures.
+func (r *ComplexityResult) Print(w io.Writer) {
+	fprintf(w, "Search-space complexity (Section II-D)\n")
+	fprintf(w, "motivational 2x2 workload: O(10^%.1f) schedules\n", r.MotivationalLog10)
+	fprintf(w, "ResNet-50 + U-Net on 6x6 Simba: O(10^%.1f) schedules (paper: >= 10^56)\n", r.FullLog10)
+}

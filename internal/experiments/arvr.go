@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"io"
+	"text/tabwriter"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/models"
+)
+
+// ARVRResult holds the Table V / Figure 10 sweep: XRBench scenarios 6-10
+// on the 3x3 MCM with 256-PE chiplets, EDP search, all six strategies.
+type ARVRResult struct {
+	Cells []Cell
+}
+
+// ARVR runs the sweep.
+func (s *Suite) ARVR() (*ARVRResult, error) {
+	spec := maestro.DefaultEdgeChiplet()
+	var jobs []func() Cell
+	for i, sc := range models.ARVRScenarios() {
+		for _, strat := range DatacenterStrategies() {
+			sc, i, strat := sc, i, strat
+			jobs = append(jobs, func() Cell {
+				return s.runCell(sc, i+6, strat, 3, 3, spec, core.EDPObjective())
+			})
+		}
+	}
+	cells := s.runCells(jobs)
+	if err := firstError(cells); err != nil {
+		return nil, err
+	}
+	return &ARVRResult{Cells: cells}, nil
+}
+
+func (r *ARVRResult) cell(scenario int, strategy string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Scenario == scenario && c.Strategy == strategy {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// Relative returns a strategy's latency and EDP for a scenario relative
+// to Standalone (NVD) — the normalization of Table V and Figure 10.
+func (r *ARVRResult) Relative(scenario int, strategy string) (relLat, relEDP float64) {
+	c, ok := r.cell(scenario, strategy)
+	base, okb := r.cell(scenario, "Stand.(NVD)")
+	if !ok || !okb || base.Metrics.LatencySec == 0 || base.Metrics.EDP == 0 {
+		return 0, 0
+	}
+	return c.Metrics.LatencySec / base.Metrics.LatencySec, c.Metrics.EDP / base.Metrics.EDP
+}
+
+// PrintTableV renders the Table V relative latency/EDP table.
+func (r *ARVRResult) PrintTableV(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Table V: AR/VR EDP search, relative to Standalone (NVD) (3x3 MCM, 256 PEs)\n")
+	fprintf(tw, "Strategy\tSc6 Lat\tSc7 Lat\tSc8 Lat\tSc9 Lat\tSc10 Lat\tSc6 EDP\tSc7 EDP\tSc8 EDP\tSc9 EDP\tSc10 EDP\n")
+	for _, strat := range DatacenterStrategies() {
+		fprintf(tw, "%s", strat.Name)
+		for sc := 6; sc <= 10; sc++ {
+			lat, _ := r.Relative(sc, strat.Name)
+			fprintf(tw, "\t%.2f", lat)
+		}
+		for sc := 6; sc <= 10; sc++ {
+			_, edp := r.Relative(sc, strat.Name)
+			fprintf(tw, "\t%.2f", edp)
+		}
+		fprintf(tw, "\n")
+	}
+	tw.Flush()
+}

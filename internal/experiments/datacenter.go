@@ -1,0 +1,330 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+)
+
+// DatacenterResult holds the full datacenter sweep behind Table IV and
+// Figure 7: scenarios 1-5 x six strategies x three search objectives on
+// the 3x3 MCM with 4096-PE chiplets.
+type DatacenterResult struct {
+	Cells []Cell
+}
+
+// Datacenter runs the sweep. Objectives: latency and EDP for Table IV,
+// plus energy for Figure 7.
+func (s *Suite) Datacenter() (*DatacenterResult, error) {
+	scenarios := models.DatacenterScenarios()
+	objectives := []core.Objective{
+		core.LatencyObjective(), core.EnergyObjective(), core.EDPObjective(),
+	}
+	spec := maestro.DefaultDatacenterChiplet()
+	var jobs []func() Cell
+	for si, sc := range scenarios {
+		for _, strat := range DatacenterStrategies() {
+			for _, obj := range objectives {
+				sc, si, strat, obj := sc, si, strat, obj
+				jobs = append(jobs, func() Cell {
+					return s.runCell(sc, si+1, strat, 3, 3, spec, obj)
+				})
+			}
+		}
+	}
+	cells := s.runCells(jobs)
+	if err := firstError(cells); err != nil {
+		return nil, err
+	}
+	return &DatacenterResult{Cells: cells}, nil
+}
+
+// cell finds one sweep entry.
+func (r *DatacenterResult) cell(scenario int, strategy, objective string) (Cell, bool) {
+	for _, c := range r.Cells {
+		if c.Scenario == scenario && c.Strategy == strategy && c.Objective == objective {
+			return c, true
+		}
+	}
+	return Cell{}, false
+}
+
+// PrintTableIV renders the Table IV breakdown: per strategy, the top
+// latency and EDP of the latency search and the EDP search across
+// scenarios 1-5 (latencies in seconds at 500 MHz, EDP in J*s).
+func (r *DatacenterResult) PrintTableIV(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Table IV: datacenter search results (3x3 MCM)\n")
+	fprintf(tw, "Strategy\tSearch\tSc1 Lat\tSc2 Lat\tSc3 Lat\tSc4 Lat\tSc5 Lat\tSc1 EDP\tSc2 EDP\tSc3 EDP\tSc4 EDP\tSc5 EDP\n")
+	for _, search := range []string{"latency", "edp"} {
+		for _, strat := range DatacenterStrategies() {
+			fprintf(tw, "%s\t%s", strat.Name, search)
+			for sc := 1; sc <= 5; sc++ {
+				c, _ := r.cell(sc, strat.Name, search)
+				fprintf(tw, "\t%.3g", c.Metrics.LatencySec)
+			}
+			for sc := 1; sc <= 5; sc++ {
+				c, _ := r.cell(sc, strat.Name, search)
+				fprintf(tw, "\t%.3g", c.Metrics.EDP)
+			}
+			fprintf(tw, "\n")
+		}
+	}
+	tw.Flush()
+}
+
+// Fig7Series is one normalized bar series of Figure 7: values per
+// scenario normalized by Standalone (NVD) under the same search.
+type Fig7Series struct {
+	Strategy  string
+	Objective string
+	Metric    string // "latency", "energy" or "edp"
+	Values    [5]float64
+}
+
+// Fig7 derives the Figure 7 normalized series from the sweep: for each
+// search objective, the latency / energy / EDP of every strategy relative
+// to Standalone (NVD).
+func (r *DatacenterResult) Fig7() []Fig7Series {
+	var out []Fig7Series
+	metricOf := func(c Cell, metric string) float64 {
+		switch metric {
+		case "latency":
+			return c.Metrics.LatencySec
+		case "energy":
+			return c.Metrics.EnergyJ
+		default:
+			return c.Metrics.EDP
+		}
+	}
+	for _, obj := range []string{"latency", "energy", "edp"} {
+		for _, metric := range []string{"latency", "energy", "edp"} {
+			for _, strat := range DatacenterStrategies() {
+				s := Fig7Series{Strategy: strat.Name, Objective: obj, Metric: metric}
+				for sc := 1; sc <= 5; sc++ {
+					c, _ := r.cell(sc, strat.Name, obj)
+					base, _ := r.cell(sc, "Stand.(NVD)", obj)
+					if base.Metrics.EDP > 0 {
+						s.Values[sc-1] = metricOf(c, metric) / metricOf(base, metric)
+					}
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// PrintFig7 renders the matching-criteria panels of Figure 7 (A1, B2,
+// C3): each search's own metric, normalized by Standalone (NVD).
+func (r *DatacenterResult) PrintFig7(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Figure 7: normalized results (Standalone NVD = 1.0), matching search/metric panels\n")
+	fprintf(tw, "Search=Metric\tStrategy\tSc1\tSc2\tSc3\tSc4\tSc5\n")
+	for _, s := range r.Fig7() {
+		if s.Objective != s.Metric {
+			continue
+		}
+		fprintf(tw, "%s\t%s", s.Objective, s.Strategy)
+		for _, v := range s.Values {
+			fprintf(tw, "\t%.2f", v)
+		}
+		fprintf(tw, "\n")
+	}
+	tw.Flush()
+}
+
+// ParetoPoint is one candidate in a Figure 8 / 11 cloud.
+type ParetoPoint struct {
+	Strategy   string
+	LatencySec float64
+	EnergyJ    float64
+	OnFront    bool
+}
+
+// ParetoResult is the candidate cloud for one scenario.
+type ParetoResult struct {
+	Scenario int
+	Points   []ParetoPoint
+}
+
+// Pareto collects the explored-candidate clouds for the given scenario
+// across strategies and all three search objectives (the brute-force
+// clouds of Figures 8 and 11) and marks the non-dominated front.
+func (s *Suite) Pareto(scNum int, strategies []Strategy, w, h int, spec maestro.Chiplet) (*ParetoResult, error) {
+	sc, err := models.ScenarioByNumber(scNum)
+	if err != nil {
+		return nil, err
+	}
+	objectives := []core.Objective{
+		core.LatencyObjective(), core.EnergyObjective(), core.EDPObjective(),
+	}
+	var jobs []func() Cell
+	for _, strat := range strategies {
+		if strat.Kind == KindSCAR {
+			for _, obj := range objectives {
+				strat, obj := strat, obj
+				jobs = append(jobs, func() Cell {
+					return s.runCell(sc, scNum, strat, w, h, spec, obj)
+				})
+			}
+		} else {
+			strat := strat
+			jobs = append(jobs, func() Cell {
+				return s.runCell(sc, scNum, strat, w, h, spec, core.EDPObjective())
+			})
+		}
+	}
+	cells := s.runCells(jobs)
+	if err := firstError(cells); err != nil {
+		return nil, err
+	}
+	res := &ParetoResult{Scenario: scNum}
+	for _, c := range cells {
+		if len(c.Explored) == 0 {
+			res.Points = append(res.Points, ParetoPoint{
+				Strategy: c.Strategy, LatencySec: c.Metrics.LatencySec, EnergyJ: c.Metrics.EnergyJ,
+			})
+			continue
+		}
+		for _, cand := range c.Explored {
+			res.Points = append(res.Points, ParetoPoint{
+				Strategy: c.Strategy, LatencySec: cand.Metrics.LatencySec, EnergyJ: cand.Metrics.EnergyJ,
+			})
+		}
+	}
+	markFront(res.Points)
+	return res, nil
+}
+
+// markFront flags non-dominated points (minimizing latency and energy).
+func markFront(points []ParetoPoint) {
+	for i := range points {
+		dominated := false
+		for j := range points {
+			if i == j {
+				continue
+			}
+			if points[j].LatencySec <= points[i].LatencySec &&
+				points[j].EnergyJ <= points[i].EnergyJ &&
+				(points[j].LatencySec < points[i].LatencySec || points[j].EnergyJ < points[i].EnergyJ) {
+				dominated = true
+				break
+			}
+		}
+		points[i].OnFront = !dominated
+	}
+}
+
+// Print renders the cloud, front first.
+func (r *ParetoResult) Print(w io.Writer) {
+	pts := append([]ParetoPoint(nil), r.Points...)
+	sort.SliceStable(pts, func(i, j int) bool {
+		if pts[i].OnFront != pts[j].OnFront {
+			return pts[i].OnFront
+		}
+		return pts[i].LatencySec < pts[j].LatencySec
+	})
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Pareto cloud, scenario %d (front first)\n", r.Scenario)
+	fprintf(tw, "Front\tStrategy\tLatency(s)\tEnergy(J)\tEDP(J.s)\n")
+	for _, p := range pts {
+		mark := " "
+		if p.OnFront {
+			mark = "*"
+		}
+		fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%.4g\n", mark, p.Strategy, p.LatencySec, p.EnergyJ, p.LatencySec*p.EnergyJ)
+	}
+	tw.Flush()
+}
+
+// TopScheduleResult is the Figure 9 / Table VI breakdown: the winning
+// Het-Sides schedule for Scenario 4 under the EDP search.
+type TopScheduleResult struct {
+	Result *core.Result
+	// ModelNames indexes model names by scenario position.
+	ModelNames []string
+	// PerWindowModelLat[w][m] is model m's latency in window w (0 if
+	// absent).
+	PerWindowModelLat [][]float64
+	// PerWindowLayers[w][m] is model m's layer count in window w.
+	PerWindowLayers [][]int
+	// WindowLat[w] is the window latency.
+	WindowLat []float64
+}
+
+// TopSchedule reproduces Figure 9 / Table VI: Scenario 4 on Het-Sides,
+// EDP search, with the per-window latency and layer-count breakdown.
+func (s *Suite) TopSchedule() (*TopScheduleResult, error) {
+	sc := models.Scenario4()
+	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
+	if err != nil {
+		return nil, err
+	}
+	sched := core.New(s.DB, s.Opts)
+	res, err := sched.Schedule(&sc, m, core.EDPObjective())
+	if err != nil {
+		return nil, err
+	}
+	out := &TopScheduleResult{Result: res}
+	for _, mod := range sc.Models {
+		out.ModelNames = append(out.ModelNames, mod.Name)
+	}
+	for wi, w := range res.Schedule.Windows {
+		lat := make([]float64, len(sc.Models))
+		layers := make([]int, len(sc.Models))
+		for mi := range sc.Models {
+			if l, ok := res.Metrics.Windows[wi].ModelLatency[mi]; ok {
+				lat[mi] = l
+			}
+			for _, seg := range w.ModelSegments(mi) {
+				layers[mi] += seg.NumLayers()
+			}
+		}
+		out.PerWindowModelLat = append(out.PerWindowModelLat, lat)
+		out.PerWindowLayers = append(out.PerWindowLayers, layers)
+		out.WindowLat = append(out.WindowLat, res.Metrics.Windows[wi].LatencySec)
+	}
+	return out, nil
+}
+
+// Print renders the Table VI-style breakdown.
+func (r *TopScheduleResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Table VI: per-window latency breakdown (s), Scenario 4 on Het-Sides, EDP search\n")
+	fprintf(tw, "Model")
+	for wi := range r.WindowLat {
+		fprintf(tw, "\tW%d", wi)
+	}
+	fprintf(tw, "\ttotal\t#layers\n")
+	for mi, name := range r.ModelNames {
+		fprintf(tw, "%s", name)
+		var total float64
+		var layers int
+		for wi := range r.WindowLat {
+			fprintf(tw, "\t%.3g", r.PerWindowModelLat[wi][mi])
+			total += r.PerWindowModelLat[wi][mi]
+			layers += r.PerWindowLayers[wi][mi]
+		}
+		fprintf(tw, "\t%.3g\t%d\n", total, layers)
+	}
+	fprintf(tw, "Window")
+	var sum float64
+	for _, l := range r.WindowLat {
+		fprintf(tw, "\t%.3g", l)
+		sum += l
+	}
+	fprintf(tw, "\t%.3g\t\n", sum)
+	tw.Flush()
+	fprintf(w, "splits=%d windows=%d EDP=%.4g J.s\n",
+		r.Result.Splits, len(r.WindowLat), r.Result.Metrics.EDP)
+}
+
+func mcmByPattern(pattern string, w, h int, spec maestro.Chiplet) (*mcm.MCM, error) {
+	return buildMCM(Strategy{Pattern: pattern}, w, h, spec)
+}

@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of the SCAR
+// paper's evaluation (Section V): the Figure 2 motivational study, the
+// Table IV / Figure 7 datacenter sweeps, the Figure 8 and 11 Pareto
+// clouds, the Figure 9 / Table VI schedule breakdown, the Table V /
+// Figure 10 AR/VR results, the Figure 12 triangular-NoP and Figure 13
+// 6x6 scaling studies, and the Section V-E ablations. Each experiment
+// returns a printable result; the per-experiment mapping to the paper is
+// indexed in DESIGN.md and the measured-vs-paper comparison lives in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"example.com/scar/internal/baselines"
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// StrategyKind distinguishes how a strategy produces schedules.
+type StrategyKind int
+
+const (
+	// KindStandalone maps each model to one chiplet (no SCAR search).
+	KindStandalone StrategyKind = iota
+	// KindSCAR runs the SCAR scheduler (on homogeneous packages this is
+	// the paper's "Simba-like pipelining" baseline; on heterogeneous
+	// packages it is the full proposal).
+	KindSCAR
+	// KindNNBaton runs the NN-baton-style single-model scheduler.
+	KindNNBaton
+)
+
+// Strategy is one MCM organization + scheduling policy of Figure 6.
+type Strategy struct {
+	Name    string
+	Kind    StrategyKind
+	Pattern string // mcm.ByName pattern
+}
+
+// DatacenterStrategies returns the six 3x3 strategies of Table IV, in the
+// paper's row order.
+func DatacenterStrategies() []Strategy {
+	return []Strategy{
+		{Name: "Stand.(Shi)", Kind: KindStandalone, Pattern: "simba-shi"},
+		{Name: "Stand.(NVD)", Kind: KindStandalone, Pattern: "simba-nvd"},
+		{Name: "Simba (Shi)", Kind: KindSCAR, Pattern: "simba-shi"},
+		{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"},
+		{Name: "Het-CB", Kind: KindSCAR, Pattern: "het-cb"},
+		{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"},
+	}
+}
+
+// TriangularStrategies returns the Figure 12 triangular-NoP strategies.
+func TriangularStrategies() []Strategy {
+	return []Strategy{
+		{Name: "Simba-T (Shi)", Kind: KindSCAR, Pattern: "simba-t-shi"},
+		{Name: "Simba-T (NVD)", Kind: KindSCAR, Pattern: "simba-t-nvd"},
+		{Name: "Het-T", Kind: KindSCAR, Pattern: "het-t"},
+	}
+}
+
+// Scale6x6Strategies returns the Figure 13 strategies on the full Simba
+// system.
+func Scale6x6Strategies() []Strategy {
+	return []Strategy{
+		{Name: "Simba-6 (Shi)", Kind: KindSCAR, Pattern: "simba-shi"},
+		{Name: "Simba-6 (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"},
+		{Name: "Het-Cross", Kind: KindSCAR, Pattern: "het-cross"},
+	}
+}
+
+// Suite carries shared experiment state: the layer-cost database (shared
+// across all cells, as the paper's offline MAESTRO database is) and the
+// scheduler configuration.
+type Suite struct {
+	DB   *costdb.DB
+	Opts core.Options
+	// Workers bounds parallel cells (0 = GOMAXPROCS).
+	Workers int
+}
+
+// NewSuite builds a suite with paper-default options.
+func NewSuite() *Suite {
+	return &Suite{
+		DB:   costdb.New(maestro.DefaultParams()),
+		Opts: core.DefaultOptions(),
+	}
+}
+
+// Cell is one (scenario, strategy, objective) evaluation.
+type Cell struct {
+	Scenario  int // paper scenario number 1-10
+	Strategy  string
+	Objective string
+	Metrics   eval.Metrics
+	// Explored carries the candidate cloud for Pareto plots (SCAR
+	// strategies only).
+	Explored []core.CandidateMetrics
+	// Result is the full scheduler output (SCAR strategies only).
+	Result *core.Result
+	Err    error
+}
+
+// buildMCM constructs a strategy's package.
+func buildMCM(strat Strategy, w, h int, spec maestro.Chiplet) (*mcm.MCM, error) {
+	return mcm.ByName(strat.Pattern, w, h, spec)
+}
+
+// runCell schedules one scenario under one strategy and objective.
+func (s *Suite) runCell(sc workload.Scenario, scNum int, strat Strategy, w, h int, spec maestro.Chiplet, obj core.Objective) Cell {
+	cell := Cell{Scenario: scNum, Strategy: strat.Name, Objective: obj.Name}
+	m, err := buildMCM(strat, w, h, spec)
+	if err != nil {
+		cell.Err = err
+		return cell
+	}
+	switch strat.Kind {
+	case KindStandalone:
+		_, metrics, err := baselines.Standalone(s.DB, &sc, m, s.Opts.Eval)
+		cell.Metrics, cell.Err = metrics, err
+	case KindNNBaton:
+		_, metrics, err := baselines.NNBaton(s.DB, &sc, m, s.Opts.Eval)
+		cell.Metrics, cell.Err = metrics, err
+	case KindSCAR:
+		sched := core.New(s.DB, s.Opts)
+		res, err := sched.Schedule(&sc, m, obj)
+		if err != nil {
+			cell.Err = err
+			return cell
+		}
+		cell.Metrics = res.Metrics
+		cell.Explored = res.Explored
+		cell.Result = res
+	}
+	return cell
+}
+
+// runCells evaluates cells in parallel with bounded workers; results keep
+// input order.
+func (s *Suite) runCells(jobs []func() Cell) []Cell {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Cell, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, job := range jobs {
+		wg.Add(1)
+		go func(i int, job func() Cell) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = job()
+		}(i, job)
+	}
+	wg.Wait()
+	return out
+}
+
+// firstError returns the first cell error, if any.
+func firstError(cells []Cell) error {
+	for _, c := range cells {
+		if c.Err != nil {
+			return fmt.Errorf("experiments: sc%d/%s/%s: %w", c.Scenario, c.Strategy, c.Objective, c.Err)
+		}
+	}
+	return nil
+}
+
+// fprintf writes formatted output, ignoring writer errors (reports go to
+// stdout or test logs).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

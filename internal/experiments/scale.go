@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"io"
+	"text/tabwriter"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/models"
+)
+
+// TriangularResult holds the Figure 12 ablation: the EDP search for
+// scenarios 3 and 4 on the triangular NoP topologies, normalized by
+// Standalone (NVD) on the mesh.
+type TriangularResult struct {
+	Cells []Cell
+	// Baselines maps scenario -> Standalone (NVD) metrics used for
+	// normalization.
+	Baselines map[int]Cell
+}
+
+// Triangular runs the Figure 12 study.
+func (s *Suite) Triangular() (*TriangularResult, error) {
+	spec := maestro.DefaultDatacenterChiplet()
+	scNums := []int{3, 4}
+	var jobs []func() Cell
+	for _, n := range scNums {
+		sc, err := models.ScenarioByNumber(n)
+		if err != nil {
+			return nil, err
+		}
+		for _, strat := range TriangularStrategies() {
+			sc, n, strat := sc, n, strat
+			jobs = append(jobs, func() Cell {
+				return s.runCell(sc, n, strat, 3, 3, spec, core.EDPObjective())
+			})
+		}
+		sc2, n2 := sc, n
+		jobs = append(jobs, func() Cell {
+			return s.runCell(sc2, n2, Strategy{Name: "Stand.(NVD)", Kind: KindStandalone, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
+		})
+	}
+	cells := s.runCells(jobs)
+	if err := firstError(cells); err != nil {
+		return nil, err
+	}
+	res := &TriangularResult{Baselines: map[int]Cell{}}
+	for _, c := range cells {
+		if c.Strategy == "Stand.(NVD)" {
+			res.Baselines[c.Scenario] = c
+		} else {
+			res.Cells = append(res.Cells, c)
+		}
+	}
+	return res, nil
+}
+
+// Print renders normalized EDP per strategy and scenario.
+func (r *TriangularResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Figure 12: EDP search on triangular NoP (normalized by Standalone NVD)\n")
+	fprintf(tw, "Strategy\tSc3 rel.EDP\tSc4 rel.EDP\n")
+	for _, strat := range TriangularStrategies() {
+		fprintf(tw, "%s", strat.Name)
+		for _, sc := range []int{3, 4} {
+			var v float64
+			for _, c := range r.Cells {
+				if c.Scenario == sc && c.Strategy == strat.Name {
+					if b := r.Baselines[sc]; b.Metrics.EDP > 0 {
+						v = c.Metrics.EDP / b.Metrics.EDP
+					}
+				}
+			}
+			fprintf(tw, "\t%.2f", v)
+		}
+		fprintf(tw, "\n")
+	}
+	tw.Flush()
+}
+
+// Scale6x6Result holds the Figure 13 study: Scenario 4 on the full 6x6
+// Simba system with the evolutionary SEG search, at nsplits 2 and 3.
+type Scale6x6Result struct {
+	// Rows[nsplits][strategy] -> cell.
+	Rows map[int]map[string]Cell
+}
+
+// Scale6x6 runs the Figure 13 study.
+func (s *Suite) Scale6x6() (*Scale6x6Result, error) {
+	spec := maestro.DefaultDatacenterChiplet()
+	sc := models.Scenario4()
+	res := &Scale6x6Result{Rows: map[int]map[string]Cell{}}
+	type job struct {
+		nsplits int
+		strat   Strategy
+	}
+	var list []job
+	for _, n := range []int{2, 3} {
+		for _, strat := range Scale6x6Strategies() {
+			list = append(list, job{nsplits: n, strat: strat})
+		}
+	}
+	var jobs []func() Cell
+	for _, j := range list {
+		j := j
+		jobs = append(jobs, func() Cell {
+			sub := &Suite{DB: s.DB, Opts: s.Opts, Workers: 1}
+			sub.Opts.NSplits = j.nsplits
+			sub.Opts.ExactSplits = true // the paper plots nsplits=2 and 3 separately
+			sub.Opts.Search = core.SearchEvolutionary
+			// Heuristic 2 (node allocation constraint): bound path
+			// lengths on the 36-chiplet package so the encoding
+			// stays feasible.
+			sub.Opts.NodeAllocCap = 6
+			return sub.runCell(sc, 4, j.strat, 6, 6, spec, core.EDPObjective())
+		})
+	}
+	cells := s.runCells(jobs)
+	if err := firstError(cells); err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		n := list[i].nsplits
+		if res.Rows[n] == nil {
+			res.Rows[n] = map[string]Cell{}
+		}
+		res.Rows[n][c.Strategy] = c
+	}
+	return res, nil
+}
+
+// Print renders latency/EDP per strategy at each nsplits, with Het-Cross
+// improvement factors over the homogeneous 6x6 baselines.
+func (r *Scale6x6Result) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Figure 13: 6x6 scaling, Scenario 4, EDP search (evolutionary SEG)\n")
+	fprintf(tw, "nsplits\tStrategy\tLatency(s)\tEDP(J.s)\n")
+	for _, n := range []int{2, 3} {
+		for _, strat := range Scale6x6Strategies() {
+			c := r.Rows[n][strat.Name]
+			fprintf(tw, "%d\t%s\t%.4g\t%.4g\n", n, strat.Name, c.Metrics.LatencySec, c.Metrics.EDP)
+		}
+	}
+	tw.Flush()
+	for _, n := range []int{2, 3} {
+		het := r.Rows[n]["Het-Cross"]
+		for _, base := range []string{"Simba-6 (Shi)", "Simba-6 (NVD)"} {
+			b := r.Rows[n][base]
+			if het.Metrics.EDP > 0 {
+				fprintf(w, "nsplits=%d: Het-Cross vs %s: %.2fx EDP, %.2fx latency\n",
+					n, base, b.Metrics.EDP/het.Metrics.EDP, b.Metrics.LatencySec/het.Metrics.LatencySec)
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"io"
+	"text/tabwriter"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/models"
+)
+
+// This file stress-tests the reproduction's own design choices (the
+// calibration constants documented in DESIGN.md): how the headline
+// comparison — Het-Sides vs Simba (NVD) on Scenario 4, EDP search —
+// responds to the cost model's reuse-depth constants, to the contention
+// model, and to the search budget. The paper's conclusion is robust if
+// the heterogeneous advantage survives across the calibration
+// neighborhood.
+
+// SensitivityPoint is one configuration's outcome.
+type SensitivityPoint struct {
+	Label string
+	// HetEDP and SimbaEDP are the Scenario 4 EDP-search results.
+	HetEDP, SimbaEDP float64
+}
+
+// Ratio returns Het-Sides EDP relative to Simba (NVD); < 1 means the
+// heterogeneous package wins.
+func (p SensitivityPoint) Ratio() float64 {
+	if p.SimbaEDP == 0 {
+		return 0
+	}
+	return p.HetEDP / p.SimbaEDP
+}
+
+// SensitivityResult aggregates one sweep.
+type SensitivityResult struct {
+	Axis   string
+	Points []SensitivityPoint
+}
+
+// headToHead runs the Sc4 Het-Sides vs Simba (NVD) EDP search under the
+// given cost-model and evaluator calibration.
+func headToHead(label string, params maestro.Params, opts core.Options, workers int) (SensitivityPoint, error) {
+	sub := &Suite{DB: costdb.New(params), Opts: opts, Workers: workers}
+	sc := models.Scenario4()
+	spec := maestro.DefaultDatacenterChiplet()
+	het := sub.runCell(sc, 4, Strategy{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"}, 3, 3, spec, core.EDPObjective())
+	if het.Err != nil {
+		return SensitivityPoint{}, het.Err
+	}
+	sim := sub.runCell(sc, 4, Strategy{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
+	if sim.Err != nil {
+		return SensitivityPoint{}, sim.Err
+	}
+	return SensitivityPoint{Label: label, HetEDP: het.Metrics.EDP, SimbaEDP: sim.Metrics.EDP}, nil
+}
+
+// CostModelSensitivity sweeps the two dataflow-asymmetry constants: the
+// output-stationary map-reuse depth and the weight-stationary K-refetch
+// cap.
+func (s *Suite) CostModelSensitivity() (*SensitivityResult, error) {
+	res := &SensitivityResult{Axis: "cost model reuse constants"}
+	type cfg struct {
+		label     string
+		osDepth   int
+		wsRefetch int
+	}
+	cfgs := []cfg{
+		{"os-depth=1 ws-cap=8", 1, 8},
+		{"os-depth=2 ws-cap=8", 2, 8},
+		{"os-depth=4 ws-cap=8 (default)", 4, 8},
+		{"os-depth=8 ws-cap=8", 8, 8},
+		{"os-depth=4 ws-cap=2", 4, 2},
+		{"os-depth=4 ws-cap=4", 4, 4},
+		{"os-depth=4 ws-cap=16", 4, 16},
+	}
+	for _, c := range cfgs {
+		params := maestro.DefaultParams()
+		params.OSMapReuseDepth = c.osDepth
+		params.WSKRefetchCap = c.wsRefetch
+		p, err := headToHead(c.label, params, s.Opts, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// ContentionSensitivity sweeps the delta-term calibration of the
+// communication model.
+func (s *Suite) ContentionSensitivity() (*SensitivityResult, error) {
+	res := &SensitivityResult{Axis: "contention model"}
+	type cfg struct {
+		label    string
+		nop, off float64
+	}
+	cfgs := []cfg{
+		{"no contention", 0, 0},
+		{"nop=0.1 off=0.15 (default)", 0.1, 0.15},
+		{"nop=0.3 off=0.15", 0.3, 0.15},
+		{"nop=0.1 off=0.5", 0.1, 0.5},
+		{"nop=0.5 off=1.0 (harsh)", 0.5, 1.0},
+	}
+	for _, c := range cfgs {
+		opts := s.Opts
+		opts.Eval = eval.Options{NoPContentionAlpha: c.nop, OffchipContentionAlpha: c.off}
+		p, err := headToHead(c.label, maestro.DefaultParams(), opts, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// MappingSensitivity ablates the scheduling-tree design choice: paths
+// constrained to interposer adjacency (the paper's RA-tree-inspired
+// representation) versus free placement on any unoccupied chiplet.
+func (s *Suite) MappingSensitivity() (*SensitivityResult, error) {
+	res := &SensitivityResult{Axis: "mapping locality (scheduling-tree ablation)"}
+	for _, c := range []struct {
+		label string
+		free  bool
+	}{
+		{"adjacency-constrained trees (default)", false},
+		{"free placement", true},
+	} {
+		opts := s.Opts
+		opts.FreePlacement = c.free
+		p, err := headToHead(c.label, maestro.DefaultParams(), opts, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// BudgetSensitivity sweeps the per-window evaluation budget, showing how
+// much search quality the bounded brute force buys.
+func (s *Suite) BudgetSensitivity() (*SensitivityResult, error) {
+	res := &SensitivityResult{Axis: "window evaluation budget"}
+	for _, budget := range []int{100, 400, 1500, 4000} {
+		opts := s.Opts
+		opts.WindowEvalBudget = budget
+		label := "budget=" + itoa(budget)
+		if budget == 1500 {
+			label += " (default)"
+		}
+		p, err := headToHead(label, maestro.DefaultParams(), opts, s.Workers)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// Print renders the sweep with the het/homogeneous ratio per point.
+func (r *SensitivityResult) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fprintf(tw, "Sensitivity: %s (Sc4, EDP search)\n", r.Axis)
+	fprintf(tw, "Configuration\tHet-Sides EDP\tSimba(NVD) EDP\tHet/Simba\n")
+	for _, p := range r.Points {
+		fprintf(tw, "%s\t%.4g\t%.4g\t%.2f\n", p.Label, p.HetEDP, p.SimbaEDP, p.Ratio())
+	}
+	tw.Flush()
+}
+
+// RobustlyHeterogeneous reports whether the heterogeneous package wins
+// (ratio < 1) at every point of the sweep.
+func (r *SensitivityResult) RobustlyHeterogeneous() bool {
+	for _, p := range r.Points {
+		if p.Ratio() >= 1 {
+			return false
+		}
+	}
+	return len(r.Points) > 0
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,255 @@
+package maestro
+
+import (
+	"fmt"
+	"math"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/workload"
+)
+
+// Result is the cost-model output for one layer on one chiplet under one
+// dataflow. All latencies are in seconds, energies in picojoules.
+type Result struct {
+	// ComputeSeconds is the array-busy time (compute/bandwidth roofline
+	// plus ramp-up), excluding operand load and result drain across the
+	// package, which the evaluator adds from internal/comm.
+	ComputeSeconds float64
+	// EnergyPJ is the chiplet-local energy: MACs + register file + L2.
+	EnergyPJ float64
+
+	// Cycles is the pure compute cycle count before the bandwidth
+	// roofline.
+	Cycles float64
+	// Utilization is the effective fraction of PEs doing useful work.
+	Utilization float64
+	// L2ReadBytes / L2WriteBytes is the L2<->array traffic implied by
+	// the dataflow's reuse pattern.
+	L2ReadBytes  int64
+	L2WriteBytes int64
+	// ExtraDRAMBytes is capacity-induced refetch traffic beyond the
+	// compulsory operand load (which the evaluator accounts separately).
+	ExtraDRAMBytes int64
+	// WorkingSetBytes is the L2 footprint the layer wants resident.
+	WorkingSetBytes int64
+}
+
+// Analyze runs the cost model for layer l under dataflow df on chiplet c
+// using calibration constants p.
+func Analyze(l workload.Layer, df dataflow.Dataflow, c Chiplet, p Params) Result {
+	if c.NumPEs < 1 || c.ClockHz <= 0 {
+		panic(fmt.Sprintf("maestro: invalid chiplet spec %+v", c))
+	}
+	switch df.Style {
+	case dataflow.WeightStationary:
+		return analyzeWS(l, df, c, p)
+	case dataflow.OutputStationary:
+		return analyzeOS(l, df, c, p)
+	default:
+		panic(fmt.Sprintf("maestro: unknown dataflow style %v", df.Style))
+	}
+}
+
+// analyzeWS models the NVDLA-like weight-stationary dataflow. The array
+// parallelizes (C x K) with atomic-C granularity; weights are pinned and
+// reused across all output positions; inputs are re-fetched once per
+// K-tile pass and, lacking neighbor links, once per kernel tap for
+// overlapping windows; partial sums spill per C-tile pass.
+func analyzeWS(l workload.Layer, df dataflow.Dataflow, c Chiplet, p Params) Result {
+	oy, ox := l.OutY(), l.OutX()
+	macs := float64(l.MACs())
+	in, w, out := l.InputBytes(), l.WeightBytes(), l.OutputBytes()
+
+	var cycles float64
+	var util float64
+	var l2Read, l2Write float64
+	var inRefetch float64 // input L2 re-read factor, for capacity spill
+
+	switch l.Type {
+	case workload.OpConv, workload.OpGEMM, workload.OpDWConv, workload.OpEmbedding:
+		cDim, kDim := l.C, l.K
+		if l.Type == workload.OpDWConv {
+			// Depthwise: no cross-channel reduction; array
+			// parallelizes K only.
+			cDim = 1
+		}
+		atomC := df.AtomicC
+		if atomC < 1 {
+			atomC = 64
+		}
+		spatC := minInt(cDim, atomC)
+		spatK := minInt(kDim, maxInt(1, c.NumPEs/spatC))
+		tilesC := ceilDiv(cDim, spatC)
+		tilesK := ceilDiv(kDim, spatK)
+		// One cycle computes spatC*spatK MACs for one output position
+		// and one kernel tap.
+		steps := float64(l.N) * float64(oy) * float64(ox) * float64(l.R) * float64(l.S) *
+			float64(tilesC) * float64(tilesK)
+		cycles = steps
+		util = macs / (steps * float64(c.NumPEs))
+
+		// Traffic. Weights are loaded once (stationary). Each input
+		// participates in R*S/stride^2 overlapping windows with no
+		// inter-PE reuse path, and is re-read per K-tile pass up to
+		// the conv-buffer residency cap.
+		window := float64(l.R) * float64(l.S) / float64(l.Stride*l.Stride)
+		if window < 1 {
+			window = 1
+		}
+		refetchCap := p.WSKRefetchCap
+		if refetchCap < 1 {
+			refetchCap = 1
+		}
+		inRefetch = window * float64(minInt(tilesK, refetchCap))
+		l2Read = float64(w) + float64(in)*inRefetch + float64(out)*float64(tilesC-1)
+		l2Write = float64(out) * float64(tilesC)
+	default:
+		cycles, util, l2Read, l2Write = analyzeLightOp(l, c)
+		inRefetch = 1
+	}
+
+	return finish(l, c, p, cycles, util, l2Read, l2Write, inRefetch, in, w, out)
+}
+
+// analyzeOS models the ShiDianNao-like output-stationary dataflow. The
+// array parallelizes output positions (and the batch) with a small number
+// of concurrent output maps; outputs accumulate in place; sliding-window
+// input overlap is captured by neighbor links; weights are re-broadcast
+// for every output tile and inputs re-streamed for every map tile.
+func analyzeOS(l workload.Layer, df dataflow.Dataflow, c Chiplet, p Params) Result {
+	oy, ox := l.OutY(), l.OutX()
+	macs := float64(l.MACs())
+	in, w, out := l.InputBytes(), l.WeightBytes(), l.OutputBytes()
+
+	var cycles float64
+	var util float64
+	var l2Read, l2Write float64
+	var inRefetch float64
+
+	switch l.Type {
+	case workload.OpConv, workload.OpGEMM, workload.OpDWConv, workload.OpEmbedding:
+		maps := df.MaxMaps
+		if maps < 1 {
+			maps = 8
+		}
+		kDim := l.K
+		cDim := l.C
+		if l.Type == workload.OpDWConv {
+			cDim = 1
+		}
+		mapsPar := minInt(kDim, maps)
+		pixels := l.N * oy * ox
+		spatP := minInt(pixels, maxInt(1, c.NumPEs/mapsPar))
+		tilesP := ceilDiv(pixels, spatP)
+		tilesK := ceilDiv(kDim, mapsPar)
+		// One cycle: one (c, r, s) tap for every (pixel, map) in the
+		// array.
+		steps := float64(tilesP) * float64(tilesK) * float64(cDim) *
+			float64(l.R) * float64(l.S)
+		cycles = steps
+		util = macs / (steps * float64(c.NumPEs))
+
+		// Traffic. Outputs are written once (stationary psums).
+		// Weights are re-broadcast for every pixel tile. Inputs are
+		// re-streamed once per OSMapReuseDepth map tiles (double-
+		// buffered FIFOs carry them across a few map sweeps); neighbor
+		// links capture the sliding-window overlap so there is no R*S
+		// refetch factor.
+		depth := p.OSMapReuseDepth
+		if depth < 1 {
+			depth = 1
+		}
+		inRefetch = float64(ceilDiv(tilesK, depth))
+		l2Read = float64(w)*float64(tilesP) + float64(in)*inRefetch
+		l2Write = float64(out)
+	default:
+		cycles, util, l2Read, l2Write = analyzeLightOp(l, c)
+		inRefetch = 1
+	}
+
+	return finish(l, c, p, cycles, util, l2Read, l2Write, inRefetch, in, w, out)
+}
+
+// analyzeLightOp handles weight-free, dataflow-neutral operators (pooling,
+// element-wise, and the embedding fallback): they map elements across the
+// array and stream operands once.
+func analyzeLightOp(l workload.Layer, c Chiplet) (cycles, util, l2Read, l2Write float64) {
+	macs := float64(l.MACs())
+	cycles = math.Ceil(macs / float64(c.NumPEs))
+	if cycles < 1 {
+		cycles = 1
+	}
+	util = macs / (cycles * float64(c.NumPEs))
+	l2Read = float64(l.InputBytes() + l.WeightBytes())
+	l2Write = float64(l.OutputBytes())
+	return cycles, util, l2Read, l2Write
+}
+
+// finish applies the capacity model, the latency roofline and the energy
+// model, shared by both dataflows.
+func finish(l workload.Layer, c Chiplet, p Params, cycles, util, l2Read, l2Write, inRefetch float64, in, w, out int64) Result {
+	working := in + w + out
+	capacity := float64(c.L2Bytes) * p.ResidentFrac
+
+	// Capacity-induced DRAM refetch: when the activations cannot stay
+	// resident alongside the streaming tensor, every re-read of the
+	// input from the dataflow's reuse pattern becomes a DRAM re-read.
+	var extraDRAM float64
+	switch {
+	case float64(working) <= capacity:
+		// Fully resident: only compulsory traffic (handled by eval).
+	case float64(in+out) <= capacity*0.75:
+		// Activations resident, weights streamed once: still only
+		// compulsory traffic.
+	default:
+		extraDRAM = (inRefetch - 1) * float64(in)
+		if extraDRAM < 0 {
+			extraDRAM = 0
+		}
+	}
+
+	computeSec := (cycles + p.RampUpCycles) / c.ClockHz
+	l2Sec := (l2Read + l2Write) / c.NoCBandwidth
+	lat := math.Max(computeSec, l2Sec)
+
+	macs := float64(l.MACs())
+	opE := p.MACEnergyPJ
+	if !l.Type.HasWeights() {
+		opE = p.LightOpEnergyPJ
+	}
+	energy := macs*opE +
+		macs*p.L1BytesPerMAC*p.L1EnergyPJPerByte +
+		(l2Read+l2Write)*p.L2EnergyPJPerByte
+
+	return Result{
+		ComputeSeconds:  lat,
+		EnergyPJ:        energy,
+		Cycles:          cycles,
+		Utilization:     util,
+		L2ReadBytes:     int64(l2Read),
+		L2WriteBytes:    int64(l2Write),
+		ExtraDRAMBytes:  int64(extraDRAM),
+		WorkingSetBytes: working,
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

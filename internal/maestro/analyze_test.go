@@ -1,0 +1,269 @@
+package maestro
+
+import (
+	"testing"
+	"testing/quick"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/workload"
+)
+
+func dc() Chiplet            { return DefaultDatacenterChiplet() }
+func par() Params            { return DefaultParams() }
+func nvd() dataflow.Dataflow { return dataflow.NVDLA() }
+func shi() dataflow.Dataflow { return dataflow.ShiDianNao() }
+
+func TestGEMMExactCyclesWS(t *testing.T) {
+	// GPT-L FFN up-projection: M=128, K=1280 -> 5120. With 4096 PEs and
+	// atomic-C 64: spatial 64x64, tilesC=20, tilesK=80.
+	l := workload.GEMM("ffn", 128, 1280, 5120)
+	r := Analyze(l, nvd(), dc(), par())
+	want := float64(128 * 20 * 80)
+	if r.Cycles != want {
+		t.Errorf("WS cycles = %v, want %v", r.Cycles, want)
+	}
+	if r.Utilization < 0.99 {
+		t.Errorf("WS utilization = %v, want ~1", r.Utilization)
+	}
+}
+
+func TestGEMMExactCyclesOS(t *testing.T) {
+	// Same layer on output-stationary: 128 pixels x 8 maps = 1024 active
+	// PEs; tilesK = 640; cycles = 640 * 1280.
+	l := workload.GEMM("ffn", 128, 1280, 5120)
+	r := Analyze(l, shi(), dc(), par())
+	want := float64(640 * 1280)
+	if r.Cycles != want {
+		t.Errorf("OS cycles = %v, want %v", r.Cycles, want)
+	}
+	if r.Utilization < 0.24 || r.Utilization > 0.26 {
+		t.Errorf("OS utilization = %v, want 0.25", r.Utilization)
+	}
+}
+
+func TestResultFieldsPositive(t *testing.T) {
+	l := workload.Conv("c", 64, 64, 58, 58, 3, 1)
+	for _, df := range dataflow.All() {
+		r := Analyze(l, df, dc(), par())
+		if r.ComputeSeconds <= 0 || r.EnergyPJ <= 0 || r.Cycles <= 0 {
+			t.Errorf("%s: non-positive result %+v", df, r)
+		}
+		if r.Utilization <= 0 || r.Utilization > 1.0001 {
+			t.Errorf("%s: utilization out of range: %v", df, r.Utilization)
+		}
+		if r.L2ReadBytes <= 0 || r.L2WriteBytes <= 0 {
+			t.Errorf("%s: traffic non-positive: %+v", df, r)
+		}
+	}
+}
+
+func TestLightOpsDataflowNeutral(t *testing.T) {
+	pool := workload.Pool("p", 64, 112, 112, 2, 2)
+	add := workload.Eltwise("a", 256, 56, 56)
+	for _, l := range []workload.Layer{pool, add} {
+		a := Analyze(l, nvd(), dc(), par())
+		b := Analyze(l, shi(), dc(), par())
+		if a.ComputeSeconds != b.ComputeSeconds || a.EnergyPJ != b.EnergyPJ {
+			t.Errorf("%s: light op is dataflow-sensitive: %v vs %v", l.Name, a, b)
+		}
+	}
+}
+
+func TestMorePEsNeverSlower(t *testing.T) {
+	layers := []workload.Layer{
+		workload.Conv("c", 64, 128, 58, 58, 3, 1),
+		workload.GEMM("g", 128, 768, 3072),
+		workload.Conv("c1", 3, 64, 230, 230, 7, 2),
+	}
+	small, big := dc(), dc()
+	small.NumPEs = 1024
+	big.NumPEs = 8192
+	for _, l := range layers {
+		for _, df := range dataflow.All() {
+			a := Analyze(l, df, small, par())
+			b := Analyze(l, df, big, par())
+			if b.Cycles > a.Cycles {
+				t.Errorf("%s/%s: more PEs slower: %v > %v", l.Name, df, b.Cycles, a.Cycles)
+			}
+		}
+	}
+}
+
+func TestBatchScalesCycles(t *testing.T) {
+	l := workload.Conv("c", 64, 64, 58, 58, 3, 1)
+	for _, df := range dataflow.All() {
+		one := Analyze(l, df, dc(), par())
+		four := Analyze(l.WithBatch(4), df, dc(), par())
+		if four.Cycles < 3.5*one.Cycles {
+			t.Errorf("%s: batch-4 cycles %v not ~4x batch-1 %v", df, four.Cycles, one.Cycles)
+		}
+	}
+}
+
+func TestCapacitySpillLargeActivations(t *testing.T) {
+	// U-Net-scale layer: 512x512x64 activations (~33 MB) exceed the
+	// 10 MB L2, so both dataflows must refetch from DRAM; the
+	// weight-stationary window refetch makes it strictly worse.
+	l := workload.Conv("unet", 64, 64, 514, 514, 3, 1)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if ws.ExtraDRAMBytes == 0 {
+		t.Error("WS: expected capacity spill for 33MB activations")
+	}
+	if os.ExtraDRAMBytes >= ws.ExtraDRAMBytes {
+		t.Errorf("OS spill %d should be < WS spill %d (neighbor-link reuse)", os.ExtraDRAMBytes, ws.ExtraDRAMBytes)
+	}
+}
+
+func TestNoSpillWhenResident(t *testing.T) {
+	l := workload.Conv("small", 64, 64, 30, 30, 3, 1)
+	for _, df := range dataflow.All() {
+		r := Analyze(l, df, dc(), par())
+		if r.ExtraDRAMBytes != 0 {
+			t.Errorf("%s: unexpected spill %d for resident layer", df, r.ExtraDRAMBytes)
+		}
+	}
+}
+
+func TestWeightStreamingNoSpill(t *testing.T) {
+	// Transformer FFN: weights 13 MB > L2 but activations tiny; weights
+	// stream once, no refetch.
+	l := workload.GEMM("ffn", 128, 1280, 5120)
+	for _, df := range dataflow.All() {
+		r := Analyze(l, df, dc(), par())
+		if r.ExtraDRAMBytes != 0 {
+			t.Errorf("%s: unexpected spill %d when only weights exceed L2", df, r.ExtraDRAMBytes)
+		}
+	}
+}
+
+func TestDepthwiseUtilization(t *testing.T) {
+	// Depthwise has no C-dimension reduction, so the WS array can only
+	// fill K x 1 cells; OS fills pixels. OS must be far faster.
+	l := workload.DWConv("dw", 128, 58, 58, 3, 1)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if os.Cycles >= ws.Cycles {
+		t.Errorf("depthwise: OS cycles %v >= WS cycles %v", os.Cycles, ws.Cycles)
+	}
+}
+
+func TestRampUpDominatesTinyLayer(t *testing.T) {
+	l := workload.Eltwise("tiny", 1, 1, 1)
+	r := Analyze(l, nvd(), dc(), par())
+	minSec := par().RampUpCycles / dc().ClockHz
+	if r.ComputeSeconds < minSec {
+		t.Errorf("tiny layer faster than ramp-up: %v < %v", r.ComputeSeconds, minSec)
+	}
+}
+
+// Property: for random conv layers, both dataflows yield finite positive
+// latency/energy, and utilization stays in (0, 1].
+func TestQuickAnalyzeSane(t *testing.T) {
+	f := func(c8, k8, y6, r2 uint8) bool {
+		c := int(c8) + 1
+		k := int(k8) + 1
+		y := int(y6%96) + 10
+		r := int(r2%3)*2 + 1 // 1, 3, 5
+		if r > y {
+			r = 1
+		}
+		l := workload.Conv("q", c, k, y, y, r, 1)
+		for _, df := range dataflow.All() {
+			res := Analyze(l, df, dc(), par())
+			if res.ComputeSeconds <= 0 || res.EnergyPJ <= 0 {
+				return false
+			}
+			if res.Utilization <= 0 || res.Utilization > 1.0001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy is monotone in batch size.
+func TestQuickEnergyMonotoneInBatch(t *testing.T) {
+	f := func(b4 uint8) bool {
+		b := int(b4%8) + 1
+		l := workload.GEMM("g", 64, 256, 256)
+		for _, df := range dataflow.All() {
+			e1 := Analyze(l.WithBatch(b), df, dc(), par()).EnergyPJ
+			e2 := Analyze(l.WithBatch(b+1), df, dc(), par()).EnergyPJ
+			if e2 <= e1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilizationQuantizationEdges(t *testing.T) {
+	// C*K exactly equal to the array: full WS utilization.
+	l := workload.Conv("exact", 64, 64, 58, 58, 3, 1)
+	r := Analyze(l, nvd(), dc(), par())
+	if r.Utilization < 0.999 {
+		t.Errorf("C*K==NPE utilization = %v, want 1", r.Utilization)
+	}
+	// C*K one over the array: a second tile pass halves utilization.
+	over := workload.Conv("over", 65, 64, 58, 58, 3, 1)
+	ro := Analyze(over, nvd(), dc(), par())
+	if ro.Utilization > 0.6 {
+		t.Errorf("C*K=NPE+64 utilization = %v, want ~0.5 (tile quantization)", ro.Utilization)
+	}
+}
+
+func TestLargerL2NeverIncreasesSpill(t *testing.T) {
+	l := workload.Conv("unet", 64, 64, 514, 514, 3, 1)
+	small, big := dc(), dc()
+	small.L2Bytes = 4 << 20
+	big.L2Bytes = 64 << 20
+	for _, df := range dataflow.All() {
+		s := Analyze(l, df, small, par())
+		b := Analyze(l, df, big, par())
+		if b.ExtraDRAMBytes > s.ExtraDRAMBytes {
+			t.Errorf("%s: larger L2 increased spill: %d > %d", df, b.ExtraDRAMBytes, s.ExtraDRAMBytes)
+		}
+	}
+}
+
+func TestOSBatchMapsSpatially(t *testing.T) {
+	// At batch 1 a 128-pixel GEMM underfills the OS array; at batch 8
+	// the batch folds into the pixel dimension and fills it.
+	l := workload.GEMM("g", 128, 1024, 1024)
+	one := Analyze(l, shi(), dc(), par())
+	eight := Analyze(l.WithBatch(8), shi(), dc(), par())
+	if eight.Utilization <= one.Utilization {
+		t.Errorf("OS batch folding: util %v (b=8) <= %v (b=1)", eight.Utilization, one.Utilization)
+	}
+}
+
+func TestEmbeddingIsMemoryShaped(t *testing.T) {
+	l := workload.Embedding("emb", 128, 50257, 1280)
+	for _, df := range dataflow.All() {
+		r := Analyze(l, df, dc(), par())
+		if r.ComputeSeconds <= 0 || r.EnergyPJ <= 0 {
+			t.Errorf("%s: embedding degenerate: %+v", df, r)
+		}
+		// Lookup traffic dwarfs its op count: L2 reads at least cover
+		// the rows actually gathered.
+		if r.L2ReadBytes < l.InputBytes() {
+			t.Errorf("%s: embedding read traffic %d below input bytes", df, r.L2ReadBytes)
+		}
+	}
+}
+
+func TestAnalyzePanicsOnBadChiplet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid chiplet spec accepted")
+		}
+	}()
+	Analyze(workload.GEMM("g", 8, 8, 8), nvd(), Chiplet{}, par())
+}

@@ -1,0 +1,104 @@
+package maestro
+
+import (
+	"testing"
+
+	"example.com/scar/internal/workload"
+)
+
+// These calibration tests pin the *directional* layer->dataflow affinities
+// that the SCAR paper's results depend on (Section II-C and V-B). They are
+// the contract between the cost model and the experiment shapes:
+//
+//  1. Transformer GEMMs at small batch strongly prefer the NVDLA-like
+//     weight-stationary dataflow (paper: Standalone(NVD) ~3.9x faster than
+//     Standalone(Shi) on the LM-dominated Scenario 1).
+//  2. Early convolutions with few input channels strongly prefer the
+//     ShiDianNao-like output-stationary dataflow (C*K << #PEs starves the
+//     WS array).
+//  3. Mid-network 3x3 convolutions prefer OS on energy (sliding-window
+//     reuse), while 1x1 projections prefer WS (no window overlap, deep
+//     channel tiling hurts OS) — the intra-block heterogeneity behind the
+//     motivational Figure 2 A3 schedule.
+//  4. Huge-activation U-Net layers spill on WS much harder than on OS.
+
+func edp(r Result) float64 { return r.ComputeSeconds * r.EnergyPJ }
+
+func TestAffinityTransformerGEMMPrefersWS(t *testing.T) {
+	layers := []workload.Layer{
+		workload.GEMM("qkv", 128, 1280, 3840),
+		workload.GEMM("proj", 128, 1280, 1280),
+		workload.GEMM("ffn1", 128, 1280, 5120),
+		workload.GEMM("ffn2", 128, 5120, 1280),
+	}
+	for _, l := range layers {
+		ws := Analyze(l, nvd(), dc(), par())
+		os := Analyze(l, shi(), dc(), par())
+		ratio := os.ComputeSeconds / ws.ComputeSeconds
+		if ratio < 2 || ratio > 12 {
+			t.Errorf("%s: OS/WS latency ratio = %.2f, want in [2, 12]", l.Name, ratio)
+		}
+		if edp(os) <= edp(ws) {
+			t.Errorf("%s: OS EDP %.3g <= WS EDP %.3g; GEMM must prefer WS", l.Name, edp(os), edp(ws))
+		}
+	}
+}
+
+func TestAffinityEarlyConvPrefersOS(t *testing.T) {
+	// ResNet-50 conv1: C=3, K=64 -> C*K=192 << 4096 PEs.
+	l := workload.Conv("conv1", 3, 64, 230, 230, 7, 2)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if ws.ComputeSeconds/os.ComputeSeconds < 3 {
+		t.Errorf("conv1: WS/OS latency ratio = %.2f, want >= 3 (WS array starves at C*K=192)",
+			ws.ComputeSeconds/os.ComputeSeconds)
+	}
+	if edp(ws) <= edp(os) {
+		t.Errorf("conv1: WS EDP %.3g <= OS EDP %.3g; early conv must prefer OS", edp(ws), edp(os))
+	}
+}
+
+func TestAffinityMidConv3x3PrefersOSOnEnergy(t *testing.T) {
+	// ResNet block-2 3x3: 56x56 spatial (padded input 58), C=K=64.
+	l := workload.Conv("conv2_2", 64, 64, 58, 58, 3, 1)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if os.EnergyPJ >= ws.EnergyPJ {
+		t.Errorf("3x3 conv: OS energy %.3g >= WS energy %.3g; sliding-window reuse must win", os.EnergyPJ, ws.EnergyPJ)
+	}
+}
+
+func TestAffinity1x1ConvPrefersWS(t *testing.T) {
+	// ResNet block-2 expansion 1x1: C=64 -> K=256.
+	l := workload.Conv("conv2_3", 64, 256, 56, 56, 1, 1)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if edp(ws) >= edp(os) {
+		t.Errorf("1x1 conv: WS EDP %.3g >= OS EDP %.3g; 1x1 must prefer WS", edp(ws), edp(os))
+	}
+}
+
+func TestAffinityUNetSpillFavorsOS(t *testing.T) {
+	l := workload.Conv("unet_enc", 64, 64, 514, 514, 3, 1)
+	ws := Analyze(l, nvd(), dc(), par())
+	os := Analyze(l, shi(), dc(), par())
+	if ws.ExtraDRAMBytes <= 2*os.ExtraDRAMBytes {
+		t.Errorf("unet: WS spill %d not >> OS spill %d", ws.ExtraDRAMBytes, os.ExtraDRAMBytes)
+	}
+}
+
+func TestAffinityEdgeChipletStillDirectional(t *testing.T) {
+	// The AR/VR 256-PE chiplets must keep the same directional
+	// affinities. Streaming speech transformers (Emformer) process
+	// short chunks, so the GEMM M dimension is small; the OS array
+	// cannot fill its pixel dimension.
+	edge := DefaultEdgeChiplet()
+	g := workload.GEMM("attn", 16, 512, 512)
+	if wsr, osr := Analyze(g, nvd(), edge, par()), Analyze(g, shi(), edge, par()); edp(osr) <= edp(wsr) {
+		t.Errorf("edge GEMM: OS EDP %.3g <= WS EDP %.3g", edp(osr), edp(wsr))
+	}
+	c := workload.Conv("early", 3, 32, 130, 130, 3, 2)
+	if wsr, osr := Analyze(c, nvd(), edge, par()), Analyze(c, shi(), edge, par()); edp(wsr) <= edp(osr) {
+		t.Errorf("edge early conv: WS EDP %.3g <= OS EDP %.3g", edp(wsr), edp(osr))
+	}
+}

@@ -1,0 +1,111 @@
+// Package maestro is an analytical intra-chiplet cost model for DNN layers
+// on spatial accelerators, in the spirit of the MAESTRO tool the SCAR paper
+// builds on (Kwon et al., MICRO 2019). Given a layer, a dataflow and a
+// chiplet specification it derives:
+//
+//   - the spatial utilization of the PE array, including the quantization
+//     waste of mapping loop dimensions onto a fixed-size array;
+//   - per-tensor data-movement traffic between the chiplet-shared L2 and
+//     the PE array, from dataflow-specific reuse factors (weight
+//     stationarity, sliding-window input reuse, in-place psum
+//     accumulation);
+//   - capacity-induced DRAM refetch when a layer's working set exceeds L2;
+//   - a latency roofline over compute and on-chip bandwidth, and the
+//     chiplet-local energy (MAC + register file + L2).
+//
+// Inter-chiplet and off-chip transfer costs are *not* modeled here; they
+// belong to internal/comm and are composed by the schedule evaluator,
+// matching the paper's split between Lat_comp and Lat_{ip,op}_com.
+package maestro
+
+// Params collects the calibration constants of the cost model. Defaults
+// approximate 28 nm silicon, consistent with Table II of the paper (which
+// scales all MCM parameters to 28 nm). They are deliberately centralized:
+// the calibration tests in calibration_test.go assert the *directional*
+// layer-dataflow affinities the paper reports, and any retuning happens
+// here only.
+type Params struct {
+	// MACEnergyPJ is the energy of one 16-bit multiply-accumulate.
+	MACEnergyPJ float64
+	// LightOpEnergyPJ is the energy of one weight-free element op
+	// (pooling compare, residual add).
+	LightOpEnergyPJ float64
+	// L1EnergyPJPerByte is the PE-local register-file/FIFO access
+	// energy.
+	L1EnergyPJPerByte float64
+	// L2EnergyPJPerByte is the chiplet-shared SRAM access energy.
+	L2EnergyPJPerByte float64
+	// L1AccessesPerMAC is the average operand+psum register-file traffic
+	// per MAC, in bytes.
+	L1BytesPerMAC float64
+	// RampUpCycles is a fixed per-layer pipeline fill/drain and
+	// configuration overhead.
+	RampUpCycles float64
+	// ResidentFrac is the fraction of L2 usable for a resident working
+	// set before capacity refetch kicks in.
+	ResidentFrac float64
+	// OSMapReuseDepth is the number of consecutive output-map tiles an
+	// output-stationary array can serve from double-buffered input
+	// FIFOs before re-streaming inputs from L2. It captures the partial
+	// input temporal reuse of ShiDianNao-like arrays across map sweeps.
+	OSMapReuseDepth int
+	// WSKRefetchCap bounds how many K-tile passes re-read the input in
+	// a weight-stationary array. NVDLA-style designs keep the input
+	// tile resident in a dedicated convolution buffer, so deep K tiling
+	// does not multiply input traffic without bound.
+	WSKRefetchCap int
+}
+
+// DefaultParams returns the calibrated constants used throughout the
+// reproduction.
+func DefaultParams() Params {
+	return Params{
+		MACEnergyPJ:       0.5,
+		LightOpEnergyPJ:   0.1,
+		L1EnergyPJPerByte: 0.06,
+		L2EnergyPJPerByte: 1.2,
+		L1BytesPerMAC:     4.0,
+		RampUpCycles:      1000,
+		ResidentFrac:      0.9,
+		OSMapReuseDepth:   4,
+		WSKRefetchCap:     8,
+	}
+}
+
+// Chiplet is the hardware specification the cost model needs: Definition 2
+// of the paper minus the dataflow (passed separately so one chiplet class
+// can be probed under several dataflows).
+type Chiplet struct {
+	// NumPEs is the processing-element count of the array.
+	NumPEs int
+	// L2Bytes is the chiplet-shared scratchpad capacity.
+	L2Bytes int64
+	// NoCBandwidth is the L2<->array on-chip bandwidth in bytes/second
+	// (BW_noc in Definition 2).
+	NoCBandwidth float64
+	// ClockHz is the accelerator clock. The paper reports latencies at
+	// 500 MHz.
+	ClockHz float64
+}
+
+// DefaultDatacenterChiplet mirrors the paper's datacenter configuration:
+// 4096 PEs and 10 MB L2 per chiplet (Section V-A).
+func DefaultDatacenterChiplet() Chiplet {
+	return Chiplet{
+		NumPEs:       4096,
+		L2Bytes:      10 << 20,
+		NoCBandwidth: 256e9,
+		ClockHz:      500e6,
+	}
+}
+
+// DefaultEdgeChiplet mirrors the paper's AR/VR configuration: 256 PEs and
+// 10 MB L2 per chiplet.
+func DefaultEdgeChiplet() Chiplet {
+	return Chiplet{
+		NumPEs:       256,
+		L2Bytes:      10 << 20,
+		NoCBandwidth: 64e9,
+		ClockHz:      500e6,
+	}
+}

@@ -1,0 +1,173 @@
+// Package mcm models the multi-chip-module AI accelerator hardware of the
+// SCAR paper: a package of accelerator chiplets (Definition 2) connected
+// by a network-on-package (Definition 3), with off-chip DRAM interfaces on
+// the left and right package sides as in Simba.
+//
+// The package provides the chiplet organizations evaluated in Figure 6 of
+// the paper (Simba, Het-CB, Het-Sides, Simba-6, Het-Cross and the
+// triangular-NoP variants) and the routing/hop-count queries the
+// communication model needs. SCAR itself only consumes the adjacency
+// structure, which is what lets it generalize across NoP topologies
+// (Section V-E).
+package mcm
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+)
+
+// Topology enumerates the NoP interconnect shapes.
+type Topology int
+
+const (
+	// Mesh2D is the Simba-style 2-D mesh with XY routing.
+	Mesh2D Topology = iota
+	// Triangular is the mesh augmented with one diagonal link per cell,
+	// the triangular NoP of the paper's topology ablation.
+	Triangular
+	// Custom uses a user-supplied link list — the paper notes SCAR
+	// generalizes to any NoP because it only consumes adjacency
+	// (Section V-E).
+	Custom
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Mesh2D:
+		return "mesh2d"
+	case Triangular:
+		return "triangular"
+	case Custom:
+		return "custom"
+	default:
+		return fmt.Sprintf("topology(%d)", int(t))
+	}
+}
+
+// Chiplet is one accelerator die on the package: Definition 2 of the
+// paper, plus its package position and off-chip interface flag.
+type Chiplet struct {
+	// ID indexes the chiplet within the MCM (row-major).
+	ID int
+	// X, Y are the package grid coordinates (X = column, Y = row).
+	X, Y int
+	// Dataflow is the fixed dataflow of this chiplet's array.
+	Dataflow dataflow.Dataflow
+	// Spec carries the PE count, L2 size, on-chip bandwidth and clock.
+	Spec maestro.Chiplet
+	// HasMemIF marks chiplets with a direct off-chip memory interface
+	// (left and right package columns, as in the paper).
+	HasMemIF bool
+}
+
+// MCM is the package-level accelerator: Definition 3 of the paper.
+type MCM struct {
+	// Name identifies the organization (e.g. "het-sides-3x3").
+	Name string
+	// Width, Height are the package grid dimensions.
+	Width, Height int
+	// Chiplets holds all dies, indexed by ID (row-major).
+	Chiplets []Chiplet
+	// Topology selects the NoP interconnect shape.
+	Topology Topology
+	// NoPBandwidth is the per-chiplet network-on-package bandwidth in
+	// bytes/second (Table II: 100 GB/s/chiplet).
+	NoPBandwidth float64
+	// NoPHopLatency is the per-hop propagation latency in seconds
+	// (Table II: 35 ns/hop).
+	NoPHopLatency float64
+	// NoPEnergyPerByte is the NoP transmission energy in pJ/byte
+	// (Table II: 2.04 pJ/bit = 16.32 pJ/byte).
+	NoPEnergyPerByte float64
+	// OffchipBandwidth is the DRAM bandwidth in bytes/second (Table II:
+	// 64 GB/s).
+	OffchipBandwidth float64
+	// OffchipLatency is the DRAM access latency in seconds (Table II:
+	// 200 ns).
+	OffchipLatency float64
+	// OffchipEnergyPerByte is the DRAM access energy in pJ/byte
+	// (Table II: 14.8 pJ/bit = 118.4 pJ/byte).
+	OffchipEnergyPerByte float64
+
+	adj   [][]int  // adjacency lists by chiplet ID
+	hops  [][]int  // all-pairs hop counts
+	links [][2]int // Custom topology: explicit undirected link list
+}
+
+// TableIIDefaults returns an MCM shell populated with the Table II
+// microarchitecture constants (28 nm scaled, from Simba).
+func TableIIDefaults() MCM {
+	return MCM{
+		NoPBandwidth:         100e9,
+		NoPHopLatency:        35e-9,
+		NoPEnergyPerByte:     2.04 * 8,
+		OffchipBandwidth:     64e9,
+		OffchipLatency:       200e-9,
+		OffchipEnergyPerByte: 14.8 * 8,
+	}
+}
+
+// NumChiplets returns |C|.
+func (m *MCM) NumChiplets() int { return len(m.Chiplets) }
+
+// ChipletAt returns the chiplet at grid position (x, y).
+func (m *MCM) ChipletAt(x, y int) (*Chiplet, error) {
+	if x < 0 || x >= m.Width || y < 0 || y >= m.Height {
+		return nil, fmt.Errorf("mcm: position (%d,%d) outside %dx%d package", x, y, m.Width, m.Height)
+	}
+	return &m.Chiplets[y*m.Width+x], nil
+}
+
+// DataflowCounts returns n_{df_i}: how many chiplets adopt each dataflow,
+// keyed by dataflow name.
+func (m *MCM) DataflowCounts() map[string]int {
+	counts := map[string]int{}
+	for _, c := range m.Chiplets {
+		counts[c.Dataflow.Name]++
+	}
+	return counts
+}
+
+// Dataflows returns the distinct dataflows present on the package, in
+// first-appearance order.
+func (m *MCM) Dataflows() []dataflow.Dataflow {
+	var out []dataflow.Dataflow
+	seen := map[string]bool{}
+	for _, c := range m.Chiplets {
+		if !seen[c.Dataflow.Name] {
+			seen[c.Dataflow.Name] = true
+			out = append(out, c.Dataflow)
+		}
+	}
+	return out
+}
+
+// IsHeterogeneous reports whether more than one dataflow is integrated.
+func (m *MCM) IsHeterogeneous() bool { return len(m.Dataflows()) > 1 }
+
+// Validate checks structural consistency.
+func (m *MCM) Validate() error {
+	if m.Width < 1 || m.Height < 1 {
+		return fmt.Errorf("mcm: %q has degenerate dimensions %dx%d", m.Name, m.Width, m.Height)
+	}
+	if len(m.Chiplets) != m.Width*m.Height {
+		return fmt.Errorf("mcm: %q has %d chiplets for a %dx%d grid", m.Name, len(m.Chiplets), m.Width, m.Height)
+	}
+	memIF := false
+	for i, c := range m.Chiplets {
+		if c.ID != i {
+			return fmt.Errorf("mcm: %q chiplet %d has ID %d", m.Name, i, c.ID)
+		}
+		if c.Spec.NumPEs < 1 || c.Spec.ClockHz <= 0 {
+			return fmt.Errorf("mcm: %q chiplet %d has invalid spec", m.Name, i)
+		}
+		memIF = memIF || c.HasMemIF
+	}
+	if !memIF {
+		return fmt.Errorf("mcm: %q has no off-chip memory interface", m.Name)
+	}
+	return nil
+}

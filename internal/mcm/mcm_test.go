@@ -1,0 +1,379 @@
+package mcm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+)
+
+func spec() maestro.Chiplet { return maestro.DefaultDatacenterChiplet() }
+
+func TestSimbaHomogeneous(t *testing.T) {
+	m := Simba(3, 3, dataflow.NVDLA(), spec())
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if m.IsHeterogeneous() {
+		t.Error("Simba reported heterogeneous")
+	}
+	counts := m.DataflowCounts()
+	if counts["nvdla"] != 9 {
+		t.Errorf("nvdla count = %d, want 9", counts["nvdla"])
+	}
+}
+
+func TestHetCBBalance(t *testing.T) {
+	m := HetCB(3, 3, spec())
+	counts := m.DataflowCounts()
+	if counts["nvdla"] != 5 || counts["shi"] != 4 {
+		t.Errorf("checkerboard counts = %v, want nvdla:5 shi:4", counts)
+	}
+	if !m.IsHeterogeneous() {
+		t.Error("Het-CB not heterogeneous")
+	}
+	// Checkerboard: no two adjacent chiplets share a dataflow.
+	for _, c := range m.Chiplets {
+		for _, nb := range m.Neighbors(c.ID) {
+			if m.Chiplets[nb].Dataflow.Equal(c.Dataflow) {
+				t.Fatalf("chiplets %d and %d adjacent with same dataflow", c.ID, nb)
+			}
+		}
+	}
+}
+
+func TestHetSidesColumns(t *testing.T) {
+	m := HetSides(3, 3, spec())
+	// Columns 0 and 2 NVDLA (memory sides), column 1 ShiDianNao.
+	for _, c := range m.Chiplets {
+		want := "nvdla"
+		if c.X == 1 {
+			want = "shi"
+		}
+		if c.Dataflow.Name != want {
+			t.Errorf("chiplet (%d,%d) dataflow = %s, want %s", c.X, c.Y, c.Dataflow.Name, want)
+		}
+	}
+	// Homogeneous pipelining must exist: some adjacent pair shares a
+	// dataflow (within a column).
+	found := false
+	for _, c := range m.Chiplets {
+		for _, nb := range m.Neighbors(c.ID) {
+			if m.Chiplets[nb].Dataflow.Equal(c.Dataflow) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("Het-Sides offers no homogeneous pipelining path")
+	}
+}
+
+func TestHetCrossShape(t *testing.T) {
+	m := HetCross(spec())
+	if m.Width != 6 || m.Height != 6 {
+		t.Fatalf("Het-Cross dims = %dx%d", m.Width, m.Height)
+	}
+	center, err := m.ChipletAt(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if center.Dataflow.Name != "shi" {
+		t.Errorf("cross center dataflow = %s, want shi", center.Dataflow.Name)
+	}
+	corner, err := m.ChipletAt(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corner.Dataflow.Name != "nvdla" {
+		t.Errorf("cross corner dataflow = %s, want nvdla", corner.Dataflow.Name)
+	}
+	if !m.IsHeterogeneous() {
+		t.Error("Het-Cross not heterogeneous")
+	}
+}
+
+func TestMotivational2x2(t *testing.T) {
+	m := Motivational2x2(spec())
+	counts := m.DataflowCounts()
+	if counts["nvdla"] != 3 || counts["shi"] != 1 {
+		t.Errorf("2x2 counts = %v, want nvdla:3 shi:1", counts)
+	}
+}
+
+func TestMeshHopsAreManhattan(t *testing.T) {
+	m := Simba(3, 3, dataflow.NVDLA(), spec())
+	abs := func(a int) int {
+		if a < 0 {
+			return -a
+		}
+		return a
+	}
+	for _, a := range m.Chiplets {
+		for _, b := range m.Chiplets {
+			want := abs(a.X-b.X) + abs(a.Y-b.Y)
+			if got := m.Hops(a.ID, b.ID); got != want {
+				t.Fatalf("Hops(%d,%d) = %d, want Manhattan %d", a.ID, b.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestTriangularShortensDiagonals(t *testing.T) {
+	mesh := Simba(3, 3, dataflow.NVDLA(), spec())
+	tri := SimbaT(3, 3, dataflow.NVDLA(), spec())
+	// Corner to corner along the added diagonal: 4 hops on the mesh,
+	// 2 on the triangular NoP.
+	if got := mesh.Hops(0, 8); got != 4 {
+		t.Errorf("mesh corner hops = %d, want 4", got)
+	}
+	if got := tri.Hops(0, 8); got != 2 {
+		t.Errorf("triangular corner hops = %d, want 2", got)
+	}
+	// Triangular never increases distance.
+	for i := 0; i < 9; i++ {
+		for j := 0; j < 9; j++ {
+			if tri.Hops(i, j) > mesh.Hops(i, j) {
+				t.Fatalf("triangular increased hops(%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMemIFOnSides(t *testing.T) {
+	m := Simba(3, 3, dataflow.NVDLA(), spec())
+	for _, c := range m.Chiplets {
+		wantIF := c.X == 0 || c.X == 2
+		if c.HasMemIF != wantIF {
+			t.Errorf("chiplet (%d,%d) HasMemIF = %v, want %v", c.X, c.Y, c.HasMemIF, wantIF)
+		}
+	}
+	// Center chiplet (1,1) is 1 hop from a memory interface.
+	center, _ := m.ChipletAt(1, 1)
+	if got := m.NearestMemIFHops(center.ID); got != 1 {
+		t.Errorf("center NearestMemIFHops = %d, want 1", got)
+	}
+	side, _ := m.ChipletAt(0, 1)
+	if got := m.NearestMemIFHops(side.ID); got != 0 {
+		t.Errorf("side NearestMemIFHops = %d, want 0", got)
+	}
+}
+
+func TestTableIIConstants(t *testing.T) {
+	m := TableIIDefaults()
+	if m.NoPBandwidth != 100e9 {
+		t.Errorf("NoP bandwidth = %v, want 100 GB/s", m.NoPBandwidth)
+	}
+	if m.NoPHopLatency != 35e-9 {
+		t.Errorf("NoP hop latency = %v, want 35 ns", m.NoPHopLatency)
+	}
+	if m.OffchipBandwidth != 64e9 {
+		t.Errorf("DRAM bandwidth = %v, want 64 GB/s", m.OffchipBandwidth)
+	}
+	if m.OffchipLatency != 200e-9 {
+		t.Errorf("DRAM latency = %v, want 200 ns", m.OffchipLatency)
+	}
+	if m.OffchipEnergyPerByte != 14.8*8 {
+		t.Errorf("DRAM energy = %v pJ/B, want %v", m.OffchipEnergyPerByte, 14.8*8)
+	}
+	if m.NoPEnergyPerByte != 2.04*8 {
+		t.Errorf("NoP energy = %v pJ/B, want %v", m.NoPEnergyPerByte, 2.04*8)
+	}
+}
+
+func TestByNameCoversAllPatterns(t *testing.T) {
+	for _, name := range PatternNames() {
+		m, err := ByName(name, 3, 3, spec())
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%q invalid: %v", name, err)
+		}
+	}
+	if _, err := ByName("nope", 3, 3, spec()); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestAdjacencyMatrixSymmetric(t *testing.T) {
+	for _, topo := range []string{"simba-nvd", "het-t"} {
+		m, err := ByName(topo, 3, 3, spec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat := m.AdjacencyMatrix()
+		for i := range mat {
+			if mat[i][i] {
+				t.Errorf("%s: self-loop at %d", topo, i)
+			}
+			for j := range mat {
+				if mat[i][j] != mat[j][i] {
+					t.Errorf("%s: asymmetric adjacency %d-%d", topo, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := Simba(2, 2, dataflow.NVDLA(), spec())
+	m.Chiplets[1].ID = 7
+	if err := m.Validate(); err == nil {
+		t.Error("corrupted IDs accepted")
+	}
+	m2 := Simba(2, 2, dataflow.NVDLA(), spec())
+	for i := range m2.Chiplets {
+		m2.Chiplets[i].HasMemIF = false
+	}
+	if err := m2.Validate(); err == nil {
+		t.Error("MCM without memory interface accepted")
+	}
+}
+
+// Property: hop counts form a metric (symmetry + triangle inequality) on
+// both topologies and all grid sizes.
+func TestQuickHopsMetric(t *testing.T) {
+	f := func(w4, h4, topo1 uint8) bool {
+		w := int(w4%5) + 2
+		h := int(h4%5) + 2
+		topo := Mesh2D
+		if topo1%2 == 1 {
+			topo = Triangular
+		}
+		var m *MCM
+		if topo == Mesh2D {
+			m = Simba(w, h, dataflow.NVDLA(), spec())
+		} else {
+			m = SimbaT(w, h, dataflow.NVDLA(), spec())
+		}
+		n := m.NumChiplets()
+		for i := 0; i < n; i++ {
+			if m.Hops(i, i) != 0 {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if m.Hops(i, j) != m.Hops(j, i) {
+					return false
+				}
+				for k := 0; k < n; k++ {
+					if m.Hops(i, k) > m.Hops(i, j)+m.Hops(j, k) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRouteXYDeterministic(t *testing.T) {
+	m := Simba(3, 3, dataflow.NVDLA(), spec())
+	// 0 (0,0) -> 8 (2,2): X first (0->1->2), then Y (2->5->8).
+	want := []int{0, 1, 2, 5, 8}
+	got := m.Route(0, 8)
+	if len(got) != len(want) {
+		t.Fatalf("route = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("route = %v, want %v", got, want)
+		}
+	}
+	if r := m.Route(4, 4); len(r) != 1 || r[0] != 4 {
+		t.Errorf("self route = %v", r)
+	}
+}
+
+func TestRouteLengthMatchesHops(t *testing.T) {
+	for _, m := range []*MCM{
+		Simba(4, 3, dataflow.NVDLA(), spec()),
+		SimbaT(3, 3, dataflow.NVDLA(), spec()),
+	} {
+		n := m.NumChiplets()
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				path := m.Route(src, dst)
+				if len(path)-1 != m.Hops(src, dst) {
+					t.Fatalf("%s: route %d->%d has %d links, hops say %d",
+						m.Name, src, dst, len(path)-1, m.Hops(src, dst))
+				}
+				// Consecutive route entries must be adjacent.
+				for i := 1; i < len(path); i++ {
+					if m.Hops(path[i-1], path[i]) != 1 {
+						t.Fatalf("%s: route %v has non-adjacent step", m.Name, path)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRouteLinks(t *testing.T) {
+	m := Simba(3, 3, dataflow.NVDLA(), spec())
+	links := m.RouteLinks(0, 2)
+	if len(links) != 2 {
+		t.Fatalf("links = %v", links)
+	}
+	if links[0] != (Link{From: 0, To: 1}) || links[1] != (Link{From: 1, To: 2}) {
+		t.Errorf("links = %v", links)
+	}
+	if got := m.RouteLinks(5, 5); len(got) != 0 {
+		t.Errorf("self links = %v", got)
+	}
+}
+
+func TestNewCustomRing(t *testing.T) {
+	// A 4-chiplet ring (1x4 grid, wrap-around link): not expressible as
+	// a mesh pattern.
+	dfs := []dataflow.Dataflow{
+		dataflow.NVDLA(), dataflow.ShiDianNao(), dataflow.NVDLA(), dataflow.ShiDianNao(),
+	}
+	links := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}}
+	m, err := NewCustom("ring-4", 4, 1, dfs, links, []int{0, 2}, spec())
+	if err != nil {
+		t.Fatalf("NewCustom: %v", err)
+	}
+	if m.Topology != Custom {
+		t.Errorf("topology = %v", m.Topology)
+	}
+	// Ring distance: 0 -> 3 is one hop via the wrap link.
+	if got := m.Hops(0, 3); got != 1 {
+		t.Errorf("Hops(0,3) = %d, want 1 (wrap link)", got)
+	}
+	if got := m.Hops(0, 2); got != 2 {
+		t.Errorf("Hops(0,2) = %d, want 2", got)
+	}
+	// Routing works and respects the links.
+	path := m.Route(1, 3)
+	if len(path) != 3 {
+		t.Errorf("route = %v", path)
+	}
+	if got := m.NearestMemIFHops(1); got != 1 {
+		t.Errorf("NearestMemIFHops(1) = %d, want 1", got)
+	}
+}
+
+func TestNewCustomValidation(t *testing.T) {
+	dfs := []dataflow.Dataflow{dataflow.NVDLA(), dataflow.NVDLA()}
+	if _, err := NewCustom("bad", 2, 1, dfs[:1], nil, []int{0}, spec()); err == nil {
+		t.Error("wrong dataflow count accepted")
+	}
+	if _, err := NewCustom("bad", 2, 1, dfs, [][2]int{{0, 5}}, []int{0}, spec()); err == nil {
+		t.Error("out-of-range link accepted")
+	}
+	if _, err := NewCustom("bad", 2, 1, dfs, [][2]int{{0, 0}}, []int{0}, spec()); err == nil {
+		t.Error("self-link accepted")
+	}
+	if _, err := NewCustom("bad", 2, 1, dfs, nil, []int{0}, spec()); err == nil {
+		t.Error("disconnected package accepted")
+	}
+	if _, err := NewCustom("bad", 2, 1, dfs, [][2]int{{0, 1}}, []int{7}, spec()); err == nil {
+		t.Error("out-of-range memory interface accepted")
+	}
+}

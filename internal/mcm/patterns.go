@@ -1,0 +1,220 @@
+package mcm
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+)
+
+// This file builds the MCM chiplet organizations of Figure 6. Each builder
+// takes the chiplet hardware spec so the same patterns serve the
+// datacenter (4096 PEs) and AR/VR (256 PEs) settings.
+//
+// Pattern conventions (x = column, y = row):
+//
+//	Simba (df):  homogeneous, every chiplet runs df.
+//	Het-CB:      checkerboard; (x+y) even -> NVDLA, odd -> ShiDianNao.
+//	Het-Sides:   whole columns alternate dataflow (NVDLA on the outer,
+//	             memory-side columns); provides both homogeneous
+//	             (within a column) and heterogeneous (across columns)
+//	             pipelining paths.
+//	Het-Cross:   6x6 only; the two center rows and columns form a
+//	             ShiDianNao cross, the corners are NVDLA.
+//	*-T:         same assignment rules on the triangular NoP.
+//
+// All patterns put off-chip memory interfaces on the left and right
+// package columns, following Section V-A.
+
+// assignFn decides the dataflow of the chiplet at (x, y).
+type assignFn func(x, y, w, h int) dataflow.Dataflow
+
+func build(name string, w, h int, topo Topology, spec maestro.Chiplet, assign assignFn) *MCM {
+	m := TableIIDefaults()
+	m.Name = name
+	m.Width, m.Height = w, h
+	m.Topology = topo
+	m.Chiplets = make([]Chiplet, 0, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			m.Chiplets = append(m.Chiplets, Chiplet{
+				ID:       y*w + x,
+				X:        x,
+				Y:        y,
+				Dataflow: assign(x, y, w, h),
+				Spec:     spec,
+				HasMemIF: x == 0 || x == w-1,
+			})
+		}
+	}
+	m.buildNetwork()
+	return &m
+}
+
+// Simba builds a homogeneous w x h package running df on every chiplet
+// (the paper's Simba (Shi) / Simba (NVD) baselines; 6x6 is Simba-6).
+func Simba(w, h int, df dataflow.Dataflow, spec maestro.Chiplet) *MCM {
+	name := fmt.Sprintf("simba-%dx%d-%s", w, h, df.Name)
+	return build(name, w, h, Mesh2D, spec, func(x, y, _, _ int) dataflow.Dataflow { return df })
+}
+
+// HetCB builds the checkerboard heterogeneous pattern.
+func HetCB(w, h int, spec maestro.Chiplet) *MCM {
+	name := fmt.Sprintf("het-cb-%dx%d", w, h)
+	return build(name, w, h, Mesh2D, spec, checkerboard)
+}
+
+// HetSides builds the column-striped heterogeneous pattern (NVDLA on the
+// memory-side outer columns, ShiDianNao between).
+func HetSides(w, h int, spec maestro.Chiplet) *MCM {
+	name := fmt.Sprintf("het-sides-%dx%d", w, h)
+	return build(name, w, h, Mesh2D, spec, sides)
+}
+
+// HetCross builds the 6x6 cross pattern used in the scaling experiment:
+// ShiDianNao on the center rows/columns, NVDLA elsewhere.
+func HetCross(spec maestro.Chiplet) *MCM {
+	return build("het-cross-6x6", 6, 6, Mesh2D, spec, cross)
+}
+
+// SimbaT builds the homogeneous pattern on the triangular NoP.
+func SimbaT(w, h int, df dataflow.Dataflow, spec maestro.Chiplet) *MCM {
+	name := fmt.Sprintf("simba-t-%dx%d-%s", w, h, df.Name)
+	return build(name, w, h, Triangular, spec, func(x, y, _, _ int) dataflow.Dataflow { return df })
+}
+
+// HetT builds the checkerboard heterogeneous pattern on the triangular
+// NoP (Het-T in Figure 6).
+func HetT(w, h int, spec maestro.Chiplet) *MCM {
+	name := fmt.Sprintf("het-t-%dx%d", w, h)
+	return build(name, w, h, Triangular, spec, checkerboard)
+}
+
+// Motivational2x2 builds the Figure 2 study package: three NVDLA-like
+// chiplets and one ShiDianNao-like chiplet on a 2x2 mesh.
+func Motivational2x2(spec maestro.Chiplet) *MCM {
+	return build("motivational-2x2", 2, 2, Mesh2D, spec, func(x, y, _, _ int) dataflow.Dataflow {
+		if x == 1 && y == 1 {
+			return dataflow.ShiDianNao()
+		}
+		return dataflow.NVDLA()
+	})
+}
+
+func checkerboard(x, y, _, _ int) dataflow.Dataflow {
+	if (x+y)%2 == 0 {
+		return dataflow.NVDLA()
+	}
+	return dataflow.ShiDianNao()
+}
+
+func sides(x, _, w, _ int) dataflow.Dataflow {
+	// Columns alternate from the outside in; the off-chip columns (0 and
+	// w-1) are NVDLA, their inner neighbors ShiDianNao, and so on.
+	d := x
+	if w-1-x < d {
+		d = w - 1 - x
+	}
+	if d%2 == 0 {
+		return dataflow.NVDLA()
+	}
+	return dataflow.ShiDianNao()
+}
+
+func cross(x, y, w, h int) dataflow.Dataflow {
+	inBandX := x == w/2-1 || x == w/2
+	inBandY := y == h/2-1 || y == h/2
+	if inBandX || inBandY {
+		return dataflow.ShiDianNao()
+	}
+	return dataflow.NVDLA()
+}
+
+// ByName resolves a pattern name to a builder, covering every
+// organization of Figure 6. Recognized names: simba-shi, simba-nvd,
+// het-cb, het-sides, simba-t-shi, simba-t-nvd, het-t, het-cross,
+// motivational-2x2.
+func ByName(name string, w, h int, spec maestro.Chiplet) (*MCM, error) {
+	switch name {
+	case "simba-shi":
+		return Simba(w, h, dataflow.ShiDianNao(), spec), nil
+	case "simba-nvd":
+		return Simba(w, h, dataflow.NVDLA(), spec), nil
+	case "het-cb":
+		return HetCB(w, h, spec), nil
+	case "het-sides":
+		return HetSides(w, h, spec), nil
+	case "simba-t-shi":
+		return SimbaT(w, h, dataflow.ShiDianNao(), spec), nil
+	case "simba-t-nvd":
+		return SimbaT(w, h, dataflow.NVDLA(), spec), nil
+	case "het-t":
+		return HetT(w, h, spec), nil
+	case "het-cross":
+		return HetCross(spec), nil
+	case "motivational-2x2":
+		return Motivational2x2(spec), nil
+	default:
+		return nil, fmt.Errorf("mcm: unknown pattern %q", name)
+	}
+}
+
+// NewCustom builds an MCM with an arbitrary NoP: the chiplet grid gives
+// positions and dataflows (row-major, length w*h), links is the explicit
+// undirected link list, and memIF marks the chiplets with off-chip
+// interfaces. The paper's Section V-E observation — SCAR consumes only
+// adjacency — is what makes this work with the unchanged scheduler.
+func NewCustom(name string, w, h int, dataflows []dataflow.Dataflow, links [][2]int, memIF []int, spec maestro.Chiplet) (*MCM, error) {
+	if len(dataflows) != w*h {
+		return nil, fmt.Errorf("mcm: %d dataflows for a %dx%d grid", len(dataflows), w, h)
+	}
+	m := TableIIDefaults()
+	m.Name = name
+	m.Width, m.Height = w, h
+	m.Topology = Custom
+	isIF := map[int]bool{}
+	for _, id := range memIF {
+		if id < 0 || id >= w*h {
+			return nil, fmt.Errorf("mcm: memory interface %d outside the %d-chiplet package", id, w*h)
+		}
+		isIF[id] = true
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := y*w + x
+			m.Chiplets = append(m.Chiplets, Chiplet{
+				ID: id, X: x, Y: y,
+				Dataflow: dataflows[id],
+				Spec:     spec,
+				HasMemIF: isIF[id],
+			})
+		}
+	}
+	for _, l := range links {
+		if l[0] < 0 || l[0] >= w*h || l[1] < 0 || l[1] >= w*h || l[0] == l[1] {
+			return nil, fmt.Errorf("mcm: invalid link %v", l)
+		}
+	}
+	m.links = links
+	m.buildNetwork()
+	// Every chiplet must be reachable: disconnected packages cannot
+	// schedule pipelines.
+	for i := range m.Chiplets {
+		if m.Hops(0, i) < 0 {
+			return nil, fmt.Errorf("mcm: chiplet %d unreachable in custom topology", i)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// PatternNames lists the recognized pattern names in a stable order.
+func PatternNames() []string {
+	return []string{
+		"simba-shi", "simba-nvd", "het-cb", "het-sides",
+		"simba-t-shi", "simba-t-nvd", "het-t", "het-cross",
+		"motivational-2x2",
+	}
+}

@@ -1,0 +1,216 @@
+package mcm
+
+// buildNetwork computes adjacency lists and all-pairs hop counts. The
+// paper uses XY routing on the 2-D mesh; on a mesh, XY routing yields
+// Manhattan-distance hop counts, which equal the BFS shortest path, so a
+// single BFS implementation serves the mesh, triangular and custom
+// topologies alike (the scheduler "relies on adjacency matrix
+// connectivity", Section V-E).
+func (m *MCM) buildNetwork() {
+	n := len(m.Chiplets)
+	m.adj = make([][]int, n)
+	if m.Topology == Custom {
+		for _, l := range m.links {
+			m.adj[l[0]] = append(m.adj[l[0]], l[1])
+			m.adj[l[1]] = append(m.adj[l[1]], l[0])
+		}
+		m.hops = make([][]int, n)
+		for src := 0; src < n; src++ {
+			m.hops[src] = bfs(m.adj, src)
+		}
+		return
+	}
+	id := func(x, y int) int { return y*m.Width + x }
+	for y := 0; y < m.Height; y++ {
+		for x := 0; x < m.Width; x++ {
+			c := id(x, y)
+			if x > 0 {
+				m.adj[c] = append(m.adj[c], id(x-1, y))
+			}
+			if x < m.Width-1 {
+				m.adj[c] = append(m.adj[c], id(x+1, y))
+			}
+			if y > 0 {
+				m.adj[c] = append(m.adj[c], id(x, y-1))
+			}
+			if y < m.Height-1 {
+				m.adj[c] = append(m.adj[c], id(x, y+1))
+			}
+			if m.Topology == Triangular {
+				// One diagonal per cell: (x,y) <-> (x+1,y+1).
+				if x < m.Width-1 && y < m.Height-1 {
+					m.adj[c] = append(m.adj[c], id(x+1, y+1))
+				}
+				if x > 0 && y > 0 {
+					m.adj[c] = append(m.adj[c], id(x-1, y-1))
+				}
+			}
+		}
+	}
+	m.hops = make([][]int, n)
+	for src := 0; src < n; src++ {
+		m.hops[src] = bfs(m.adj, src)
+	}
+}
+
+func bfs(adj [][]int, src int) []int {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[cur] {
+			if dist[next] < 0 {
+				dist[next] = dist[cur] + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return dist
+}
+
+// Neighbors returns the chiplet IDs directly connected to id through the
+// interposer.
+func (m *MCM) Neighbors(id int) []int {
+	if m.adj == nil {
+		m.buildNetwork()
+	}
+	return m.adj[id]
+}
+
+// Hops returns n_hops between two chiplets (0 for the same chiplet).
+func (m *MCM) Hops(src, dst int) int {
+	if m.hops == nil {
+		m.buildNetwork()
+	}
+	return m.hops[src][dst]
+}
+
+// NearestMemIFHops returns the hop count from a chiplet to its nearest
+// off-chip memory interface (0 if the chiplet has one itself).
+func (m *MCM) NearestMemIFHops(id int) int {
+	if m.hops == nil {
+		m.buildNetwork()
+	}
+	best := -1
+	for _, c := range m.Chiplets {
+		if !c.HasMemIF {
+			continue
+		}
+		if h := m.hops[id][c.ID]; best < 0 || h < best {
+			best = h
+		}
+	}
+	if best < 0 {
+		// No memory interface: treat as one package crossing.
+		return m.Width
+	}
+	return best
+}
+
+// Route returns the chiplet sequence a transfer follows from src to dst,
+// inclusive of both endpoints. On the 2-D mesh this is deterministic XY
+// routing (X first, then Y), as in Simba; on other topologies it is a
+// BFS shortest path with lowest-ID tie-breaking.
+func (m *MCM) Route(src, dst int) []int {
+	if src == dst {
+		return []int{src}
+	}
+	if m.Topology == Mesh2D {
+		return m.routeXY(src, dst)
+	}
+	return m.routeBFS(src, dst)
+}
+
+func (m *MCM) routeXY(src, dst int) []int {
+	s, d := m.Chiplets[src], m.Chiplets[dst]
+	path := []int{src}
+	x, y := s.X, s.Y
+	for x != d.X {
+		if x < d.X {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, y*m.Width+x)
+	}
+	for y != d.Y {
+		if y < d.Y {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, y*m.Width+x)
+	}
+	return path
+}
+
+func (m *MCM) routeBFS(src, dst int) []int {
+	if m.adj == nil {
+		m.buildNetwork()
+	}
+	prev := make([]int, len(m.Chiplets))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && prev[dst] == -1 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range m.adj[cur] {
+			if prev[next] == -1 {
+				prev[next] = cur
+				queue = append(queue, next)
+			}
+		}
+	}
+	if prev[dst] == -1 {
+		return nil
+	}
+	var rev []int
+	for at := dst; at != src; at = prev[at] {
+		rev = append(rev, at)
+	}
+	rev = append(rev, src)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Link is one directed interposer link between adjacent chiplets.
+type Link struct {
+	From, To int
+}
+
+// RouteLinks returns the directed links of the Route from src to dst.
+func (m *MCM) RouteLinks(src, dst int) []Link {
+	path := m.Route(src, dst)
+	links := make([]Link, 0, len(path)-1)
+	for i := 1; i < len(path); i++ {
+		links = append(links, Link{From: path[i-1], To: path[i]})
+	}
+	return links
+}
+
+// AdjacencyMatrix returns a dense 0/1 connectivity matrix, the form the
+// scheduler's tree construction consumes.
+func (m *MCM) AdjacencyMatrix() [][]bool {
+	if m.adj == nil {
+		m.buildNetwork()
+	}
+	n := len(m.Chiplets)
+	mat := make([][]bool, n)
+	for i := range mat {
+		mat[i] = make([]bool, n)
+		for _, j := range m.adj[i] {
+			mat[i][j] = true
+		}
+	}
+	return mat
+}

@@ -1,0 +1,71 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// inceptionSpec gives the branch widths of one GoogLeNet inception module:
+// the 1x1 branch, the 3x3 reduce/expand pair, the 5x5 reduce/expand pair,
+// and the pool projection (Szegedy et al., 2015, Table 1).
+type inceptionSpec struct {
+	name                                   string
+	in                                     int
+	b1x1, red3, b3x3, red5, b5x5, poolProj int
+	spatial                                int
+}
+
+func (sp inceptionSpec) out() int { return sp.b1x1 + sp.b3x3 + sp.b5x5 + sp.poolProj }
+
+func (sp inceptionSpec) layers() []workload.Layer {
+	p := func(s string) string { return fmt.Sprintf("%s_%s", sp.name, s) }
+	return []workload.Layer{
+		conv(p("1x1"), sp.in, sp.b1x1, sp.spatial, 1, 1),
+		conv(p("3x3red"), sp.in, sp.red3, sp.spatial, 1, 1),
+		conv(p("3x3"), sp.red3, sp.b3x3, sp.spatial, 3, 1),
+		conv(p("5x5red"), sp.in, sp.red5, sp.spatial, 1, 1),
+		conv(p("5x5"), sp.red5, sp.b5x5, sp.spatial, 5, 1),
+		pool(p("pool"), sp.in, sp.spatial, 3, 1),
+		conv(p("poolproj"), sp.in, sp.poolProj, sp.spatial, 1, 1),
+	}
+}
+
+// GoogleNet builds GoogLeNet (Inception v1) for 224x224x3 inputs: the
+// convolutional stem, nine inception modules across three spatial scales,
+// and the average-pool classifier.
+func GoogleNet(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls,
+		conv("conv1", 3, 64, 112, 7, 2),
+		pool("pool1", 64, 56, 3, 2),
+		conv("conv2_red", 64, 64, 56, 1, 1),
+		conv("conv2", 64, 192, 56, 3, 1),
+		pool("pool2", 192, 28, 3, 2),
+	)
+	modules := []inceptionSpec{
+		{"inc3a", 192, 64, 96, 128, 16, 32, 32, 28},
+		{"inc3b", 256, 128, 128, 192, 32, 96, 64, 28},
+		{"inc4a", 480, 192, 96, 208, 16, 48, 64, 14},
+		{"inc4b", 512, 160, 112, 224, 24, 64, 64, 14},
+		{"inc4c", 512, 128, 128, 256, 24, 64, 64, 14},
+		{"inc4d", 512, 112, 144, 288, 32, 64, 64, 14},
+		{"inc4e", 528, 256, 160, 320, 32, 128, 128, 14},
+		{"inc5a", 832, 256, 160, 320, 32, 128, 128, 7},
+		{"inc5b", 832, 384, 192, 384, 48, 128, 128, 7},
+	}
+	for i, m := range modules {
+		if i == 2 {
+			ls = append(ls, pool("pool3", 480, 14, 3, 2))
+		}
+		if i == 7 {
+			ls = append(ls, pool("pool4", 832, 7, 3, 2))
+		}
+		ls = append(ls, m.layers()...)
+	}
+	ls = append(ls,
+		pool("avgpool", 1024, 1, 7, 7),
+		workload.GEMM("fc", 1, 1024, 1000),
+	)
+	return workload.NewModel("googlenet", batch, ls)
+}

@@ -1,0 +1,243 @@
+package models
+
+import (
+	"testing"
+
+	"example.com/scar/internal/workload"
+)
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, err := ByName(name, 2)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if m.Batch != 2 {
+			t.Errorf("%s: batch = %d, want 2", name, m.Batch)
+		}
+	}
+	if _, err := ByName("alexnet", 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestResNet50Shape(t *testing.T) {
+	m := ResNet50(1)
+	// 2 stem + 16 blocks x (3 conv + add) + 4 projections + pool + fc.
+	want := 2 + 16*4 + 4 + 2
+	if got := m.NumLayers(); got != want {
+		t.Errorf("ResNet-50 layers = %d, want %d", got, want)
+	}
+	// ~4.1 GMACs for 224x224 (with padded-input accounting slightly
+	// above the textbook 4.09G).
+	macs := m.TotalMACs()
+	if macs < 3_500_000_000 || macs > 5_000_000_000 {
+		t.Errorf("ResNet-50 MACs = %d, want ~4.1G", macs)
+	}
+	// ~25.5M params -> ~51 MB at fp16.
+	wb := m.TotalWeightBytes()
+	if wb < 40<<20 || wb > 60<<20 {
+		t.Errorf("ResNet-50 weights = %d bytes, want ~51MB", wb)
+	}
+}
+
+func TestGPTLShape(t *testing.T) {
+	m := GPTL(128, 1)
+	// GPT-2 Large: ~774M params -> ~1.55 GB at fp16 (embedding + lm
+	// head included here).
+	wb := m.TotalWeightBytes()
+	if wb < int64(1.3e9) || wb > int64(2.1e9) {
+		t.Errorf("GPT-L weights = %.2f GB, want ~1.6 GB", float64(wb)/1e9)
+	}
+	// Per-token compute ~= 2 * params; at sl=128 (ignoring the LM head
+	// and attention quadratic terms this is ~ params * 128 MACs).
+	macs := m.TotalMACs()
+	if macs < 90e9 || macs > 200e9 {
+		t.Errorf("GPT-L MACs = %.1fG, want ~100-150G", float64(macs)/1e9)
+	}
+}
+
+func TestBERTShapes(t *testing.T) {
+	l := BERTLarge(128, 1)
+	b := BERTBase(128, 1)
+	if l.TotalWeightBytes() <= b.TotalWeightBytes() {
+		t.Error("BERT-L not larger than BERT-base")
+	}
+	// BERT-L ~334M params transformer+embeddings ~ 0.67GB fp16.
+	wb := l.TotalWeightBytes()
+	if wb < int64(0.5e9) || wb > int64(0.9e9) {
+		t.Errorf("BERT-L weights = %.2f GB, want ~0.67 GB", float64(wb)/1e9)
+	}
+}
+
+func TestUNetActivationPressure(t *testing.T) {
+	m := UNet(1)
+	// The first encoder conv output is 512*512*64*2B = 32 MB — the L2
+	// pressure the paper's Scenario 4 insight rests on.
+	var maxOut int64
+	for _, l := range m.Layers {
+		if o := l.OutputBytes(); o > maxOut {
+			maxOut = o
+		}
+	}
+	if maxOut < 30<<20 {
+		t.Errorf("U-Net max activation = %d, want >= 30 MB", maxOut)
+	}
+}
+
+func TestTransformerBlockDecomposition(t *testing.T) {
+	ls := transformerBlocks("b", 1, 128, 1024, 4096)
+	if len(ls) != 7 {
+		t.Fatalf("block layers = %d, want 7", len(ls))
+	}
+	// Attention score MACs must equal seq^2 * d (multi-head fold).
+	var scores workload.Layer
+	for _, l := range ls {
+		if l.Name == "b0_scores" {
+			scores = l
+		}
+	}
+	if got, want := scores.MACs(), int64(128)*128*1024; got != want {
+		t.Errorf("scores MACs = %d, want %d", got, want)
+	}
+}
+
+func TestEmformerStreamsSmallChunks(t *testing.T) {
+	m := Emformer(1)
+	for _, l := range m.Layers {
+		if l.Type == workload.OpGEMM && l.Y > 16 {
+			t.Errorf("Emformer GEMM %s has M=%d, want <= 16 (streaming chunk)", l.Name, l.Y)
+		}
+	}
+}
+
+func TestEdgeModelsSmallerThanDatacenter(t *testing.T) {
+	eye := EyeCod(1).TotalMACs()
+	hand := HandShapePose(1).TotalMACs()
+	r50 := ResNet50(1).TotalMACs()
+	if eye >= r50 || hand >= r50 {
+		t.Errorf("edge models not smaller: eyecod=%d handsp=%d resnet=%d", eye, hand, r50)
+	}
+}
+
+func TestDatacenterScenariosMatchTableIII(t *testing.T) {
+	scs := DatacenterScenarios()
+	if len(scs) != 5 {
+		t.Fatalf("datacenter scenarios = %d, want 5", len(scs))
+	}
+	wantModels := [][]string{
+		{"gpt-l", "bert-large"},
+		{"gpt-l", "bert-large", "resnet50"},
+		{"gpt-l", "bert-large", "resnet50"},
+		{"gpt-l", "bert-large", "unet", "resnet50"},
+		{"gpt-l", "bert-large", "bert-base", "unet", "resnet50", "googlenet"},
+	}
+	wantBatches := [][]int{
+		{1, 3},
+		{1, 3, 1},
+		{1, 3, 32},
+		{8, 24, 1, 32},
+		{8, 24, 24, 1, 32, 32},
+	}
+	for i, sc := range scs {
+		if len(sc.Models) != len(wantModels[i]) {
+			t.Errorf("sc%d models = %d, want %d", i+1, len(sc.Models), len(wantModels[i]))
+			continue
+		}
+		for j, m := range sc.Models {
+			if m.Name != wantModels[i][j] {
+				t.Errorf("sc%d model %d = %s, want %s", i+1, j, m.Name, wantModels[i][j])
+			}
+			if m.Batch != wantBatches[i][j] {
+				t.Errorf("sc%d %s batch = %d, want %d", i+1, m.Name, m.Batch, wantBatches[i][j])
+			}
+		}
+	}
+}
+
+func TestARVRScenariosMatchTableIII(t *testing.T) {
+	scs := ARVRScenarios()
+	if len(scs) != 5 {
+		t.Fatalf("AR/VR scenarios = %d, want 5", len(scs))
+	}
+	wantModels := [][]string{
+		{"d2go", "planercnn", "midas", "emformer", "hrvit"},
+		{"planercnn", "handsp", "midas"},
+		{"d2go", "emformer"},
+		{"eyecod", "handsp", "sp2dense"},
+		{"eyecod", "handsp"},
+	}
+	wantBatches := [][]int{
+		{10, 15, 30, 3, 10},
+		{15, 45, 30},
+		{30, 3},
+		{60, 30, 30},
+		{60, 45},
+	}
+	for i, sc := range scs {
+		for j, m := range sc.Models {
+			if m.Name != wantModels[i][j] {
+				t.Errorf("sc%d model %d = %s, want %s", i+6, j, m.Name, wantModels[i][j])
+			}
+			if m.Batch != wantBatches[i][j] {
+				t.Errorf("sc%d %s batch = %d, want %d", i+6, m.Name, m.Batch, wantBatches[i][j])
+			}
+		}
+	}
+}
+
+func TestScenarioByNumber(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		sc, err := ScenarioByNumber(n)
+		if err != nil {
+			t.Errorf("ScenarioByNumber(%d): %v", n, err)
+			continue
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("scenario %d invalid: %v", n, err)
+		}
+	}
+	if _, err := ScenarioByNumber(0); err == nil {
+		t.Error("scenario 0 accepted")
+	}
+	if _, err := ScenarioByNumber(11); err == nil {
+		t.Error("scenario 11 accepted")
+	}
+}
+
+func TestMotivationalWorkload(t *testing.T) {
+	sc := MotivationalWorkload()
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("motivational workload invalid: %v", err)
+	}
+	if len(sc.Models) != 2 {
+		t.Fatalf("models = %d, want 2", len(sc.Models))
+	}
+	if got := sc.Models[0].NumLayers(); got != 3 {
+		t.Errorf("ResNet slice layers = %d, want 3", got)
+	}
+	if got := sc.Models[1].NumLayers(); got != 1 {
+		t.Errorf("GPT slice layers = %d, want 1", got)
+	}
+	ffn := sc.Models[1].Layers[0]
+	if ffn.C != 1280 || ffn.K != 5120 {
+		t.Errorf("GPT FFN dims C=%d K=%d, want 1280/5120", ffn.C, ffn.K)
+	}
+}
+
+func TestAllLayerNamesUniqueWithinModel(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := ByName(name, 1)
+		seen := map[string]bool{}
+		for _, l := range m.Layers {
+			if seen[l.Name] {
+				t.Errorf("%s: duplicate layer name %q", name, l.Name)
+			}
+			seen[l.Name] = true
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// ResNet50 builds ResNet-50 (He et al., 2015) for 224x224x3 inputs: the
+// 7x7 stem, four bottleneck stages of 3/4/6/3 blocks (1x1 reduce, 3x3,
+// 1x1 expand, with a projection shortcut on each stage's first block and a
+// residual add per block), global pooling and the 1000-way classifier.
+func ResNet50(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls,
+		conv("conv1", 3, 64, 112, 7, 2),
+		pool("pool1", 64, 56, 3, 2),
+	)
+	type stage struct {
+		name    string
+		blocks  int
+		mid     int // bottleneck width
+		out     int // expanded width
+		spatial int // output spatial size of the stage
+	}
+	stages := []stage{
+		{"conv2", 3, 64, 256, 56},
+		{"conv3", 4, 128, 512, 28},
+		{"conv4", 6, 256, 1024, 14},
+		{"conv5", 3, 512, 2048, 7},
+	}
+	inCh := 64
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			stride := 1
+			if b == 0 && si > 0 {
+				stride = 2
+			}
+			prefix := fmt.Sprintf("%s_%d", st.name, b+1)
+			ls = append(ls,
+				conv(prefix+"_1x1a", inCh, st.mid, st.spatial, 1, stride),
+				conv(prefix+"_3x3", st.mid, st.mid, st.spatial, 3, 1),
+				conv(prefix+"_1x1b", st.mid, st.out, st.spatial, 1, 1),
+			)
+			if b == 0 {
+				ls = append(ls, conv(prefix+"_proj", inCh, st.out, st.spatial, 1, stride))
+			}
+			ls = append(ls, add(prefix+"_add", st.out, st.spatial))
+			inCh = st.out
+		}
+	}
+	ls = append(ls,
+		pool("avgpool", 2048, 1, 7, 7),
+		workload.GEMM("fc", 1, 2048, 1000),
+	)
+	return workload.NewModel("resnet50", batch, ls)
+}

@@ -1,0 +1,153 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// This file builds the ten multi-model workload scenarios of Table III:
+// five MLPerf-derived datacenter multi-tenancy scenarios and five
+// XRBench-derived AR/VR usage scenarios, with the paper's batch sizes and
+// sequence lengths.
+
+// Scenario1 is "LMs": GPT-L (sl=128, b=1) + BERT-L (sl=128, b=3).
+func Scenario1() workload.Scenario {
+	return workload.NewScenario("sc1-lms",
+		GPTL(128, 1),
+		BERTLarge(128, 3),
+	)
+}
+
+// Scenario2 is "LMs + Image": Scenario1 plus ResNet-50 (b=1).
+func Scenario2() workload.Scenario {
+	return workload.NewScenario("sc2-lms-image",
+		GPTL(128, 1),
+		BERTLarge(128, 3),
+		ResNet50(1),
+	)
+}
+
+// Scenario3 is "LMs + Image" at high vision batch: ResNet-50 (b=32).
+func Scenario3() workload.Scenario {
+	return workload.NewScenario("sc3-lms-image32",
+		GPTL(128, 1),
+		BERTLarge(128, 3),
+		ResNet50(32),
+	)
+}
+
+// Scenario4 is "LMs + Segmentation + Image": GPT-L (b=8), BERT-L (b=24),
+// U-Net (b=1), ResNet-50 (b=32).
+func Scenario4() workload.Scenario {
+	return workload.NewScenario("sc4-lms-seg-image",
+		GPTL(128, 8),
+		BERTLarge(128, 24),
+		UNet(1),
+		ResNet50(32),
+	)
+}
+
+// Scenario5 adds BERT-base (b=24) and GoogleNet (b=32) to Scenario4.
+func Scenario5() workload.Scenario {
+	return workload.NewScenario("sc5-lms-seg-image-wide",
+		GPTL(128, 8),
+		BERTLarge(128, 24),
+		BERTBase(128, 24),
+		UNet(1),
+		ResNet50(32),
+		GoogleNet(32),
+	)
+}
+
+// Scenario6 is the XRBench "AR Assistant" scenario: object detection,
+// plane detection, depth estimation, speech recognition, semantic
+// segmentation.
+func Scenario6() workload.Scenario {
+	return workload.NewScenario("sc6-ar-assistant",
+		D2GO(10),
+		PlaneRCNN(15),
+		MiDaS(30),
+		Emformer(3),
+		HRViT(10),
+	)
+}
+
+// Scenario7 is "AR Gaming": plane detection, hand tracking, depth
+// estimation.
+func Scenario7() workload.Scenario {
+	return workload.NewScenario("sc7-ar-gaming",
+		PlaneRCNN(15),
+		HandShapePose(45),
+		MiDaS(30),
+	)
+}
+
+// Scenario8 is "Outdoors": object detection and speech recognition.
+func Scenario8() workload.Scenario {
+	return workload.NewScenario("sc8-outdoors",
+		D2GO(30),
+		Emformer(3),
+	)
+}
+
+// Scenario9 is "Social": gaze estimation, hand tracking, depth
+// refinement.
+func Scenario9() workload.Scenario {
+	return workload.NewScenario("sc9-social",
+		EyeCod(60),
+		HandShapePose(30),
+		Sp2Dense(30),
+	)
+}
+
+// Scenario10 is "VR Gaming": gaze estimation and hand tracking.
+func Scenario10() workload.Scenario {
+	return workload.NewScenario("sc10-vr-gaming",
+		EyeCod(60),
+		HandShapePose(45),
+	)
+}
+
+// DatacenterScenarios returns scenarios 1-5 in order.
+func DatacenterScenarios() []workload.Scenario {
+	return []workload.Scenario{
+		Scenario1(), Scenario2(), Scenario3(), Scenario4(), Scenario5(),
+	}
+}
+
+// ARVRScenarios returns scenarios 6-10 in order.
+func ARVRScenarios() []workload.Scenario {
+	return []workload.Scenario{
+		Scenario6(), Scenario7(), Scenario8(), Scenario9(), Scenario10(),
+	}
+}
+
+// ScenarioByNumber returns scenario n (1-10).
+func ScenarioByNumber(n int) (workload.Scenario, error) {
+	all := append(DatacenterScenarios(), ARVRScenarios()...)
+	if n < 1 || n > len(all) {
+		return workload.Scenario{}, fmt.Errorf("models: scenario %d out of range 1-%d", n, len(all))
+	}
+	return all[n-1], nil
+}
+
+// MotivationalWorkload builds the Figure 2 study workload: three layers
+// from the second ResNet-50 block and the first feed-forward layer from
+// GPT-L, batch 1.
+func MotivationalWorkload() workload.Scenario {
+	r50 := ResNet50(1)
+	// conv2_1_1x1a, conv2_1_3x3, conv2_1_1x1b are layers 2..4 (after the
+	// stem conv and pool).
+	resnetSlice := workload.NewModel("resnet50-block2", 1, r50.Layers[2:5])
+	gpt := GPTL(128, 1)
+	var ffn workload.Layer
+	for _, l := range gpt.Layers {
+		if l.Name == "blk0_ffn1" {
+			ffn = l
+			break
+		}
+	}
+	gptSlice := workload.NewModel("gpt-l-ffn", 1, []workload.Layer{ffn})
+	return workload.NewScenario("motivational", resnetSlice, gptSlice)
+}

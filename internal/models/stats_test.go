@@ -1,0 +1,122 @@
+package models
+
+import (
+	"testing"
+
+	"example.com/scar/internal/workload"
+)
+
+// Architecture-level sanity bounds for every zoo model: per-sample MACs
+// and weight bytes must land in the published ballparks. These keep the
+// zoo honest against accidental dimension regressions.
+func TestZooStatsInPublishedBallparks(t *testing.T) {
+	giga := func(v float64) int64 { return int64(v * 1e9) }
+	mega := func(v float64) int64 { return int64(v * 1e6) }
+	cases := []struct {
+		name             string
+		minMACs, maxMACs int64
+		minW, maxW       int64 // weight bytes at fp16
+	}{
+		// ResNet-50: 4.1 GMACs, 25.5M params.
+		{"resnet50", giga(3.5), giga(5.5), mega(40), mega(62)},
+		// BERT-Large at sl=128: ~45 GMACs, 334M params.
+		{"bert-large", giga(30), giga(70), mega(550), mega(800)},
+		// BERT-base at sl=128: ~14 GMACs, 110M params.
+		{"bert-base", giga(8), giga(25), mega(170), mega(280)},
+		// GPT-2 Large at sl=128: ~100 GMACs forward, 774M params.
+		{"gpt-l", giga(80), giga(220), mega(1300), mega(2100)},
+		// U-Net 512x512: tens of GMACs, ~31M params.
+		{"unet", giga(150), giga(500), mega(40), mega(80)},
+		// GoogLeNet: ~1.5 GMACs, 7M params.
+		{"googlenet", giga(1.0), giga(2.5), mega(9), mega(18)},
+		// Mobile detector: hundreds of MMACs.
+		{"d2go", giga(0.1), giga(1.5), mega(2), mega(30)},
+		// ResNet-50-FPN at 192x256: several GMACs.
+		{"planercnn", giga(2), giga(15), mega(55), mega(110)},
+		// MiDaS at 384x384: >= 10 GMACs.
+		{"midas", giga(5), giga(40), mega(55), mega(140)},
+		// Emformer streaming chunk: tens of MMACs per chunk.
+		{"emformer", giga(0.005), giga(2), mega(70), mega(180)},
+		// HRViT-b1-ish: a few GMACs.
+		{"hrvit", giga(0.5), giga(10), mega(5), mega(60)},
+		// Small XR models: well under a GMAC... up to a few.
+		{"handsp", giga(0.05), giga(3), mega(1), mega(20)},
+		{"eyecod", giga(0.01), giga(1), mega(0.2), mega(10)},
+		{"sp2dense", giga(0.5), giga(10), mega(5), mega(60)},
+	}
+	for _, c := range cases {
+		m, err := ByName(c.name, 1)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		macs := m.TotalMACs()
+		if macs < c.minMACs || macs > c.maxMACs {
+			t.Errorf("%s: MACs = %.2fG, want in [%.2fG, %.2fG]", c.name,
+				float64(macs)/1e9, float64(c.minMACs)/1e9, float64(c.maxMACs)/1e9)
+		}
+		wb := m.TotalWeightBytes()
+		if wb < c.minW || wb > c.maxW {
+			t.Errorf("%s: weights = %.1fMB, want in [%.1fMB, %.1fMB]", c.name,
+				float64(wb)/1e6, float64(c.minW)/1e6, float64(c.maxW)/1e6)
+		}
+	}
+}
+
+// Every model's layer chain must be dimensionally consistent: a layer's
+// channel input matches its predecessor's output where the chain is
+// sequential conv/gemm (skip-connection consumers are exempt — they read
+// concatenations).
+func TestZooLayersValidate(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := ByName(name, 1)
+		for i, l := range m.Layers {
+			if err := l.Validate(); err != nil {
+				t.Errorf("%s layer %d (%s): %v", name, i, l.Name, err)
+			}
+		}
+	}
+}
+
+// Operator-mix expectations: transformers are GEMM-dominated, CNNs
+// conv-dominated — the diversity that motivates heterogeneous MCMs.
+func TestZooOperatorMix(t *testing.T) {
+	macsByType := func(m workload.Model) map[workload.OpType]int64 {
+		out := map[workload.OpType]int64{}
+		for _, l := range m.Layers {
+			out[l.Type] += l.MACs()
+		}
+		return out
+	}
+	for _, name := range []string{"gpt-l", "bert-large", "bert-base", "emformer"} {
+		m, _ := ByName(name, 1)
+		mix := macsByType(m)
+		if mix[workload.OpGEMM] < 9*mix[workload.OpConv] {
+			t.Errorf("%s not GEMM-dominated: %v", name, mix)
+		}
+	}
+	for _, name := range []string{"resnet50", "unet", "googlenet", "sp2dense"} {
+		m, _ := ByName(name, 1)
+		mix := macsByType(m)
+		if mix[workload.OpConv] < 9*mix[workload.OpGEMM] {
+			t.Errorf("%s not conv-dominated: %v", name, mix)
+		}
+	}
+	// D2GO must carry depthwise convolutions (mobile backbone).
+	m, _ := ByName("d2go", 1)
+	if macsByType(m)[workload.OpDWConv] == 0 {
+		t.Error("d2go has no depthwise convolutions")
+	}
+}
+
+// Scenario totals stay within the search-tractable layer counts the
+// schedulers are budgeted for.
+func TestScenarioLayerBudgets(t *testing.T) {
+	for n := 1; n <= 10; n++ {
+		sc, _ := ScenarioByNumber(n)
+		total := sc.TotalLayers()
+		if total < 10 || total > 1200 {
+			t.Errorf("scenario %d layers = %d, out of sane range", n, total)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// transformerBlocks emits the GEMM decomposition of nBlocks encoder/
+// decoder blocks over a seq-length token stream with hidden width d and
+// FFN width ffn:
+//
+//	qkv:     seq x d      -> 3d      (fused Q/K/V projection)
+//	scores:  seq x d      -> seq     (Q K^T over all heads; MACs = seq^2 d)
+//	context: seq x seq    -> d       (attn V; MACs = seq^2 d)
+//	proj:    seq x d      -> d
+//	ffn1:    seq x d      -> ffn
+//	ffn2:    seq x ffn    -> d
+//
+// plus one residual/LayerNorm element-wise layer per block. The head count
+// folds into the scores/context aggregate MACs, matching the multi-head
+// arithmetic exactly.
+func transformerBlocks(prefix string, nBlocks, seq, d, ffn int) []workload.Layer {
+	var ls []workload.Layer
+	for b := 0; b < nBlocks; b++ {
+		p := fmt.Sprintf("%s%d", prefix, b)
+		ls = append(ls,
+			workload.GEMM(p+"_qkv", seq, d, 3*d),
+			workload.GEMM(p+"_scores", seq, d, seq),
+			workload.GEMM(p+"_context", seq, seq, d),
+			workload.GEMM(p+"_proj", seq, d, d),
+			workload.GEMM(p+"_ffn1", seq, d, ffn),
+			workload.GEMM(p+"_ffn2", seq, ffn, d),
+			workload.Eltwise(p+"_ln", 1, seq, d),
+		)
+	}
+	return ls
+}
+
+// GPTL builds the GPT-2 Large decoder (Radford et al., 2019): 36 blocks,
+// d=1280, FFN 5120, with the token embedding lookup. Table III uses
+// sequence length 128.
+func GPTL(seq, batch int) workload.Model {
+	ls := []workload.Layer{workload.Embedding("embed", seq, 50257, 1280)}
+	ls = append(ls, transformerBlocks("blk", 36, seq, 1280, 5120)...)
+	ls = append(ls, workload.GEMM("lm_head", seq, 1280, 50257))
+	return workload.NewModel("gpt-l", batch, ls)
+}
+
+// BERTLarge builds BERT-Large (Devlin et al., 2018): 24 blocks, d=1024,
+// FFN 4096.
+func BERTLarge(seq, batch int) workload.Model {
+	ls := []workload.Layer{workload.Embedding("embed", seq, 30522, 1024)}
+	ls = append(ls, transformerBlocks("blk", 24, seq, 1024, 4096)...)
+	return workload.NewModel("bert-large", batch, ls)
+}
+
+// BERTBase builds BERT-base: 12 blocks, d=768, FFN 3072.
+func BERTBase(seq, batch int) workload.Model {
+	ls := []workload.Layer{workload.Embedding("embed", seq, 30522, 768)}
+	ls = append(ls, transformerBlocks("blk", 12, seq, 768, 3072)...)
+	return workload.NewModel("bert-base", batch, ls)
+}
+
+// Emformer builds the streaming speech-recognition transformer of Shi et
+// al. (ICASSP 2021) as deployed in XRBench's audio pipeline: 16 blocks at
+// d=512, FFN 2048, over short streaming chunks (center length 16), which
+// is what makes its GEMMs narrow.
+func Emformer(batch int) workload.Model {
+	const chunk = 16
+	ls := []workload.Layer{workload.GEMM("frontend", chunk, 240, 512)}
+	ls = append(ls, transformerBlocks("blk", 16, chunk, 512, 2048)...)
+	ls = append(ls, workload.GEMM("ctc_head", chunk, 512, 4096))
+	return workload.NewModel("emformer", batch, ls)
+}

@@ -1,0 +1,53 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// UNet builds the biomedical segmentation U-Net (Ronneberger et al., 2015)
+// for 512x512x1 inputs: a 4-level encoder of double 3x3 convolutions with
+// 2x2 max pooling, the bottleneck, and a decoder of 2x2 up-convolutions
+// followed by double 3x3 convolutions on the concatenated skip tensors,
+// ending in the 1x1 segmentation head. The giant early-level activations
+// (512^2 x 64 = 32 MB at fp16) are what stress the chiplet L2 in the
+// paper's Scenario 4/5.
+func UNet(batch int) workload.Model {
+	var ls []workload.Layer
+	widths := []int{64, 128, 256, 512}
+	spatial := []int{512, 256, 128, 64}
+
+	inCh := 1
+	for i, w := range widths {
+		s := spatial[i]
+		ls = append(ls,
+			conv(fmt.Sprintf("enc%d_conv1", i+1), inCh, w, s, 3, 1),
+			conv(fmt.Sprintf("enc%d_conv2", i+1), w, w, s, 3, 1),
+			pool(fmt.Sprintf("enc%d_pool", i+1), w, s/2, 2, 2),
+		)
+		inCh = w
+	}
+	// Bottleneck at 32x32x1024.
+	ls = append(ls,
+		conv("bottleneck_conv1", 512, 1024, 32, 3, 1),
+		conv("bottleneck_conv2", 1024, 1024, 32, 3, 1),
+	)
+	// Decoder: up-convolution halves channels, double conv consumes the
+	// skip concatenation (2x channels in).
+	upCh := 1024
+	for i := len(widths) - 1; i >= 0; i-- {
+		w := widths[i]
+		s := spatial[i]
+		ls = append(ls,
+			// 2x2 transposed conv modeled as a 2x2 conv at the
+			// upsampled resolution.
+			conv(fmt.Sprintf("dec%d_upconv", i+1), upCh, w, s, 2, 1),
+			conv(fmt.Sprintf("dec%d_conv1", i+1), 2*w, w, s, 3, 1),
+			conv(fmt.Sprintf("dec%d_conv2", i+1), w, w, s, 3, 1),
+		)
+		upCh = w
+	}
+	ls = append(ls, conv("seg_head", 64, 2, 512, 1, 1))
+	return workload.NewModel("unet", batch, ls)
+}

@@ -1,0 +1,304 @@
+package models
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/workload"
+)
+
+// This file builds the XRBench-derived AR/VR models of Table III. The
+// exact production deployments behind XRBench are proprietary; each
+// constructor implements the closest published architecture at XRBench's
+// working resolutions (the DESIGN.md substitution). What matters for the
+// scheduler — operator mix, channel/spatial progressions, model size
+// ratios — follows the source architectures.
+
+// invertedResidual emits an FBNet/MobileNet inverted-residual block:
+// 1x1 expand, 3x3 depthwise (optionally strided), 1x1 project, residual
+// add when the shapes allow.
+func invertedResidual(name string, in, out, expand, spatial, stride int) []workload.Layer {
+	mid := in * expand
+	ls := []workload.Layer{
+		conv(name+"_expand", in, mid, spatial*stride, 1, 1),
+		dwconv(name+"_dw", mid, spatial, 3, stride),
+		conv(name+"_project", mid, out, spatial, 1, 1),
+	}
+	if in == out && stride == 1 {
+		ls = append(ls, add(name+"_add", out, spatial))
+	}
+	return ls
+}
+
+// D2GO builds the FBNetV3-style mobile detector behind Meta's D2Go object
+// detection at a 320x320 input: a mobile inverted-residual backbone plus a
+// light detection head.
+func D2GO(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls, conv("stem", 3, 16, 160, 3, 2))
+	type st struct {
+		name           string
+		in, out, exp   int
+		blocks, sp, s0 int
+	}
+	stages := []st{
+		{"s1", 16, 16, 1, 1, 160, 1},
+		{"s2", 16, 24, 4, 2, 80, 2},
+		{"s3", 24, 40, 4, 2, 40, 2},
+		{"s4", 40, 80, 4, 3, 20, 2},
+		{"s5", 80, 112, 4, 3, 20, 1},
+		{"s6", 112, 192, 6, 3, 10, 2},
+	}
+	for _, sg := range stages {
+		in := sg.in
+		for b := 0; b < sg.blocks; b++ {
+			stride := 1
+			if b == 0 {
+				stride = sg.s0
+			}
+			ls = append(ls, invertedResidual(fmt.Sprintf("%s_b%d", sg.name, b+1), in, sg.out, sg.exp, sg.sp, stride)...)
+			in = sg.out
+		}
+	}
+	// Detection head: feature pyramid taps at 20x20 and 10x10.
+	ls = append(ls,
+		conv("head_p4", 112, 128, 20, 3, 1),
+		conv("head_p5", 192, 128, 10, 3, 1),
+		conv("cls_p4", 128, 80, 20, 3, 1),
+		conv("reg_p4", 128, 16, 20, 3, 1),
+		conv("cls_p5", 128, 80, 10, 3, 1),
+		conv("reg_p5", 128, 16, 10, 3, 1),
+	)
+	return workload.NewModel("d2go", batch, ls)
+}
+
+// resnetBackboneRect emits a ResNet-50-style bottleneck backbone with
+// rectangular feature maps, used by the detection/depth networks below.
+func resnetBackboneRect(prefix string, outY, outX int) []workload.Layer {
+	var ls []workload.Layer
+	ls = append(ls,
+		convRect(prefix+"_conv1", 3, 64, outY, outX, 7, 2),
+		workload.Pool(prefix+"_pool1", 64, outY+1, outX+1, 2, 2),
+	)
+	type stage struct {
+		blocks, mid, out int
+		y, x             int
+	}
+	stages := []stage{
+		{3, 64, 256, outY / 2, outX / 2},
+		{4, 128, 512, outY / 4, outX / 4},
+		{6, 256, 1024, outY / 8, outX / 8},
+		{3, 512, 2048, outY / 16, outX / 16},
+	}
+	in := 64
+	for si, stg := range stages {
+		for b := 0; b < stg.blocks; b++ {
+			stride := 1
+			if b == 0 && si > 0 {
+				stride = 2
+			}
+			p := fmt.Sprintf("%s_s%db%d", prefix, si+2, b+1)
+			ls = append(ls,
+				convRect(p+"_1x1a", in, stg.mid, stg.y, stg.x, 1, stride),
+				convRect(p+"_3x3", stg.mid, stg.mid, stg.y, stg.x, 3, 1),
+				convRect(p+"_1x1b", stg.mid, stg.out, stg.y, stg.x, 1, 1),
+			)
+			if b == 0 {
+				ls = append(ls, convRect(p+"_proj", in, stg.out, stg.y, stg.x, 1, stride))
+			}
+			ls = append(ls, workload.Eltwise(p+"_add", stg.out, stg.y, stg.x))
+			in = stg.out
+		}
+	}
+	return ls
+}
+
+// PlaneRCNN builds the plane detection network of Liu et al. (CVPR 2019):
+// a ResNet-50-FPN backbone at a 192x256 working resolution with lateral
+// connections and the plane/mask heads.
+func PlaneRCNN(batch int) workload.Model {
+	ls := resnetBackboneRect("bb", 96, 128)
+	// FPN lateral 1x1 + output 3x3 convs at each pyramid level.
+	levels := []struct {
+		name string
+		ch   int
+		y, x int
+	}{
+		{"p2", 256, 48, 64},
+		{"p3", 512, 24, 32},
+		{"p4", 1024, 12, 16},
+		{"p5", 2048, 6, 8},
+	}
+	for _, lv := range levels {
+		ls = append(ls,
+			convRect("fpn_"+lv.name+"_lat", lv.ch, 256, lv.y, lv.x, 1, 1),
+			convRect("fpn_"+lv.name+"_out", 256, 256, lv.y, lv.x, 3, 1),
+		)
+	}
+	// Plane/mask heads on the finest level.
+	ls = append(ls,
+		convRect("head_conv1", 256, 256, 48, 64, 3, 1),
+		convRect("head_conv2", 256, 256, 48, 64, 3, 1),
+		convRect("mask_deconv", 256, 128, 96, 128, 2, 1),
+		convRect("mask_out", 128, 2, 96, 128, 1, 1),
+		convRect("depth_out", 256, 1, 48, 64, 3, 1),
+	)
+	return workload.NewModel("planercnn", batch, ls)
+}
+
+// MiDaS builds the monocular depth estimator of Ranftl et al. (TPAMI
+// 2020): a ResNet-50 encoder at 384x384 with a RefineNet-style fusion
+// decoder.
+func MiDaS(batch int) workload.Model {
+	ls := resnetBackboneRect("enc", 192, 192)
+	// Fusion decoder: per level, one 3x3 refinement conv pair at rising
+	// resolution.
+	fus := []struct {
+		in, out, sp int
+	}{
+		{2048, 512, 12},
+		{512, 256, 24},
+		{256, 128, 48},
+		{128, 64, 96},
+	}
+	for i, f := range fus {
+		p := fmt.Sprintf("dec%d", i+1)
+		ls = append(ls,
+			conv(p+"_conv1", f.in, f.out, f.sp, 3, 1),
+			conv(p+"_conv2", f.out, f.out, f.sp*2, 3, 1),
+		)
+	}
+	ls = append(ls,
+		conv("out_conv1", 64, 32, 192, 3, 1),
+		conv("out_conv2", 32, 1, 384, 3, 1),
+	)
+	return workload.NewModel("midas", batch, ls)
+}
+
+// HRViT builds the high-resolution vision transformer of Gu et al.
+// (HRViT-b1) for semantic segmentation: a convolutional stem followed by
+// multi-scale transformer stages whose token counts track the feature
+// resolution.
+func HRViT(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls,
+		conv("stem1", 3, 32, 112, 3, 2),
+		conv("stem2", 32, 32, 56, 3, 2),
+	)
+	type stage struct {
+		blocks, tokens, d, ffn int
+	}
+	stages := []stage{
+		{1, 56 * 56, 32, 128},
+		{2, 28 * 28, 64, 256},
+		{6, 14 * 14, 128, 512},
+		{2, 7 * 7, 256, 1024},
+	}
+	for si, st := range stages {
+		for b := 0; b < st.blocks; b++ {
+			p := fmt.Sprintf("s%db%d", si+1, b+1)
+			ls = append(ls,
+				workload.GEMM(p+"_qkv", st.tokens, st.d, 3*st.d),
+				workload.GEMM(p+"_scores", st.tokens, st.d, st.tokens),
+				workload.GEMM(p+"_context", st.tokens, st.tokens, st.d),
+				workload.GEMM(p+"_proj", st.tokens, st.d, st.d),
+				workload.GEMM(p+"_ffn1", st.tokens, st.d, st.ffn),
+				workload.GEMM(p+"_ffn2", st.tokens, st.ffn, st.d),
+				workload.Eltwise(p+"_ln", 1, st.tokens, st.d),
+			)
+		}
+		if si < len(stages)-1 {
+			sp := []int{28, 14, 7}[si]
+			ls = append(ls, conv(fmt.Sprintf("down%d", si+1), st.d, stages[si+1].d, sp, 3, 2))
+		}
+	}
+	ls = append(ls, conv("seg_head", 256, 19, 56, 1, 1))
+	return workload.NewModel("hrvit", batch, ls)
+}
+
+// HandShapePose builds the 3-D hand shape/pose estimator of Ge et al.
+// (CVPR 2019): a compact residual encoder over 256x256 hand crops with
+// heatmap and pose-regression heads.
+func HandShapePose(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls, conv("stem", 3, 32, 128, 7, 2))
+	widths := []int{32, 64, 128, 256}
+	spatial := []int{64, 32, 16, 8}
+	in := 32
+	for i, w := range widths {
+		p := fmt.Sprintf("res%d", i+1)
+		ls = append(ls,
+			conv(p+"_conv1", in, w, spatial[i], 3, 2),
+			conv(p+"_conv2", w, w, spatial[i], 3, 1),
+			add(p+"_add", w, spatial[i]),
+		)
+		in = w
+	}
+	ls = append(ls,
+		conv("heatmap", 256, 21, 8, 1, 1),
+		pool("gap", 256, 1, 8, 8),
+		workload.GEMM("pose_fc1", 1, 256, 512),
+		workload.GEMM("pose_fc2", 1, 512, 63),
+	)
+	return workload.NewModel("handsp", batch, ls)
+}
+
+// EyeCod builds the gaze-estimation network of You et al. (ISCA 2022): a
+// small convolutional tower over 128x128 eye images with a gaze
+// regression head.
+func EyeCod(batch int) workload.Model {
+	var ls []workload.Layer
+	widths := []int{16, 32, 64, 128}
+	spatial := []int{64, 32, 16, 8}
+	in := 1
+	for i, w := range widths {
+		p := fmt.Sprintf("conv%d", i+1)
+		ls = append(ls,
+			conv(p+"a", in, w, spatial[i], 3, 2),
+			conv(p+"b", w, w, spatial[i], 3, 1),
+		)
+		in = w
+	}
+	ls = append(ls,
+		pool("gap", 128, 1, 8, 8),
+		workload.GEMM("gaze_fc1", 1, 128, 128),
+		workload.GEMM("gaze_fc2", 1, 128, 3),
+	)
+	return workload.NewModel("eyecod", batch, ls)
+}
+
+// Sp2Dense builds the sparse-to-dense depth completion network of Ma and
+// Karaman (ICRA 2018): a ResNet-18-style encoder over 224x304 RGBD inputs
+// and a deconvolutional decoder.
+func Sp2Dense(batch int) workload.Model {
+	var ls []workload.Layer
+	ls = append(ls, convRect("stem", 4, 64, 112, 152, 7, 2))
+	type stage struct {
+		ch, y, x int
+	}
+	stages := []stage{
+		{64, 56, 76}, {128, 28, 38}, {256, 14, 19}, {512, 7, 10},
+	}
+	in := 64
+	for i, st := range stages {
+		p := fmt.Sprintf("enc%d", i+1)
+		stride := 2
+		if i == 0 {
+			stride = 1
+		}
+		ls = append(ls,
+			convRect(p+"_conv1", in, st.ch, st.y, st.x, 3, stride),
+			convRect(p+"_conv2", st.ch, st.ch, st.y, st.x, 3, 1),
+			workload.Eltwise(p+"_add", st.ch, st.y, st.x),
+		)
+		in = st.ch
+	}
+	dec := []stage{
+		{256, 14, 19}, {128, 28, 38}, {64, 56, 76}, {32, 112, 152},
+	}
+	for i, st := range dec {
+		ls = append(ls, convRect(fmt.Sprintf("dec%d_deconv", i+1), in, st.ch, st.y, st.x, 3, 1))
+		in = st.ch
+	}
+	ls = append(ls, convRect("depth_out", 32, 1, 224, 304, 3, 1))
+	return workload.NewModel("sp2dense", batch, ls)
+}

@@ -1,0 +1,145 @@
+// Package search provides the evolutionary search engine SCAR uses to
+// scale the SEG/SCHED exploration to large packages (Section V-D: a 6x6
+// MCM with population size 10 and 4 generations). The genome is a flat
+// integer vector with per-gene bounds; the paper's scheduling encoding
+// (segmentation splits plus chiplet mappings, Figure 5) maps naturally
+// onto it.
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// IntRange bounds one gene: values lie in [Min, Max] inclusive.
+type IntRange struct {
+	Min, Max int
+}
+
+func (r IntRange) span() int { return r.Max - r.Min + 1 }
+
+// Problem defines a GA minimization problem over integer genomes.
+type Problem struct {
+	// Bounds gives each gene's inclusive range.
+	Bounds []IntRange
+	// Fitness scores a genome; lower is better. Return +Inf for
+	// infeasible genomes.
+	Fitness func(genes []int) float64
+}
+
+// Options are the GA hyperparameters. The paper's 6x6 experiment uses
+// Population 10 and Generations 4.
+type Options struct {
+	Population  int
+	Generations int
+	// MutationRate is the per-gene mutation probability.
+	MutationRate float64
+	// Elite is the number of best genomes carried over unchanged.
+	Elite int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's evolutionary configuration.
+func DefaultOptions() Options {
+	return Options{Population: 10, Generations: 4, MutationRate: 0.15, Elite: 2, Seed: 1}
+}
+
+// Result carries the best genome found and search statistics.
+type Result struct {
+	Best        []int
+	BestFitness float64
+	Evaluations int
+}
+
+// Run executes the GA: seeded random initialization, tournament
+// selection, uniform crossover, bounded per-gene mutation, elitism.
+func Run(p Problem, o Options) (Result, error) {
+	if len(p.Bounds) == 0 {
+		return Result{}, fmt.Errorf("search: empty genome")
+	}
+	if p.Fitness == nil {
+		return Result{}, fmt.Errorf("search: nil fitness")
+	}
+	for i, b := range p.Bounds {
+		if b.Max < b.Min {
+			return Result{}, fmt.Errorf("search: gene %d has inverted bounds [%d,%d]", i, b.Min, b.Max)
+		}
+	}
+	if o.Population < 2 {
+		o.Population = 2
+	}
+	if o.Elite >= o.Population {
+		o.Elite = o.Population - 1
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	type indiv struct {
+		genes []int
+		fit   float64
+	}
+	res := Result{BestFitness: math.Inf(1)}
+	score := func(genes []int) float64 {
+		res.Evaluations++
+		return p.Fitness(genes)
+	}
+	pop := make([]indiv, o.Population)
+	for i := range pop {
+		g := make([]int, len(p.Bounds))
+		for j, b := range p.Bounds {
+			g[j] = b.Min + rng.Intn(b.span())
+		}
+		pop[i] = indiv{genes: g, fit: score(g)}
+	}
+	note := func(ind indiv) {
+		if ind.fit < res.BestFitness {
+			res.BestFitness = ind.fit
+			res.Best = append([]int(nil), ind.genes...)
+		}
+	}
+	for _, ind := range pop {
+		note(ind)
+	}
+
+	tournament := func() indiv {
+		a := pop[rng.Intn(len(pop))]
+		b := pop[rng.Intn(len(pop))]
+		if a.fit <= b.fit {
+			return a
+		}
+		return b
+	}
+	for gen := 0; gen < o.Generations; gen++ {
+		// Elites survive; sort by fitness first.
+		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fit < pop[j].fit })
+		next := make([]indiv, 0, o.Population)
+		for i := 0; i < o.Elite && i < len(pop); i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < o.Population {
+			pa, pb := tournament(), tournament()
+			child := make([]int, len(p.Bounds))
+			for j := range child {
+				if rng.Intn(2) == 0 {
+					child[j] = pa.genes[j]
+				} else {
+					child[j] = pb.genes[j]
+				}
+				if rng.Float64() < o.MutationRate {
+					b := p.Bounds[j]
+					child[j] = b.Min + rng.Intn(b.span())
+				}
+			}
+			ind := indiv{genes: child, fit: score(child)}
+			note(ind)
+			next = append(next, ind)
+		}
+		pop = next
+	}
+	if res.Best == nil {
+		return res, fmt.Errorf("search: no feasible genome found")
+	}
+	return res, nil
+}

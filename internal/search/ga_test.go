@@ -1,0 +1,123 @@
+package search
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// sphere is a separable convex test function: minimum at the per-gene
+// targets.
+func sphere(target []int) func([]int) float64 {
+	return func(g []int) float64 {
+		var s float64
+		for i, v := range g {
+			d := float64(v - target[i])
+			s += d * d
+		}
+		return s
+	}
+}
+
+func TestGAFindsEasyOptimum(t *testing.T) {
+	bounds := []IntRange{{0, 9}, {0, 9}, {0, 9}}
+	p := Problem{Bounds: bounds, Fitness: sphere([]int{3, 7, 1})}
+	o := Options{Population: 20, Generations: 30, MutationRate: 0.2, Elite: 2, Seed: 42}
+	res, err := Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > 2 {
+		t.Errorf("best fitness = %v, want near 0 (best=%v)", res.BestFitness, res.Best)
+	}
+	if res.Evaluations == 0 {
+		t.Error("no evaluations recorded")
+	}
+}
+
+func TestGADeterministic(t *testing.T) {
+	p := Problem{Bounds: []IntRange{{0, 99}, {0, 99}}, Fitness: sphere([]int{50, 51})}
+	o := DefaultOptions()
+	a, err := Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(p, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestFitness != b.BestFitness {
+		t.Errorf("non-deterministic: %v vs %v", a.BestFitness, b.BestFitness)
+	}
+	for i := range a.Best {
+		if a.Best[i] != b.Best[i] {
+			t.Errorf("genomes differ at %d", i)
+		}
+	}
+}
+
+func TestGAHandlesInfeasibleRegions(t *testing.T) {
+	// Half the space is infeasible; the GA must still return a feasible
+	// genome.
+	p := Problem{
+		Bounds: []IntRange{{0, 9}},
+		Fitness: func(g []int) float64 {
+			if g[0]%2 == 1 {
+				return math.Inf(1)
+			}
+			return float64(g[0])
+		},
+	}
+	res, err := Run(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best[0]%2 == 1 {
+		t.Errorf("infeasible best genome %v", res.Best)
+	}
+}
+
+func TestGAInputValidation(t *testing.T) {
+	if _, err := Run(Problem{}, DefaultOptions()); err == nil {
+		t.Error("empty genome accepted")
+	}
+	if _, err := Run(Problem{Bounds: []IntRange{{0, 1}}}, DefaultOptions()); err == nil {
+		t.Error("nil fitness accepted")
+	}
+	p := Problem{Bounds: []IntRange{{5, 2}}, Fitness: func([]int) float64 { return 0 }}
+	if _, err := Run(p, DefaultOptions()); err == nil {
+		t.Error("inverted bounds accepted")
+	}
+}
+
+// Property: the best genome always respects bounds, and more generations
+// never yield a worse result for the same seed.
+func TestQuickGABoundsAndMonotone(t *testing.T) {
+	f := func(seed int64, t3 uint8) bool {
+		target := []int{int(t3 % 8), int(t3 % 5), int(t3 % 3)}
+		p := Problem{
+			Bounds:  []IntRange{{0, 7}, {0, 4}, {0, 2}},
+			Fitness: sphere(target),
+		}
+		short := Options{Population: 8, Generations: 2, MutationRate: 0.2, Elite: 1, Seed: seed}
+		long := short
+		long.Generations = 10
+		rs, err := Run(p, short)
+		if err != nil {
+			return false
+		}
+		rl, err := Run(p, long)
+		if err != nil {
+			return false
+		}
+		for i, b := range p.Bounds {
+			if rs.Best[i] < b.Min || rs.Best[i] > b.Max {
+				return false
+			}
+		}
+		return rl.BestFitness <= rs.BestFitness
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

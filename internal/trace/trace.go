@@ -1,0 +1,161 @@
+// Package trace turns evaluated schedules into execution timelines: a
+// per-chiplet span list consistent with the evaluator's pipeline model,
+// renderable as a text Gantt chart or exportable in the Chrome
+// trace-event format (load the JSON in chrome://tracing or Perfetto).
+// This is the textual analogue of the paper's Figure 9 time-window
+// visualization, at stage granularity.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// Span is one chiplet-occupancy interval.
+type Span struct {
+	// Chiplet is the hosting die; Model the scenario model index.
+	Chiplet int
+	Model   int
+	// Window is the time-window index the span belongs to.
+	Window int
+	// Label describes the stage (model name plus layer range).
+	Label string
+	// StartSec / EndSec are absolute schedule times in seconds.
+	StartSec, EndSec float64
+	// Passes is the pipeline pass count executed in the span.
+	Passes int
+}
+
+// Timeline is a complete schedule trace.
+type Timeline struct {
+	// Spans in ascending start order.
+	Spans []Span
+	// TotalSec is the schedule makespan.
+	TotalSec float64
+	// Chiplets is the package size (for rendering).
+	Chiplets int
+}
+
+// Build evaluates the schedule's windows and lays their stage timings
+// end-to-end on the schedule's absolute time axis.
+func Build(ev *eval.Evaluator, sc *workload.Scenario, m *mcm.MCM, sched *eval.Schedule) *Timeline {
+	tl := &Timeline{Chiplets: m.NumChiplets()}
+	var offset float64
+	for wi, w := range sched.Windows {
+		wm := ev.Window(w)
+		for _, st := range ev.WindowTimings(w) {
+			model := sc.Models[st.Model]
+			first := st.Segments[0]
+			last := st.Segments[len(st.Segments)-1]
+			label := fmt.Sprintf("%s[%s..%s]", model.Name,
+				model.Layers[first.First].Name, model.Layers[last.Last].Name)
+			tl.Spans = append(tl.Spans, Span{
+				Chiplet:  st.Chiplet,
+				Model:    st.Model,
+				Window:   wi,
+				Label:    label,
+				StartSec: offset + st.FirstStart,
+				EndSec:   offset + st.BusyEnd,
+				Passes:   st.Passes,
+			})
+		}
+		offset += wm.LatencySec
+	}
+	tl.TotalSec = offset
+	sort.SliceStable(tl.Spans, func(i, j int) bool {
+		if tl.Spans[i].StartSec != tl.Spans[j].StartSec {
+			return tl.Spans[i].StartSec < tl.Spans[j].StartSec
+		}
+		return tl.Spans[i].Chiplet < tl.Spans[j].Chiplet
+	})
+	return tl
+}
+
+// Utilization returns the fraction of chiplet-time covered by spans — a
+// package-level occupancy figure for the schedule.
+func (t *Timeline) Utilization() float64 {
+	if t.TotalSec <= 0 || t.Chiplets == 0 {
+		return 0
+	}
+	var busy float64
+	for _, s := range t.Spans {
+		busy += s.EndSec - s.StartSec
+	}
+	return busy / (t.TotalSec * float64(t.Chiplets))
+}
+
+// Gantt renders the timeline as a text chart: one row per chiplet, time
+// bucketed into width columns, model letters marking occupancy.
+func (t *Timeline) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule timeline: %.4g s total, %.0f%% package occupancy\n",
+		t.TotalSec, 100*t.Utilization())
+	if t.TotalSec <= 0 {
+		return b.String()
+	}
+	rows := make([][]byte, t.Chiplets)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", width))
+	}
+	for _, s := range t.Spans {
+		lo := int(s.StartSec / t.TotalSec * float64(width))
+		hi := int(s.EndSec / t.TotalSec * float64(width))
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		mark := byte('A' + s.Model%26)
+		for x := lo; x < hi; x++ {
+			rows[s.Chiplet][x] = mark
+		}
+	}
+	for c, row := range rows {
+		fmt.Fprintf(&b, "c%-2d |%s|\n", c, row)
+	}
+	return b.String()
+}
+
+// chromeEvent is one complete ("X" phase) trace event.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // microseconds
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace exports the timeline in the Chrome trace-event JSON array
+// format: chiplets appear as threads, stages as complete events.
+func (t *Timeline) ChromeTrace() ([]byte, error) {
+	events := make([]chromeEvent, 0, len(t.Spans))
+	for _, s := range t.Spans {
+		events = append(events, chromeEvent{
+			Name: s.Label,
+			Cat:  fmt.Sprintf("window%d", s.Window),
+			Ph:   "X",
+			Ts:   s.StartSec * 1e6,
+			Dur:  (s.EndSec - s.StartSec) * 1e6,
+			PID:  0,
+			TID:  s.Chiplet,
+			Args: map[string]string{
+				"model":  fmt.Sprintf("%d", s.Model),
+				"passes": fmt.Sprintf("%d", s.Passes),
+			},
+		})
+	}
+	return json.MarshalIndent(events, "", "  ")
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+func rig() (*eval.Evaluator, *workload.Scenario, *mcm.MCM, *eval.Schedule) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.Simba(3, 3, dataflow.NVDLA(), maestro.DefaultDatacenterChiplet())
+	a := workload.NewModel("a", 4, []workload.Layer{
+		workload.Conv("a0", 64, 64, 58, 58, 3, 1),
+		workload.Conv("a1", 64, 64, 58, 58, 3, 1),
+	})
+	b := workload.NewModel("b", 2, []workload.Layer{
+		workload.GEMM("b0", 128, 768, 3072),
+	})
+	sc := workload.NewScenario("rig", a, b)
+	ev := eval.New(db, pkg, &sc, eval.DefaultOptions())
+	sched := &eval.Schedule{Windows: []eval.TimeWindow{
+		{Index: 0, Segments: []eval.Segment{
+			{Model: 0, First: 0, Last: 0, Chiplet: 0},
+			{Model: 0, First: 1, Last: 1, Chiplet: 1},
+			{Model: 1, First: 0, Last: 0, Chiplet: 4},
+		}},
+	}}
+	return ev, &sc, pkg, sched
+}
+
+func TestBuildTimeline(t *testing.T) {
+	ev, sc, pkg, sched := rig()
+	tl := Build(ev, sc, pkg, sched)
+	if len(tl.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3 (two stages + one)", len(tl.Spans))
+	}
+	if tl.TotalSec <= 0 {
+		t.Fatal("non-positive makespan")
+	}
+	for _, s := range tl.Spans {
+		if s.EndSec <= s.StartSec {
+			t.Errorf("span %+v has non-positive duration", s)
+		}
+		if s.EndSec > tl.TotalSec*1.0001 {
+			t.Errorf("span %+v exceeds makespan %v", s, tl.TotalSec)
+		}
+		if s.Chiplet < 0 || s.Chiplet >= 9 {
+			t.Errorf("span chiplet out of range: %+v", s)
+		}
+	}
+	// Pipeline order: model 0's second stage starts after its first.
+	var first, second Span
+	for _, s := range tl.Spans {
+		if s.Model == 0 && s.Chiplet == 0 {
+			first = s
+		}
+		if s.Model == 0 && s.Chiplet == 1 {
+			second = s
+		}
+	}
+	if second.StartSec < first.StartSec {
+		t.Errorf("downstream stage starts before upstream: %+v vs %+v", second, first)
+	}
+	if u := tl.Utilization(); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestTimelineMultiWindowOffsets(t *testing.T) {
+	ev, sc, pkg, _ := rig()
+	sched := &eval.Schedule{Windows: []eval.TimeWindow{
+		{Index: 0, Segments: []eval.Segment{{Model: 0, First: 0, Last: 1, Chiplet: 0}}},
+		{Index: 1, Segments: []eval.Segment{{Model: 1, First: 0, Last: 0, Chiplet: 0}}},
+	}}
+	tl := Build(ev, sc, pkg, sched)
+	if len(tl.Spans) != 2 {
+		t.Fatalf("spans = %d", len(tl.Spans))
+	}
+	// Second-window span must start at or after the first window ends.
+	w0End := tl.Spans[0].EndSec
+	if tl.Spans[1].StartSec < w0End-1e-12 {
+		t.Errorf("window 1 span starts %v before window 0 end %v", tl.Spans[1].StartSec, w0End)
+	}
+}
+
+func TestGanttRendering(t *testing.T) {
+	ev, sc, pkg, sched := rig()
+	tl := Build(ev, sc, pkg, sched)
+	out := tl.Gantt(40)
+	if !strings.Contains(out, "c0 ") || !strings.Contains(out, "c8 ") {
+		t.Errorf("Gantt missing chiplet rows:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Errorf("Gantt missing model marks:\n%s", out)
+	}
+	// Idle chiplets stay dotted.
+	if !strings.Contains(out, "....") {
+		t.Errorf("Gantt missing idle marks:\n%s", out)
+	}
+	// Tiny width is clamped, not panicking.
+	if small := tl.Gantt(1); !strings.Contains(small, "c0") {
+		t.Error("small-width Gantt broken")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	ev, sc, pkg, sched := rig()
+	tl := Build(ev, sc, pkg, sched)
+	data, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(data, &events); err != nil {
+		t.Fatalf("export not valid JSON: %v", err)
+	}
+	if len(events) != len(tl.Spans) {
+		t.Fatalf("events = %d, want %d", len(events), len(tl.Spans))
+	}
+	for _, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("event phase = %v, want X", e["ph"])
+		}
+		if e["dur"].(float64) <= 0 {
+			t.Errorf("non-positive duration: %v", e)
+		}
+	}
+}
+
+func TestEmptyTimeline(t *testing.T) {
+	tl := &Timeline{Chiplets: 4}
+	if u := tl.Utilization(); u != 0 {
+		t.Errorf("empty utilization = %v", u)
+	}
+	if out := tl.Gantt(20); !strings.Contains(out, "0 s total") && !strings.Contains(out, "timeline") {
+		t.Errorf("empty Gantt = %q", out)
+	}
+}

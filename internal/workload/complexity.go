@@ -1,0 +1,53 @@
+package workload
+
+import "math"
+
+// This file reproduces the search-space characterization of Section II-D:
+//
+//	O( C^L  *  L! / (L1! * L2! * ... * LN!) )
+//
+// where C is the chiplet count, L the total layer count and Li the layer
+// count of model i. The first factor is the spatial assignment space, the
+// multinomial coefficient counts dependency-preserving interleavings.
+
+// Log10SpatialComplexity returns log10(C^L).
+func Log10SpatialComplexity(chiplets, totalLayers int) float64 {
+	if chiplets <= 0 || totalLayers <= 0 {
+		return 0
+	}
+	return float64(totalLayers) * math.Log10(float64(chiplets))
+}
+
+// Log10InterleavingComplexity returns log10 of the multinomial coefficient
+// L! / prod(Li!) using log-gamma to stay in range.
+func Log10InterleavingComplexity(layerCounts []int) float64 {
+	total := 0
+	for _, c := range layerCounts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	ln := logFactorial(total)
+	for _, c := range layerCounts {
+		ln -= logFactorial(c)
+	}
+	return ln / math.Ln10
+}
+
+// Log10SchedulingComplexity returns log10 of the full multi-model
+// scheduling space size for a scenario on an MCM with the given chiplet
+// count.
+func Log10SchedulingComplexity(s Scenario, chiplets int) float64 {
+	counts := make([]int, len(s.Models))
+	for i, m := range s.Models {
+		counts[i] = len(m.Layers)
+	}
+	return Log10SpatialComplexity(chiplets, s.TotalLayers()) +
+		Log10InterleavingComplexity(counts)
+}
+
+func logFactorial(n int) float64 {
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}

@@ -1,0 +1,253 @@
+// Package workload models multi-model AI workloads at layer granularity,
+// following the formulation in Section III of the SCAR paper (Definitions
+// 1, 4, 5 and Theorems 1-2).
+//
+// Every operator is expressed as a 7-D convolution loop nest
+// (N, K, C, Y, X, R, S) plus a stride, mirroring MAESTRO's uniform
+// representation. A GEMM of shape M x Kdim x Nout maps to
+// (N=batch, K=Nout, C=Kdim, Y=M, X=1, R=1, S=1), so one cost model serves
+// convolutional and transformer workloads alike.
+package workload
+
+import "fmt"
+
+// OpType classifies a layer's operator. The cost model uses it to decide
+// which loop dimensions carry weights and which are dataflow-sensitive.
+type OpType int
+
+const (
+	// OpConv is a standard dense convolution (weights K*C*R*S).
+	OpConv OpType = iota
+	// OpDWConv is a depthwise convolution: one filter per channel, C==1
+	// in the nest and K carries the channel count.
+	OpDWConv
+	// OpGEMM is a fully connected layer or matrix multiply.
+	OpGEMM
+	// OpPool is a pooling window; it has no weights and negligible
+	// dataflow affinity.
+	OpPool
+	// OpEltwise is an element-wise op (residual add, activation,
+	// normalization); no weights.
+	OpEltwise
+	// OpEmbedding is a table lookup; modeled as pure memory traffic.
+	OpEmbedding
+)
+
+// String returns the canonical lower-case name of the operator type.
+func (t OpType) String() string {
+	switch t {
+	case OpConv:
+		return "conv"
+	case OpDWConv:
+		return "dwconv"
+	case OpGEMM:
+		return "gemm"
+	case OpPool:
+		return "pool"
+	case OpEltwise:
+		return "eltwise"
+	case OpEmbedding:
+		return "embedding"
+	default:
+		return fmt.Sprintf("optype(%d)", int(t))
+	}
+}
+
+// HasWeights reports whether the operator carries a weight tensor.
+func (t OpType) HasWeights() bool {
+	switch t {
+	case OpConv, OpDWConv, OpGEMM, OpEmbedding:
+		return true
+	default:
+		return false
+	}
+}
+
+// Layer is one operator of one model (layer_{i,j} in Definition 1).
+//
+// The loop nest is interpreted as:
+//
+//	for n in N:          // batch
+//	  for k in K:        // output channels
+//	    for c in C:      // input channels
+//	      for y in Y, x in X:      // input feature map
+//	        for r in R, s in S:    // kernel window
+//	          out[n,k,y',x'] += in[n,c,y,x] * w[k,c,r,s]
+//
+// Y and X are the *input* spatial dims; output dims derive from the stride.
+type Layer struct {
+	Name string
+	Type OpType
+
+	N int // batch size
+	K int // output channels (or GEMM output dim)
+	C int // input channels (or GEMM reduction dim)
+	Y int // input rows (or GEMM M dim)
+	X int // input cols
+	R int // kernel rows
+	S int // kernel cols
+
+	Stride int // spatial stride (>=1)
+
+	// BytesPerElem is the datum width; 2 (fp16/int16) unless set.
+	BytesPerElem int
+}
+
+// Conv builds a dense convolution layer with square kernels.
+func Conv(name string, c, k, y, x, r, stride int) Layer {
+	return Layer{Name: name, Type: OpConv, N: 1, K: k, C: c, Y: y, X: x, R: r, S: r, Stride: stride}
+}
+
+// DWConv builds a depthwise convolution over ch channels.
+func DWConv(name string, ch, y, x, r, stride int) Layer {
+	return Layer{Name: name, Type: OpDWConv, N: 1, K: ch, C: 1, Y: y, X: x, R: r, S: r, Stride: stride}
+}
+
+// GEMM builds a matrix multiply of shape m x kdim -> m x nout.
+func GEMM(name string, m, kdim, nout int) Layer {
+	return Layer{Name: name, Type: OpGEMM, N: 1, K: nout, C: kdim, Y: m, X: 1, R: 1, S: 1, Stride: 1}
+}
+
+// Pool builds a pooling layer over ch channels with an r x r window.
+func Pool(name string, ch, y, x, r, stride int) Layer {
+	return Layer{Name: name, Type: OpPool, N: 1, K: ch, C: 1, Y: y, X: x, R: r, S: r, Stride: stride}
+}
+
+// Eltwise builds an element-wise layer over a ch x y x x tensor.
+func Eltwise(name string, ch, y, x int) Layer {
+	return Layer{Name: name, Type: OpEltwise, N: 1, K: ch, C: 1, Y: y, X: x, R: 1, S: 1, Stride: 1}
+}
+
+// Embedding builds a lookup of seq tokens into dim-wide vectors from a
+// vocab-sized table.
+func Embedding(name string, seq, vocab, dim int) Layer {
+	return Layer{Name: name, Type: OpEmbedding, N: 1, K: dim, C: vocab, Y: seq, X: 1, R: 1, S: 1, Stride: 1}
+}
+
+// normalized returns a copy with zero dims lifted to 1 so arithmetic never
+// divides by zero. Callers constructing layers by hand may omit dims.
+func (l Layer) normalized() Layer {
+	if l.N == 0 {
+		l.N = 1
+	}
+	if l.K == 0 {
+		l.K = 1
+	}
+	if l.C == 0 {
+		l.C = 1
+	}
+	if l.Y == 0 {
+		l.Y = 1
+	}
+	if l.X == 0 {
+		l.X = 1
+	}
+	if l.R == 0 {
+		l.R = 1
+	}
+	if l.S == 0 {
+		l.S = 1
+	}
+	if l.Stride == 0 {
+		l.Stride = 1
+	}
+	if l.BytesPerElem == 0 {
+		l.BytesPerElem = 2
+	}
+	return l
+}
+
+// Validate reports whether the layer dimensions are internally consistent.
+func (l Layer) Validate() error {
+	n := l.normalized()
+	if n.R > n.Y || n.S > n.X {
+		return fmt.Errorf("workload: layer %q kernel %dx%d larger than input %dx%d", l.Name, n.R, n.S, n.Y, n.X)
+	}
+	if n.Stride < 1 {
+		return fmt.Errorf("workload: layer %q has stride %d < 1", l.Name, n.Stride)
+	}
+	for _, d := range []int{n.N, n.K, n.C, n.Y, n.X, n.R, n.S} {
+		if d < 1 {
+			return fmt.Errorf("workload: layer %q has non-positive dimension", l.Name)
+		}
+	}
+	return nil
+}
+
+// OutY returns the output rows after striding.
+func (l Layer) OutY() int {
+	n := l.normalized()
+	return (n.Y-n.R)/n.Stride + 1
+}
+
+// OutX returns the output cols after striding.
+func (l Layer) OutX() int {
+	n := l.normalized()
+	return (n.X-n.S)/n.Stride + 1
+}
+
+// MACs returns the multiply-accumulate count of the layer (element ops for
+// weight-free layers).
+func (l Layer) MACs() int64 {
+	n := l.normalized()
+	oy, ox := int64(l.OutY()), int64(l.OutX())
+	switch n.Type {
+	case OpEltwise:
+		return int64(n.N) * int64(n.K) * oy * ox
+	case OpEmbedding:
+		// A lookup moves K values per token; count them as ops.
+		return int64(n.N) * int64(n.Y) * int64(n.K)
+	case OpPool, OpDWConv:
+		return int64(n.N) * int64(n.K) * oy * ox * int64(n.R) * int64(n.S)
+	default:
+		return int64(n.N) * int64(n.K) * int64(n.C) * oy * ox * int64(n.R) * int64(n.S)
+	}
+}
+
+// InputBytes returns the input activation footprint.
+func (l Layer) InputBytes() int64 {
+	n := l.normalized()
+	switch n.Type {
+	case OpEmbedding:
+		// Token indices: 4 bytes each.
+		return int64(n.N) * int64(n.Y) * 4
+	case OpPool, OpEltwise, OpDWConv:
+		return int64(n.N) * int64(n.K) * int64(n.Y) * int64(n.X) * int64(n.BytesPerElem)
+	default:
+		return int64(n.N) * int64(n.C) * int64(n.Y) * int64(n.X) * int64(n.BytesPerElem)
+	}
+}
+
+// WeightBytes returns the weight tensor footprint (zero for weight-free ops).
+func (l Layer) WeightBytes() int64 {
+	n := l.normalized()
+	switch n.Type {
+	case OpConv, OpGEMM:
+		return int64(n.K) * int64(n.C) * int64(n.R) * int64(n.S) * int64(n.BytesPerElem)
+	case OpDWConv:
+		return int64(n.K) * int64(n.R) * int64(n.S) * int64(n.BytesPerElem)
+	case OpEmbedding:
+		return int64(n.C) * int64(n.K) * int64(n.BytesPerElem)
+	default:
+		return 0
+	}
+}
+
+// OutputBytes returns the output activation footprint.
+func (l Layer) OutputBytes() int64 {
+	n := l.normalized()
+	return int64(n.N) * int64(n.K) * int64(l.OutY()) * int64(l.OutX()) * int64(n.BytesPerElem)
+}
+
+// WithBatch returns a copy of the layer with the batch dimension set.
+func (l Layer) WithBatch(b int) Layer {
+	l.N = b
+	return l
+}
+
+// String renders a compact human-readable description.
+func (l Layer) String() string {
+	n := l.normalized()
+	return fmt.Sprintf("%s[%s N%d K%d C%d %dx%d k%dx%d s%d]",
+		n.Name, n.Type, n.N, n.K, n.C, n.Y, n.X, n.R, n.S, n.Stride)
+}

@@ -1,0 +1,171 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvDims(t *testing.T) {
+	l := Conv("c1", 3, 64, 224, 224, 7, 2)
+	if got := l.OutY(); got != 109 {
+		t.Errorf("OutY = %d, want 109", got)
+	}
+	if got := l.OutX(); got != 109 {
+		t.Errorf("OutX = %d, want 109", got)
+	}
+	wantMACs := int64(64) * 3 * 109 * 109 * 7 * 7
+	if got := l.MACs(); got != wantMACs {
+		t.Errorf("MACs = %d, want %d", got, wantMACs)
+	}
+}
+
+func TestConvUnitStride(t *testing.T) {
+	// 3x3 same-channel conv on 56x56 input: out is 54x54 (no padding in
+	// the nest; models pre-pad by using the padded input dims).
+	l := Conv("c", 64, 64, 56, 56, 3, 1)
+	if l.OutY() != 54 || l.OutX() != 54 {
+		t.Errorf("out dims = %dx%d, want 54x54", l.OutY(), l.OutX())
+	}
+}
+
+func TestGEMMDims(t *testing.T) {
+	l := GEMM("ffn", 128, 1280, 5120)
+	if got, want := l.MACs(), int64(128)*1280*5120; got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	if got, want := l.WeightBytes(), int64(1280)*5120*2; got != want {
+		t.Errorf("WeightBytes = %d, want %d", got, want)
+	}
+	if got, want := l.InputBytes(), int64(128)*1280*2; got != want {
+		t.Errorf("InputBytes = %d, want %d", got, want)
+	}
+	if got, want := l.OutputBytes(), int64(128)*5120*2; got != want {
+		t.Errorf("OutputBytes = %d, want %d", got, want)
+	}
+}
+
+func TestDWConvWeights(t *testing.T) {
+	l := DWConv("dw", 128, 28, 28, 3, 1)
+	if got, want := l.WeightBytes(), int64(128)*3*3*2; got != want {
+		t.Errorf("WeightBytes = %d, want %d", got, want)
+	}
+	if got, want := l.MACs(), int64(128)*26*26*3*3; got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestPoolHasNoWeights(t *testing.T) {
+	l := Pool("p", 64, 112, 112, 2, 2)
+	if l.WeightBytes() != 0 {
+		t.Errorf("pool WeightBytes = %d, want 0", l.WeightBytes())
+	}
+	if l.Type.HasWeights() {
+		t.Error("pool reports HasWeights")
+	}
+}
+
+func TestEltwise(t *testing.T) {
+	l := Eltwise("add", 256, 56, 56)
+	if got, want := l.MACs(), int64(256)*56*56; got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+	if l.WeightBytes() != 0 {
+		t.Error("eltwise has weights")
+	}
+}
+
+func TestEmbeddingBytes(t *testing.T) {
+	l := Embedding("emb", 128, 50257, 1280)
+	if got, want := l.WeightBytes(), int64(50257)*1280*2; got != want {
+		t.Errorf("WeightBytes = %d, want %d", got, want)
+	}
+	if got, want := l.InputBytes(), int64(128)*4; got != want {
+		t.Errorf("InputBytes = %d, want %d", got, want)
+	}
+}
+
+func TestWithBatchScalesFootprints(t *testing.T) {
+	l := Conv("c", 64, 64, 56, 56, 3, 1)
+	b := l.WithBatch(8)
+	if b.MACs() != 8*l.MACs() {
+		t.Errorf("batched MACs = %d, want %d", b.MACs(), 8*l.MACs())
+	}
+	if b.InputBytes() != 8*l.InputBytes() {
+		t.Errorf("batched InputBytes = %d, want %d", b.InputBytes(), 8*l.InputBytes())
+	}
+	if b.WeightBytes() != l.WeightBytes() {
+		t.Errorf("batched WeightBytes changed: %d vs %d", b.WeightBytes(), l.WeightBytes())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Conv("ok", 3, 64, 224, 224, 7, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid layer rejected: %v", err)
+	}
+	bad := Conv("bad", 3, 64, 4, 4, 7, 2) // kernel larger than input
+	if err := bad.Validate(); err == nil {
+		t.Error("kernel>input accepted")
+	}
+}
+
+func TestStringContainsName(t *testing.T) {
+	l := Conv("conv2_1", 64, 64, 56, 56, 1, 1)
+	if s := l.String(); !strings.Contains(s, "conv2_1") {
+		t.Errorf("String() = %q, missing name", s)
+	}
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	cases := map[OpType]string{
+		OpConv: "conv", OpDWConv: "dwconv", OpGEMM: "gemm",
+		OpPool: "pool", OpEltwise: "eltwise", OpEmbedding: "embedding",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+	if got := OpType(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown op string = %q", got)
+	}
+}
+
+// Property: MACs, and all byte footprints are strictly positive for any
+// well-formed layer, and MACs scale linearly in batch.
+func TestQuickLayerInvariants(t *testing.T) {
+	f := func(c8, k8, y6, r2, s2 uint8) bool {
+		c := int(c8%64) + 1
+		k := int(k8%64) + 1
+		y := int(y6%64) + 8
+		r := int(r2%3) + 1
+		st := int(s2%2) + 1
+		l := Conv("q", c, k, y, y, r, st)
+		if err := l.Validate(); err != nil {
+			return false
+		}
+		if l.MACs() <= 0 || l.InputBytes() <= 0 || l.WeightBytes() <= 0 || l.OutputBytes() <= 0 {
+			return false
+		}
+		return l.WithBatch(4).MACs() == 4*l.MACs()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: output dims never exceed input dims and are positive.
+func TestQuickOutputDims(t *testing.T) {
+	f := func(y8 uint8, r2, s2 uint8) bool {
+		y := int(y8%128) + 8
+		r := int(r2%5) + 1
+		st := int(s2%3) + 1
+		l := Conv("q", 8, 8, y, y, r, st)
+		oy := l.OutY()
+		return oy >= 1 && oy <= y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package workload
+
+import "fmt"
+
+// Model is one network of a multi-model scenario: an ordered (topologically
+// sorted) sequence of layers plus a batch size. The paper's scheduler
+// operates on the topologically sorted layer sequence of each model
+// (Section IV-C), so intra-model dependencies form a chain.
+type Model struct {
+	Name   string
+	Batch  int
+	Layers []Layer
+}
+
+// NewModel constructs a model, normalizing the batch to >= 1.
+func NewModel(name string, batch int, layers []Layer) Model {
+	if batch < 1 {
+		batch = 1
+	}
+	norm := make([]Layer, len(layers))
+	for i, l := range layers {
+		norm[i] = l.normalized()
+	}
+	return Model{Name: name, Batch: batch, Layers: norm}
+}
+
+// NumLayers returns |m|, the layer count.
+func (m Model) NumLayers() int { return len(m.Layers) }
+
+// TotalMACs returns the per-sample MAC count summed over all layers.
+func (m Model) TotalMACs() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.MACs()
+	}
+	return sum
+}
+
+// TotalWeightBytes returns the summed weight footprint of the model.
+func (m Model) TotalWeightBytes() int64 {
+	var sum int64
+	for _, l := range m.Layers {
+		sum += l.WeightBytes()
+	}
+	return sum
+}
+
+// Validate checks every layer and the batch size.
+func (m Model) Validate() error {
+	if m.Batch < 1 {
+		return fmt.Errorf("workload: model %q batch %d < 1", m.Name, m.Batch)
+	}
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("workload: model %q has no layers", m.Name)
+	}
+	for i, l := range m.Layers {
+		if err := l.Validate(); err != nil {
+			return fmt.Errorf("workload: model %q layer %d: %w", m.Name, i, err)
+		}
+	}
+	return nil
+}
+
+// Scenario is a multi-model workload scenario Sc (Definition 1): the
+// collection of all layers of all member models.
+type Scenario struct {
+	Name   string
+	Models []Model
+}
+
+// NewScenario constructs a scenario from models.
+func NewScenario(name string, models ...Model) Scenario {
+	return Scenario{Name: name, Models: models}
+}
+
+// NumModels returns |Sc|.
+func (s Scenario) NumModels() int { return len(s.Models) }
+
+// TotalLayers returns L = sum over models of |m_i|.
+func (s Scenario) TotalLayers() int {
+	n := 0
+	for _, m := range s.Models {
+		n += len(m.Layers)
+	}
+	return n
+}
+
+// Layer returns layer_{i,j}: the j-th layer of the i-th model.
+func (s Scenario) Layer(model, index int) (Layer, error) {
+	if model < 0 || model >= len(s.Models) {
+		return Layer{}, fmt.Errorf("workload: scenario %q has no model %d", s.Name, model)
+	}
+	m := s.Models[model]
+	if index < 0 || index >= len(m.Layers) {
+		return Layer{}, fmt.Errorf("workload: model %q has no layer %d", m.Name, index)
+	}
+	return m.Layers[index], nil
+}
+
+// Validate checks all member models.
+func (s Scenario) Validate() error {
+	if len(s.Models) == 0 {
+		return fmt.Errorf("workload: scenario %q has no models", s.Name)
+	}
+	for _, m := range s.Models {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LayerRef identifies one layer within a scenario by (model index, layer
+// index). The scheduler manipulates refs rather than copying layer structs.
+type LayerRef struct {
+	Model int
+	Index int
+}
+
+// String renders the reference as mM:lL.
+func (r LayerRef) String() string { return fmt.Sprintf("m%d:l%d", r.Model, r.Index) }
+
+// AllRefs enumerates every layer of the scenario in (model, index) order.
+func (s Scenario) AllRefs() []LayerRef {
+	refs := make([]LayerRef, 0, s.TotalLayers())
+	for mi, m := range s.Models {
+		for li := range m.Layers {
+			refs = append(refs, LayerRef{Model: mi, Index: li})
+		}
+	}
+	return refs
+}

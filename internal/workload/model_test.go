@@ -1,0 +1,94 @@
+package workload
+
+import "testing"
+
+func twoModelScenario() Scenario {
+	a := NewModel("A", 1, []Layer{
+		Conv("a0", 3, 64, 224, 224, 7, 2),
+		Conv("a1", 64, 64, 56, 56, 3, 1),
+		GEMM("a2", 1, 2048, 1000),
+	})
+	b := NewModel("B", 2, []Layer{
+		GEMM("b0", 128, 768, 768),
+		GEMM("b1", 128, 768, 3072),
+	})
+	return NewScenario("two", a, b)
+}
+
+func TestScenarioCounts(t *testing.T) {
+	s := twoModelScenario()
+	if s.NumModels() != 2 {
+		t.Fatalf("NumModels = %d, want 2", s.NumModels())
+	}
+	if s.TotalLayers() != 5 {
+		t.Fatalf("TotalLayers = %d, want 5", s.TotalLayers())
+	}
+}
+
+func TestScenarioLayerAccess(t *testing.T) {
+	s := twoModelScenario()
+	l, err := s.Layer(1, 1)
+	if err != nil {
+		t.Fatalf("Layer(1,1): %v", err)
+	}
+	if l.Name != "b1" {
+		t.Errorf("Layer(1,1).Name = %q, want b1", l.Name)
+	}
+	if _, err := s.Layer(2, 0); err == nil {
+		t.Error("out-of-range model accepted")
+	}
+	if _, err := s.Layer(0, 9); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	s := twoModelScenario()
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid scenario rejected: %v", err)
+	}
+	empty := NewScenario("empty")
+	if err := empty.Validate(); err == nil {
+		t.Error("empty scenario accepted")
+	}
+	badModel := NewScenario("bad", Model{Name: "x", Batch: 1})
+	if err := badModel.Validate(); err == nil {
+		t.Error("model without layers accepted")
+	}
+}
+
+func TestNewModelNormalizesBatch(t *testing.T) {
+	m := NewModel("m", 0, []Layer{Conv("c", 3, 8, 32, 32, 3, 1)})
+	if m.Batch != 1 {
+		t.Errorf("Batch = %d, want 1", m.Batch)
+	}
+}
+
+func TestModelAggregates(t *testing.T) {
+	m := NewModel("m", 1, []Layer{
+		GEMM("g0", 16, 32, 64),
+		GEMM("g1", 16, 64, 32),
+	})
+	wantMACs := int64(16*32*64 + 16*64*32)
+	if got := m.TotalMACs(); got != wantMACs {
+		t.Errorf("TotalMACs = %d, want %d", got, wantMACs)
+	}
+	wantW := int64(32*64*2 + 64*32*2)
+	if got := m.TotalWeightBytes(); got != wantW {
+		t.Errorf("TotalWeightBytes = %d, want %d", got, wantW)
+	}
+}
+
+func TestAllRefsOrder(t *testing.T) {
+	s := twoModelScenario()
+	refs := s.AllRefs()
+	if len(refs) != 5 {
+		t.Fatalf("AllRefs len = %d, want 5", len(refs))
+	}
+	want := []LayerRef{{0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}}
+	for i, r := range refs {
+		if r != want[i] {
+			t.Errorf("refs[%d] = %v, want %v", i, r, want[i])
+		}
+	}
+}

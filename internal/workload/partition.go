@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements the validity conditions of Theorems 1 and 2: a set
+// of segments must exactly partition the layers of its time window, and the
+// set of time windows must exactly partition the layers of the scenario.
+// Both reduce to "cover and disjoint" over LayerRef sets, plus the
+// dependency requirement that each model's layers appear in order.
+
+// RefSet is a set of layer references.
+type RefSet map[LayerRef]struct{}
+
+// NewRefSet builds a set from a slice of refs.
+func NewRefSet(refs []LayerRef) RefSet {
+	s := make(RefSet, len(refs))
+	for _, r := range refs {
+		s[r] = struct{}{}
+	}
+	return s
+}
+
+// Contains reports membership.
+func (s RefSet) Contains(r LayerRef) bool {
+	_, ok := s[r]
+	return ok
+}
+
+// Sorted returns the refs in (model, index) order.
+func (s RefSet) Sorted() []LayerRef {
+	out := make([]LayerRef, 0, len(s))
+	for r := range s {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Model != out[j].Model {
+			return out[i].Model < out[j].Model
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+// ValidatePartition checks the cover-and-disjoint condition shared by
+// Theorems 1 and 2: the parts must be pairwise disjoint and their union
+// must equal universe. It returns a descriptive error on the first
+// violation found.
+func ValidatePartition(universe []LayerRef, parts [][]LayerRef) error {
+	want := NewRefSet(universe)
+	seen := make(RefSet, len(universe))
+	for pi, part := range parts {
+		for _, r := range part {
+			if !want.Contains(r) {
+				return fmt.Errorf("workload: part %d contains %v which is outside the universe", pi, r)
+			}
+			if seen.Contains(r) {
+				return fmt.Errorf("workload: %v appears in more than one part (part %d)", r, pi)
+			}
+			seen[r] = struct{}{}
+		}
+	}
+	if len(seen) != len(want) {
+		for r := range want {
+			if !seen.Contains(r) {
+				return fmt.Errorf("workload: %v is not covered by any part", r)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateModelOrder checks that within the concatenation of parts (in part
+// order), each model's layer indices appear in strictly increasing order
+// and form a contiguous prefix-to-suffix chain. This encodes the layer
+// dependency constraint: a model's layer j may only run after layer j-1.
+func ValidateModelOrder(parts [][]LayerRef) error {
+	next := map[int]int{} // model -> expected next index
+	first := map[int]int{}
+	for pi, part := range parts {
+		for _, r := range part {
+			exp, ok := next[r.Model]
+			if !ok {
+				first[r.Model] = r.Index
+				next[r.Model] = r.Index + 1
+				continue
+			}
+			if r.Index != exp {
+				return fmt.Errorf("workload: model %d layer %d out of order in part %d (expected %d)", r.Model, r.Index, pi, exp)
+			}
+			next[r.Model] = exp + 1
+		}
+	}
+	return nil
+}
+
+// ContiguousRuns splits refs (assumed sorted per model) into maximal runs
+// of consecutive layers per model, preserving model order. It is the shape
+// segments take after valid partitioning.
+func ContiguousRuns(refs []LayerRef) [][]LayerRef {
+	byModel := map[int][]LayerRef{}
+	var modelOrder []int
+	for _, r := range refs {
+		if _, ok := byModel[r.Model]; !ok {
+			modelOrder = append(modelOrder, r.Model)
+		}
+		byModel[r.Model] = append(byModel[r.Model], r)
+	}
+	sort.Ints(modelOrder)
+	var runs [][]LayerRef
+	for _, m := range modelOrder {
+		rs := byModel[m]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Index < rs[j].Index })
+		start := 0
+		for i := 1; i <= len(rs); i++ {
+			if i == len(rs) || rs[i].Index != rs[i-1].Index+1 {
+				runs = append(runs, rs[start:i])
+				start = i
+			}
+		}
+	}
+	return runs
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refs(model int, from, to int) []LayerRef {
+	out := make([]LayerRef, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, LayerRef{Model: model, Index: i})
+	}
+	return out
+}
+
+func TestValidatePartitionAccepts(t *testing.T) {
+	universe := append(refs(0, 0, 4), refs(1, 0, 3)...)
+	parts := [][]LayerRef{
+		append(refs(0, 0, 2), refs(1, 0, 1)...),
+		append(refs(0, 2, 4), refs(1, 1, 3)...),
+	}
+	if err := ValidatePartition(universe, parts); err != nil {
+		t.Errorf("valid partition rejected: %v", err)
+	}
+}
+
+func TestValidatePartitionRejectsOverlap(t *testing.T) {
+	universe := refs(0, 0, 3)
+	parts := [][]LayerRef{refs(0, 0, 2), refs(0, 1, 3)} // layer 1 twice
+	if err := ValidatePartition(universe, parts); err == nil {
+		t.Error("overlapping partition accepted (Theorem 1 exclusivity violated)")
+	}
+}
+
+func TestValidatePartitionRejectsGap(t *testing.T) {
+	universe := refs(0, 0, 3)
+	parts := [][]LayerRef{refs(0, 0, 1), refs(0, 2, 3)} // layer 1 missing
+	if err := ValidatePartition(universe, parts); err == nil {
+		t.Error("gapped partition accepted (Theorem 1 coverage violated)")
+	}
+}
+
+func TestValidatePartitionRejectsForeign(t *testing.T) {
+	universe := refs(0, 0, 2)
+	parts := [][]LayerRef{refs(0, 0, 2), refs(3, 0, 1)}
+	if err := ValidatePartition(universe, parts); err == nil {
+		t.Error("foreign ref accepted")
+	}
+}
+
+func TestValidateModelOrder(t *testing.T) {
+	good := [][]LayerRef{refs(0, 0, 2), append(refs(0, 2, 3), refs(1, 0, 2)...)}
+	if err := ValidateModelOrder(good); err != nil {
+		t.Errorf("ordered parts rejected: %v", err)
+	}
+	bad := [][]LayerRef{refs(0, 2, 3), refs(0, 0, 2)} // layer 2 before 0,1
+	if err := ValidateModelOrder(bad); err == nil {
+		t.Error("dependency-violating order accepted")
+	}
+}
+
+func TestContiguousRuns(t *testing.T) {
+	in := []LayerRef{{0, 0}, {0, 1}, {0, 3}, {1, 5}, {1, 6}}
+	runs := ContiguousRuns(in)
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3 (got %v)", len(runs), runs)
+	}
+	if len(runs[0]) != 2 || len(runs[1]) != 1 || len(runs[2]) != 2 {
+		t.Errorf("run sizes = %d,%d,%d; want 2,1,2", len(runs[0]), len(runs[1]), len(runs[2]))
+	}
+}
+
+func TestRefSetSorted(t *testing.T) {
+	s := NewRefSet([]LayerRef{{1, 2}, {0, 1}, {1, 0}, {0, 0}})
+	sorted := s.Sorted()
+	want := []LayerRef{{0, 0}, {0, 1}, {1, 0}, {1, 2}}
+	for i, r := range sorted {
+		if r != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, r, want[i])
+		}
+	}
+}
+
+// Property: any random split of a universe into k contiguous chunks per
+// model is a valid partition; the same split with one element removed is
+// not; the same split with one element duplicated is not.
+func TestQuickPartitionProperty(t *testing.T) {
+	f := func(seed int64, n8 uint8, k8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%20) + 2
+		k := int(k8%4) + 1
+		universe := refs(0, 0, n)
+		// Random contiguous split points.
+		cuts := map[int]struct{}{}
+		for len(cuts) < k && len(cuts) < n-1 {
+			cuts[1+rng.Intn(n-1)] = struct{}{}
+		}
+		points := []int{0}
+		for c := range cuts {
+			points = append(points, c)
+		}
+		points = append(points, n)
+		sortInts(points)
+		var parts [][]LayerRef
+		for i := 0; i+1 < len(points); i++ {
+			parts = append(parts, refs(0, points[i], points[i+1]))
+		}
+		if err := ValidatePartition(universe, parts); err != nil {
+			return false
+		}
+		// Drop one element -> invalid.
+		mut := make([][]LayerRef, len(parts))
+		copy(mut, parts)
+		if len(mut[0]) > 0 {
+			mut[0] = mut[0][1:]
+			if err := ValidatePartition(universe, mut); err == nil {
+				return false
+			}
+		}
+		// Duplicate one element -> invalid.
+		dup := make([][]LayerRef, len(parts))
+		copy(dup, parts)
+		dup[len(dup)-1] = append([]LayerRef{universe[0]}, dup[len(dup)-1]...)
+		return ValidatePartition(universe, dup) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func TestComplexityMotivationalExample(t *testing.T) {
+	// Paper Section II-D: ResNet-50 (50 layers) + UNet (23 layers) on 36
+	// chiplets reaches ~O(10^56)... the spatial term alone is
+	// 36^73 ~ 10^113; the paper's 10^56 figure corresponds to the
+	// interleaving-dominant characterization at moderate C. We assert
+	// both terms are huge and the interleaving term matches the
+	// multinomial exactly.
+	lg := Log10InterleavingComplexity([]int{50, 23})
+	if lg < 18 || lg > 20 {
+		t.Errorf("log10 multinomial(73;50,23) = %.2f, want ~19", lg)
+	}
+	spatial := Log10SpatialComplexity(36, 73)
+	if spatial < 100 {
+		t.Errorf("log10 36^73 = %.1f, want > 100", spatial)
+	}
+	s := Scenario{Models: []Model{
+		{Name: "r50", Layers: make([]Layer, 50)},
+		{Name: "unet", Layers: make([]Layer, 23)},
+	}}
+	total := Log10SchedulingComplexity(s, 36)
+	if total < 56 {
+		t.Errorf("total log10 complexity = %.1f, want >= 56 (paper's O(10^56) lower bound)", total)
+	}
+}
+
+func TestComplexityDegenerate(t *testing.T) {
+	if got := Log10SpatialComplexity(0, 5); got != 0 {
+		t.Errorf("zero chiplets: %v", got)
+	}
+	if got := Log10InterleavingComplexity(nil); got != 0 {
+		t.Errorf("no models: %v", got)
+	}
+	// Single model: no interleaving freedom.
+	if got := Log10InterleavingComplexity([]int{7}); got != 0 {
+		t.Errorf("single model interleaving = %v, want 0", got)
+	}
+}

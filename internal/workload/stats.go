@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// ModelStats summarizes one model's computational profile — the numbers
+// behind Section II-A's workload-heterogeneity discussion.
+type ModelStats struct {
+	Name   string
+	Batch  int
+	Layers int
+	// MACs is the per-sample multiply-accumulate count.
+	MACs int64
+	// WeightBytes is the parameter footprint.
+	WeightBytes int64
+	// PeakActivationBytes is the largest single-layer activation
+	// (input+output) footprint — the L2 pressure figure.
+	PeakActivationBytes int64
+	// MACsByOp histograms compute per operator type.
+	MACsByOp map[OpType]int64
+	// LayersByOp histograms layer counts per operator type.
+	LayersByOp map[OpType]int
+	// ArithmeticIntensity is per-sample MACs per byte of compulsory
+	// traffic (weights + boundary activations) — low values flag
+	// memory-bound models.
+	ArithmeticIntensity float64
+}
+
+// Stats computes the model's profile.
+func (m Model) Stats() ModelStats {
+	s := ModelStats{
+		Name:       m.Name,
+		Batch:      m.Batch,
+		Layers:     len(m.Layers),
+		MACsByOp:   map[OpType]int64{},
+		LayersByOp: map[OpType]int{},
+	}
+	var traffic int64
+	for i, l := range m.Layers {
+		s.MACs += l.MACs()
+		s.WeightBytes += l.WeightBytes()
+		if act := l.InputBytes() + l.OutputBytes(); act > s.PeakActivationBytes {
+			s.PeakActivationBytes = act
+		}
+		s.MACsByOp[l.Type] += l.MACs()
+		s.LayersByOp[l.Type]++
+		traffic += l.WeightBytes()
+		if i == 0 {
+			traffic += l.InputBytes()
+		}
+		if i == len(m.Layers)-1 {
+			traffic += l.OutputBytes()
+		}
+	}
+	if traffic > 0 {
+		s.ArithmeticIntensity = float64(s.MACs) / float64(traffic)
+	}
+	return s
+}
+
+// DominantOp returns the operator type carrying the most MACs.
+func (s ModelStats) DominantOp() OpType {
+	best := OpConv
+	var max int64 = -1
+	// Iterate in a fixed order for determinism.
+	for _, op := range []OpType{OpConv, OpDWConv, OpGEMM, OpPool, OpEltwise, OpEmbedding} {
+		if v := s.MACsByOp[op]; v > max {
+			best, max = op, v
+		}
+	}
+	return best
+}
+
+// ScenarioStats aggregates the member models' profiles.
+type ScenarioStats struct {
+	Name   string
+	Models []ModelStats
+}
+
+// Stats computes the scenario's profile.
+func (s Scenario) Stats() ScenarioStats {
+	out := ScenarioStats{Name: s.Name}
+	for _, m := range s.Models {
+		out.Models = append(out.Models, m.Stats())
+	}
+	return out
+}
+
+// TotalMACs returns the batch-weighted scenario compute.
+func (s ScenarioStats) TotalMACs() int64 {
+	var sum int64
+	for _, m := range s.Models {
+		sum += m.MACs * int64(m.Batch)
+	}
+	return sum
+}
+
+// Diversity returns the number of distinct dominant operator types across
+// models — a crude heterogeneity index (>1 means mixed affinity).
+func (s ScenarioStats) Diversity() int {
+	seen := map[OpType]bool{}
+	for _, m := range s.Models {
+		seen[m.DominantOp()] = true
+	}
+	return len(seen)
+}
+
+// Print renders the profile as an aligned table.
+func (s ScenarioStats) Print(w io.Writer) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload %q: %d models, %.1f GMACs batch-weighted, diversity %d\n",
+		s.Name, len(s.Models), float64(s.TotalMACs())/1e9, s.Diversity())
+	fmt.Fprintln(tw, "model\tbatch\tlayers\tGMACs\tweights(MB)\tpeak act(MB)\tMACs/B\tdominant op")
+	for _, m := range s.Models {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.2f\t%.1f\t%.1f\t%.0f\t%s\n",
+			m.Name, m.Batch, m.Layers,
+			float64(m.MACs)/1e9,
+			float64(m.WeightBytes)/1e6,
+			float64(m.PeakActivationBytes)/1e6,
+			m.ArithmeticIntensity,
+			m.DominantOp())
+	}
+	tw.Flush()
+}
+
+// SortByMACs orders the model profiles by descending compute.
+func (s *ScenarioStats) SortByMACs() {
+	sort.SliceStable(s.Models, func(i, j int) bool {
+		return s.Models[i].MACs*int64(s.Models[i].Batch) > s.Models[j].MACs*int64(s.Models[j].Batch)
+	})
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func statsScenario() Scenario {
+	cnn := NewModel("cnn", 4, []Layer{
+		Conv("c0", 3, 64, 114, 114, 7, 2),
+		Conv("c1", 64, 64, 58, 58, 3, 1),
+		Pool("p", 64, 56, 56, 2, 2),
+	})
+	lm := NewModel("lm", 2, []Layer{
+		GEMM("g0", 64, 512, 2048),
+		GEMM("g1", 64, 2048, 512),
+		Eltwise("ln", 1, 64, 512),
+	})
+	return NewScenario("stats", cnn, lm)
+}
+
+func TestModelStats(t *testing.T) {
+	sc := statsScenario()
+	s := sc.Models[0].Stats()
+	if s.Name != "cnn" || s.Batch != 4 || s.Layers != 3 {
+		t.Errorf("header fields: %+v", s)
+	}
+	var wantMACs int64
+	for _, l := range sc.Models[0].Layers {
+		wantMACs += l.MACs()
+	}
+	if s.MACs != wantMACs {
+		t.Errorf("MACs = %d, want %d", s.MACs, wantMACs)
+	}
+	if s.LayersByOp[OpConv] != 2 || s.LayersByOp[OpPool] != 1 {
+		t.Errorf("layer histogram: %v", s.LayersByOp)
+	}
+	if s.DominantOp() != OpConv {
+		t.Errorf("dominant op = %v, want conv", s.DominantOp())
+	}
+	if s.ArithmeticIntensity <= 0 {
+		t.Errorf("arithmetic intensity = %v", s.ArithmeticIntensity)
+	}
+	if s.PeakActivationBytes <= 0 {
+		t.Error("peak activation not computed")
+	}
+	if lm := sc.Models[1].Stats(); lm.DominantOp() != OpGEMM {
+		t.Errorf("lm dominant op = %v, want gemm", lm.DominantOp())
+	}
+}
+
+func TestScenarioStats(t *testing.T) {
+	sc := statsScenario()
+	s := sc.Stats()
+	if len(s.Models) != 2 {
+		t.Fatalf("models = %d", len(s.Models))
+	}
+	// Batch-weighted total.
+	want := sc.Models[0].TotalMACs()*4 + sc.Models[1].TotalMACs()*2
+	if s.TotalMACs() != want {
+		t.Errorf("TotalMACs = %d, want %d", s.TotalMACs(), want)
+	}
+	// Conv-dominant + GEMM-dominant models -> diversity 2.
+	if s.Diversity() != 2 {
+		t.Errorf("diversity = %d, want 2", s.Diversity())
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	out := buf.String()
+	for _, needle := range []string{"cnn", "lm", "dominant", "diversity 2"} {
+		if !strings.Contains(out, needle) {
+			t.Errorf("Print missing %q:\n%s", needle, out)
+		}
+	}
+}
+
+func TestScenarioStatsSort(t *testing.T) {
+	sc := statsScenario()
+	s := sc.Stats()
+	s.SortByMACs()
+	first := s.Models[0].MACs * int64(s.Models[0].Batch)
+	second := s.Models[1].MACs * int64(s.Models[1].Batch)
+	if first < second {
+		t.Errorf("not sorted: %d < %d", first, second)
+	}
+}
+
+func TestStatsHomogeneousDiversity(t *testing.T) {
+	sc := NewScenario("homo",
+		NewModel("a", 1, []Layer{GEMM("g", 8, 64, 64)}),
+		NewModel("b", 1, []Layer{GEMM("g", 16, 64, 64)}),
+	)
+	if d := sc.Stats().Diversity(); d != 1 {
+		t.Errorf("diversity = %d, want 1", d)
+	}
+}

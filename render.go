@@ -1,0 +1,108 @@
+package scar
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RenderPackage draws the MCM's chiplet grid with per-die dataflows and
+// memory interfaces, in the style of the paper's Figure 6:
+//
+//	+-------+-------+-------+
+//	| NVD M | SHI   | NVD M |
+//	+-------+-------+-------+
+func RenderPackage(m *MCM) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%dx%d, %s)\n", m.Name, m.Width, m.Height, m.Topology)
+	sep := strings.Repeat("+-------", m.Width) + "+\n"
+	for y := 0; y < m.Height; y++ {
+		b.WriteString(sep)
+		for x := 0; x < m.Width; x++ {
+			c, _ := m.ChipletAt(x, y)
+			tag := strings.ToUpper(c.Dataflow.Name)
+			if len(tag) > 3 {
+				tag = tag[:3]
+			}
+			mem := " "
+			if c.HasMemIF {
+				mem = "M"
+			}
+			fmt.Fprintf(&b, "| %-3s %s ", tag, mem)
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString(sep)
+	counts := m.DataflowCounts()
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s: %d chiplets  ", n, counts[n])
+	}
+	b.WriteString("(M = off-chip memory interface)\n")
+	return b.String()
+}
+
+// RenderSchedule draws a schedule as a per-window assignment listing plus
+// the evaluated metrics — the textual analogue of the paper's Figure 9.
+func RenderSchedule(sc *Scenario, m *MCM, sched *Schedule, metrics Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule for %q on %s\n", sc.Name, m.Name)
+	fmt.Fprintf(&b, "latency %.4g s | energy %.4g J | EDP %.4g J.s | %d window(s)\n",
+		metrics.LatencySec, metrics.EnergyJ, metrics.EDP, len(sched.Windows))
+	for wi, w := range sched.Windows {
+		var wlat float64
+		if wi < len(metrics.Windows) {
+			wlat = metrics.Windows[wi].LatencySec
+		}
+		fmt.Fprintf(&b, "window %d (%.4g s):\n", wi, wlat)
+		for _, mi := range w.Models() {
+			model := sc.Models[mi]
+			segs := w.ModelSegments(mi)
+			fmt.Fprintf(&b, "  %-12s", model.Name)
+			for si, s := range segs {
+				if si > 0 {
+					b.WriteString(" -> ")
+				}
+				die := m.Chiplets[s.Chiplet]
+				fmt.Fprintf(&b, "[%s..%s]@c%d(%s)",
+					model.Layers[s.First].Name, model.Layers[s.Last].Name,
+					s.Chiplet, die.Dataflow.Name)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// RenderOccupancy draws which model occupies each chiplet in one window,
+// as a grid (models are lettered A, B, C... in scenario order; '.' is
+// idle).
+func RenderOccupancy(sc *Scenario, m *MCM, w TimeWindow) string {
+	owner := make(map[int]int) // chiplet -> model
+	for _, s := range w.Segments {
+		owner[s.Chiplet] = s.Model
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "window %d occupancy:\n", w.Index)
+	for y := 0; y < m.Height; y++ {
+		b.WriteString("  ")
+		for x := 0; x < m.Width; x++ {
+			c, _ := m.ChipletAt(x, y)
+			if mi, ok := owner[c.ID]; ok {
+				b.WriteByte(byte('A' + mi%26))
+			} else {
+				b.WriteByte('.')
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteString("\n")
+	}
+	for mi, model := range sc.Models {
+		fmt.Fprintf(&b, "  %c = %s\n", byte('A'+mi%26), model.Name)
+	}
+	return b.String()
+}

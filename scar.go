@@ -1,0 +1,271 @@
+// Package scar is a Go implementation of SCAR — the scheduler for
+// multi-model AI workloads on heterogeneous multi-chiplet module (MCM)
+// accelerators from Odema et al., MICRO 2024 — together with every
+// substrate the paper depends on: a MAESTRO-style analytical cost model
+// for NVDLA-like and ShiDianNao-like dataflows, the Simba-style MCM
+// package model with the Figure 6 chiplet organizations, a 13-network
+// model zoo covering the paper's MLPerf and XRBench scenarios, the
+// Standalone and NN-baton baselines, and the full experiment harness.
+//
+// Quick start:
+//
+//	sched := scar.NewScheduler(scar.DefaultOptions())
+//	sc, _ := scar.ScenarioByNumber(4)               // Table III Scenario 4
+//	pkg, _ := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
+//	res, _ := sched.Schedule(&sc, pkg, scar.EDPObjective())
+//	fmt.Println(scar.RenderSchedule(&sc, pkg, res.Schedule, res.Metrics))
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured comparison of every table and figure.
+package scar
+
+import (
+	"example.com/scar/internal/baselines"
+	"example.com/scar/internal/config"
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+	"example.com/scar/internal/trace"
+	"example.com/scar/internal/workload"
+)
+
+// Re-exported types: the library's public vocabulary.
+type (
+	// Layer is one operator of a model (7-D conv nest or GEMM view).
+	Layer = workload.Layer
+	// Model is an ordered layer sequence with a batch size.
+	Model = workload.Model
+	// Scenario is a multi-model workload (Definition 1 of the paper).
+	Scenario = workload.Scenario
+	// LayerRef identifies a layer by (model, index).
+	LayerRef = workload.LayerRef
+	// MCM is the multi-chip-module accelerator package (Definition 3).
+	MCM = mcm.MCM
+	// Chiplet is one accelerator die (Definition 2).
+	Chiplet = mcm.Chiplet
+	// ChipletSpec carries PE count, L2 size, bandwidth and clock.
+	ChipletSpec = maestro.Chiplet
+	// Dataflow is an accelerator dataflow descriptor.
+	Dataflow = dataflow.Dataflow
+	// Schedule is a schedule instance (Definition 9).
+	Schedule = eval.Schedule
+	// TimeWindow is one execution window (Definition 4).
+	TimeWindow = eval.TimeWindow
+	// Segment is a layer run mapped to one chiplet (Definition 5).
+	Segment = eval.Segment
+	// Metrics is a schedule evaluation (latency, energy, EDP).
+	Metrics = eval.Metrics
+	// WindowMetrics is the per-window breakdown.
+	WindowMetrics = eval.WindowMetrics
+	// Options are the scheduler hyperparameters.
+	Options = core.Options
+	// Objective is an optimization metric (Definition 10).
+	Objective = core.Objective
+	// Result is the scheduler output.
+	Result = core.Result
+	// CostModelParams are the analytical cost model's calibration
+	// constants.
+	CostModelParams = maestro.Params
+	// LayerCost is the intra-chiplet cost-model output for one layer
+	// (latency, energy, utilization, traffic, capacity spill).
+	LayerCost = maestro.Result
+	// Link is one directed NoP link between adjacent chiplets.
+	Link = mcm.Link
+	// Timeline is an evaluated schedule trace (Gantt rendering, Chrome
+	// trace export).
+	Timeline = trace.Timeline
+	// Span is one chiplet-occupancy interval of a Timeline.
+	Span = trace.Span
+)
+
+// Layer constructors.
+var (
+	// Conv builds a dense convolution (input dims, square kernel).
+	Conv = workload.Conv
+	// DWConv builds a depthwise convolution.
+	DWConv = workload.DWConv
+	// GEMM builds a matrix multiply m x k -> m x n.
+	GEMM = workload.GEMM
+	// Pool builds a pooling layer.
+	Pool = workload.Pool
+	// Eltwise builds an element-wise layer.
+	Eltwise = workload.Eltwise
+	// Embedding builds a table-lookup layer.
+	Embedding = workload.Embedding
+	// NewModel builds a model from layers.
+	NewModel = workload.NewModel
+	// NewScenario builds a multi-model scenario.
+	NewScenario = workload.NewScenario
+)
+
+// Objectives (the paper's Latency / Energy / EDP searches).
+var (
+	LatencyObjective = core.LatencyObjective
+	EnergyObjective  = core.EnergyObjective
+	EDPObjective     = core.EDPObjective
+	CustomObjective  = core.CustomObjective
+	ObjectiveByName  = core.ObjectiveByName
+	// LatencyBoundedEDP builds the Section VI score: EDP, invalid above
+	// a latency bound. Wrap it with CustomObjective.
+	LatencyBoundedEDP = eval.LatencyBoundedEDP
+	// PerModelLatencyBoundedEDP builds the Section VI per-model-target
+	// score: EDP, invalid when a bounded model finishes late. The
+	// constraint is enforced when schedule candidates are selected.
+	PerModelLatencyBoundedEDP = eval.PerModelLatencyBoundedEDP
+)
+
+// Options presets.
+var (
+	// DefaultOptions is the paper-default configuration (nsplits=4,
+	// brute-force tree search).
+	DefaultOptions = core.DefaultOptions
+	// FastOptions trades search quality for speed.
+	FastOptions = core.FastOptions
+)
+
+// Search modes.
+const (
+	SearchBruteForce   = core.SearchBruteForce
+	SearchEvolutionary = core.SearchEvolutionary
+)
+
+// Chiplet hardware profiles (Section V-A).
+var (
+	// DatacenterChiplet is the 4096-PE, 10 MB configuration.
+	DatacenterChiplet = maestro.DefaultDatacenterChiplet
+	// EdgeChiplet is the 256-PE AR/VR configuration.
+	EdgeChiplet = maestro.DefaultEdgeChiplet
+)
+
+// Dataflows.
+var (
+	NVDLA      = dataflow.NVDLA
+	ShiDianNao = dataflow.ShiDianNao
+)
+
+// MCMByName builds one of the Figure 6 package organizations:
+// simba-shi, simba-nvd, het-cb, het-sides, simba-t-shi, simba-t-nvd,
+// het-t, het-cross, motivational-2x2.
+func MCMByName(pattern string, w, h int, spec ChipletSpec) (*MCM, error) {
+	return mcm.ByName(pattern, w, h, spec)
+}
+
+// MCMPatterns lists the recognized package pattern names.
+func MCMPatterns() []string { return mcm.PatternNames() }
+
+// NewCustomMCM builds a package with an arbitrary NoP topology: explicit
+// per-chiplet dataflows (row-major), an undirected link list, and the
+// chiplet IDs carrying off-chip interfaces. SCAR schedules it unchanged —
+// the scheduler consumes only adjacency (the paper's Section V-E
+// generalization claim).
+func NewCustomMCM(name string, w, h int, dataflows []Dataflow, links [][2]int, memIF []int, spec ChipletSpec) (*MCM, error) {
+	return mcm.NewCustom(name, w, h, dataflows, links, memIF, spec)
+}
+
+// ModelByName builds a zoo model: resnet50, bert-large, bert-base,
+// gpt-l, unet, googlenet, d2go, planercnn, midas, emformer, hrvit,
+// handsp, eyecod, sp2dense.
+func ModelByName(name string, batch int) (Model, error) {
+	return models.ByName(name, batch)
+}
+
+// ModelNames lists the zoo.
+func ModelNames() []string { return models.Names() }
+
+// ScenarioByNumber builds Table III scenario n (1-10).
+func ScenarioByNumber(n int) (Scenario, error) { return models.ScenarioByNumber(n) }
+
+// DatacenterScenarios returns scenarios 1-5.
+func DatacenterScenarios() []Scenario { return models.DatacenterScenarios() }
+
+// ARVRScenarios returns scenarios 6-10.
+func ARVRScenarios() []Scenario { return models.ARVRScenarios() }
+
+// Scheduler is the SCAR scheduling framework.
+type Scheduler struct {
+	db    *costdb.DB
+	inner *core.Scheduler
+	opts  Options
+}
+
+// NewScheduler builds a scheduler with a fresh layer-cost database.
+func NewScheduler(opts Options) *Scheduler {
+	db := costdb.New(maestro.DefaultParams())
+	return &Scheduler{db: db, inner: core.New(db, opts), opts: opts}
+}
+
+// NewSchedulerWithCostModel builds a scheduler with custom cost-model
+// calibration constants.
+func NewSchedulerWithCostModel(opts Options, params CostModelParams) *Scheduler {
+	db := costdb.New(params)
+	return &Scheduler{db: db, inner: core.New(db, opts), opts: opts}
+}
+
+// Schedule runs the full SCAR search and returns the optimized schedule
+// with its evaluated metrics.
+func (s *Scheduler) Schedule(sc *Scenario, m *MCM, obj Objective) (*Result, error) {
+	return s.inner.Schedule(sc, m, obj)
+}
+
+// ScheduleUniformPacking is the packing-ablation variant (uniform
+// layer-to-window distribution instead of Algorithm 1).
+func (s *Scheduler) ScheduleUniformPacking(sc *Scenario, m *MCM, obj Objective) (*Result, error) {
+	return s.inner.ScheduleUniformPacking(sc, m, obj)
+}
+
+// Evaluate scores an externally built schedule on this scheduler's cost
+// database.
+func (s *Scheduler) Evaluate(sc *Scenario, m *MCM, sched *Schedule) (Metrics, error) {
+	return eval.New(s.db, m, sc, s.opts.Eval).Evaluate(sched)
+}
+
+// Standalone runs the paper's Standalone baseline: one chiplet per model.
+func (s *Scheduler) Standalone(sc *Scenario, m *MCM) (*Schedule, Metrics, error) {
+	return baselines.Standalone(s.db, sc, m, s.opts.Eval)
+}
+
+// NNBaton runs the NN-baton-style single-model baseline.
+func (s *Scheduler) NNBaton(sc *Scenario, m *MCM) (*Schedule, Metrics, error) {
+	return baselines.NNBaton(s.db, sc, m, s.opts.Eval)
+}
+
+// LinkLoads maps one window's inter-chiplet traffic onto the NoP links
+// (bytes per directed link) — the diagnostic behind the contention model.
+func (s *Scheduler) LinkLoads(sc *Scenario, m *MCM, w TimeWindow) map[Link]int64 {
+	return eval.New(s.db, m, sc, s.opts.Eval).LinkLoads(w)
+}
+
+// Timeline builds the execution trace of a schedule: per-chiplet spans
+// consistent with the evaluator's pipeline model. Render it with
+// Timeline.Gantt or export it with Timeline.ChromeTrace.
+func (s *Scheduler) Timeline(sc *Scenario, m *MCM, sched *Schedule) *Timeline {
+	return trace.Build(eval.New(s.db, m, sc, s.opts.Eval), sc, m, sched)
+}
+
+// DefaultCostModelParams returns the calibrated cost-model constants.
+func DefaultCostModelParams() CostModelParams { return maestro.DefaultParams() }
+
+// AnalyzeLayer probes the intra-chiplet cost model directly: the cost of
+// one layer under one dataflow on one chiplet configuration. Useful for
+// exploring layer-dataflow affinity (the paper's Section II-C analysis).
+func AnalyzeLayer(l Layer, df Dataflow, spec ChipletSpec) LayerCost {
+	return maestro.Analyze(l, df, spec, maestro.DefaultParams())
+}
+
+// Config file I/O (the framework's documented inputs and outputs).
+var (
+	// LoadWorkload reads a JSON multi-model workload description.
+	LoadWorkload = config.LoadWorkload
+	// LoadMCM reads a JSON MCM description.
+	LoadMCM = config.LoadMCM
+	// ParseWorkload decodes a workload description.
+	ParseWorkload = config.ParseWorkload
+	// ParseMCM decodes an MCM description.
+	ParseMCM = config.ParseMCM
+	// ExportSchedule renders a schedule and metrics as JSON.
+	ExportSchedule = config.ExportSchedule
+)
