@@ -15,6 +15,7 @@ import (
 	"sync"
 	"testing"
 
+	scar "example.com/scar"
 	"example.com/scar/internal/experiments"
 	"example.com/scar/internal/maestro"
 )
@@ -230,6 +231,53 @@ func BenchmarkAblationPacking(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkParallelSpeedup measures the parallel search engine: the
+// serial (Workers: 1) vs parallel (Workers: GOMAXPROCS) wall clock of the
+// Table III Scenario 4 schedule on Het-Sides, plus the window-cache hit
+// rate and the serial/parallel bit-identity check. On a >= 4-core runner
+// the speedup should exceed 2x.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := sharedSuite().Speedup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("serial and parallel schedules diverged")
+		}
+		if i == 0 {
+			fmt.Printf("speedup: %.2fx on %d workers (serial %.3fs, parallel %.3fs), cache hit rate %.1f%%\n",
+				res.SpeedupFactor(), res.Workers, res.SerialSec, res.ParallelSec, 100*res.CacheHitRate)
+		}
+	}
+}
+
+// BenchmarkScheduleSerial and BenchmarkScheduleParallel expose the same
+// schedule to `go test -bench 'Schedule(Serial|Parallel)'` for direct
+// A/B timing with the standard benchmark machinery.
+func benchmarkSchedule(b *testing.B, workers int) {
+	sc, err := scar.ScenarioByNumber(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := scar.DefaultOptions()
+	opts.Workers = workers
+	sched := scar.NewScheduler(opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Schedule(&sc, pkg, scar.EDPObjective()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleSerial(b *testing.B)   { benchmarkSchedule(b, 1) }
+func BenchmarkScheduleParallel(b *testing.B) { benchmarkSchedule(b, 0) }
 
 // BenchmarkComplexity regenerates the Section II-D search-space figures.
 func BenchmarkComplexity(b *testing.B) {

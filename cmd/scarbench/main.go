@@ -8,6 +8,8 @@
 //	scarbench -exp all
 //	scarbench -exp fig2,table4,fig7,fig8,fig9,table5,fig11,fig12,fig13
 //	scarbench -exp nsplits,prov,packing,complexity
+//	scarbench -exp speedup          # serial-vs-parallel search engine
+//	scarbench -workers 4 -exp all   # bound cell-level parallelism
 package main
 
 import (
@@ -25,14 +27,15 @@ import (
 var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
-	"sensitivity",
+	"sensitivity", "speedup",
 }
 
 func main() {
 	var (
-		exps = flag.String("exp", "all", "comma-separated experiment list or 'all'")
-		fast = flag.Bool("fast", false, "use reduced search budgets")
-		seed = flag.Int64("seed", 1, "search seed")
+		exps    = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		fast    = flag.Bool("fast", false, "use reduced search budgets")
+		seed    = flag.Int64("seed", 1, "search seed")
+		workers = flag.Int("workers", 0, "parallel experiment cells (0 = all cores); the in-schedule search worker count stays 1 so the two pools do not multiply")
 	)
 	flag.Parse()
 
@@ -41,6 +44,8 @@ func main() {
 		suite.Opts = core.FastOptions()
 	}
 	suite.Opts.Seed = *seed
+	suite.Opts.Workers = 1
+	suite.Workers = *workers
 
 	list := allExperiments
 	if *exps != "all" {
@@ -135,6 +140,12 @@ func run(s *experiments.Suite, name string) error {
 		res.Print(w)
 	case "complexity":
 		s.Complexity().Print(w)
+	case "speedup":
+		res, err := s.Speedup()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
 	case "sensitivity":
 		for _, runSweep := range []func() (*experiments.SensitivityResult, error){
 			s.CostModelSensitivity, s.ContentionSensitivity,

@@ -1,0 +1,3 @@
+module example.com/scar
+
+go 1.24

@@ -363,7 +363,7 @@ func TestTreeSearchRespectsAdjacencyAndExclusivity(t *testing.T) {
 		{model: 1, r: layerRange{0, 1}, ends: []int{0, 1}},    // 2 segments
 	}
 	rng := rand.New(rand.NewSource(5))
-	res := treeSearch(ev, pkg, plans, EDPObjective(), 30, 500, rng, false)
+	res := treeSearch(ev.Window, pkg.AdjacencyMatrix(), pkg.NumChiplets(), plans, EDPObjective(), 30, 500, rng, false)
 	if !res.found {
 		t.Fatal("tree search found nothing")
 	}

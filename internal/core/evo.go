@@ -148,8 +148,10 @@ func greedyPath(m intGraph, root, length int, used []bool, seed int) ([]int, boo
 // searchWindowEvo is the evolutionary counterpart of searchWindow: PROV
 // provisions nodes, then the GA explores segmentation and mapping
 // together. Falls back to the brute-force tree search when the GA cannot
-// find a feasible genome.
-func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, winIdx int) ([]eval.Segment, error) {
+// find a feasible genome. seed is the window's deterministic RNG root
+// (mixSeed of the run seed with the candidate and window indices), so
+// concurrent windows run independent, reproducible GAs.
+func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, seed int64) ([]eval.Segment, error) {
 	var active []int
 	var ranges []layerRange
 	var weights []float64
@@ -173,27 +175,26 @@ func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, winIdx int) ([]e
 		return nil, err
 	}
 
-	graph := intGraph{n: r.m.NumChiplets(), adj: r.m.AdjacencyMatrix()}
+	graph := intGraph{n: r.m.NumChiplets(), adj: r.adj}
 	genome := buildEvoGenome(active, ranges, alloc, r.m.NumChiplets())
 	fitness := func(genes []int) float64 {
 		segs, ok := genome.decode(genes, graph)
 		if !ok {
 			return math.Inf(1)
 		}
-		wm := r.ev.Window(eval.TimeWindow{Segments: segs})
-		r.evals++
+		wm := r.window(eval.TimeWindow{Segments: segs})
 		return r.obj.windowScore(wm)
 	}
 	gaOpts := s.opts.Evo
-	gaOpts.Seed = s.opts.Seed + int64(winIdx)*7919
+	gaOpts.Seed = mixSeed(seed, 3)
 	res, err := search.Run(search.Problem{Bounds: genome.bounds, Fitness: fitness}, gaOpts)
 	if err != nil || math.IsInf(res.BestFitness, 1) {
 		// GA found nothing feasible: fall back to the tree search.
-		return s.searchWindow(r, w)
+		return s.searchWindow(r, w, seed)
 	}
 	segs, ok := genome.decode(res.Best, graph)
 	if !ok {
-		return s.searchWindow(r, w)
+		return s.searchWindow(r, w, seed)
 	}
 	return segs, nil
 }

@@ -30,6 +30,14 @@ const (
 // candidates) and use bounded enumeration budgets elsewhere so that the
 // brute-force search stays tractable, as the paper's heuristics intend.
 type Options struct {
+	// Workers bounds the goroutines the two-level search fans out across
+	// MCM-Reconfig candidates, windows and segmentation-combo tree
+	// searches (0 = GOMAXPROCS, 1 = serial). One bounded pool is shared
+	// by all nesting levels. Results are bit-identical for every value:
+	// search tasks derive private RNG streams from their (candidate,
+	// window, alloc, combo) coordinates and reductions break score ties
+	// by task index, so only wall-clock time depends on Workers.
+	Workers int
 	// NSplits is the maximum number of time-window splits explored by
 	// MCM-Reconfig (paper default 4, i.e. up to 5 windows). Candidates
 	// with 0..NSplits splits are generated and the best kept.
@@ -84,6 +92,7 @@ type Options struct {
 // DefaultOptions returns the paper-default configuration.
 func DefaultOptions() Options {
 	return Options{
+		Workers:          0, // all cores; results are Workers-invariant
 		NSplits:          4,
 		TopKSeg:          3,
 		SegEnumLimit:     2000,

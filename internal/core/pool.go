@@ -1,0 +1,102 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel execution substrate of the two-level search.
+// Both levels of Figure 3 are embarrassingly parallel — MCM-Reconfig
+// candidates are independent, windows within a candidate are independent,
+// and segmentation-combo tree searches within a window are independent —
+// so a single bounded pool is shared by every level. Determinism does not
+// come from the pool (task completion order is arbitrary): it comes from
+// per-task derived RNG seeds (mixSeed) plus index-ordered reductions in
+// the scheduler, which make every task's work and the final winner
+// independent of interleaving.
+
+// pool bounds the helper goroutines recruited by the search. The calling
+// goroutine always works through its own task list, and helpers are added
+// only while a slot is free, so nested fan-outs (candidates -> windows ->
+// combos) can share one pool without deadlock or unbounded concurrency.
+type pool struct {
+	// slots holds one token per helper goroutine allowed beyond the
+	// caller; a zero-capacity channel degrades forEach to a plain loop.
+	slots chan struct{}
+}
+
+// newPool builds a pool for the given worker count (0 = GOMAXPROCS).
+// A pool of n workers recruits at most n-1 helpers, the caller being the
+// n-th; workers <= 1 yields a strictly serial pool.
+func newPool(workers int) *pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &pool{slots: make(chan struct{}, workers-1)}
+}
+
+// forEach runs fn(i) for every i in [0, n) and returns once all calls
+// completed. Iterations may run concurrently, bounded by the pool; fn
+// must communicate only through per-index storage (or atomics) and must
+// not depend on execution order.
+func (p *pool) forEach(n int, fn func(i int)) {
+	if n <= 1 || cap(p.slots) == 0 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := next.Add(1) - 1
+			if i >= int64(n) {
+				return
+			}
+			fn(int(i))
+		}
+	}
+	var wg sync.WaitGroup
+	helpers := n - 1
+	if helpers > cap(p.slots) {
+		helpers = cap(p.slots)
+	}
+recruit:
+	for h := 0; h < helpers; h++ {
+		select {
+		case p.slots <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.slots }()
+				work()
+			}()
+		default:
+			// Every slot is busy (we are inside a nested fan-out):
+			// the caller handles the remainder inline.
+			break recruit
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// mixSeed derives a child RNG seed from a base seed and a salt path with
+// splitmix64 finalization rounds. Sibling search tasks draw their own
+// streams from their (candidate, window, alloc, combo) coordinates
+// instead of sharing one *rand.Rand, which is what keeps parallel and
+// serial runs bit-identical: the stream a task sees no longer depends on
+// how many draws its predecessors made.
+func mixSeed(base int64, salts ...int64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15
+	for _, s := range salts {
+		z += uint64(s)*0xbf58476d1ce4e5b9 + 0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return int64(z)
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"example.com/scar/internal/eval"
-	"example.com/scar/internal/mcm"
 )
 
 // This file is the SCHED engine (Section IV-D): it maps layer segments
@@ -58,9 +57,14 @@ type treeResult struct {
 // the most constrained subtree claims chiplets first. When freePlacement
 // is set, paths may extend to any unoccupied chiplet instead of
 // interposer neighbors (the mapping-locality ablation).
+//
+// The search itself is serial and self-contained — evalWin scores leaf
+// windows (in a run it is the memoizing run.window), adj/chiplets carry
+// the package shape, rng is the task's private stream — which is what
+// lets the scheduler fan many treeSearch calls out across workers.
 func treeSearch(
-	ev *eval.Evaluator, m *mcm.MCM, plans []modelPlan,
-	obj Objective, maxTrees, budget int, rng *rand.Rand, freePlacement bool,
+	evalWin func(eval.TimeWindow) eval.WindowMetrics, adj [][]bool, chiplets int,
+	plans []modelPlan, obj Objective, maxTrees, budget int, rng *rand.Rand, freePlacement bool,
 ) treeResult {
 	ordered := make([]modelPlan, len(plans))
 	copy(ordered, plans)
@@ -68,7 +72,7 @@ func treeSearch(
 		return ordered[i].numSegments() > ordered[j].numSegments()
 	})
 
-	tuples := rootTuples(m.NumChiplets(), len(ordered), maxTrees, rng)
+	tuples := rootTuples(chiplets, len(ordered), maxTrees, rng)
 	if len(tuples) == 0 {
 		return treeResult{}
 	}
@@ -78,10 +82,9 @@ func treeSearch(
 	}
 
 	res := treeResult{score: math.Inf(1)}
-	used := make([]bool, m.NumChiplets())
+	used := make([]bool, chiplets)
 	segs := make([]eval.Segment, 0, 16)
 
-	adj := m.AdjacencyMatrix()
 	for _, roots := range tuples {
 		if res.evals >= budget {
 			break
@@ -94,7 +97,7 @@ func treeSearch(
 			}
 			if k == len(ordered) {
 				w := eval.TimeWindow{Segments: append([]eval.Segment(nil), segs...)}
-				wm := ev.Window(w)
+				wm := evalWin(w)
 				score := obj.windowScore(wm)
 				res.evals++
 				left--

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"example.com/scar/internal/costdb"
 	"example.com/scar/internal/eval"
@@ -14,6 +15,10 @@ import (
 
 // Scheduler is the SCAR framework: it owns the offline cost database and
 // hyperparameters and schedules multi-model scenarios onto MCMs.
+//
+// A Scheduler is immutable after New and safe for concurrent use: every
+// Schedule call builds its own run state, and the cost database is
+// concurrency-safe.
 type Scheduler struct {
 	db   *costdb.DB
 	opts Options
@@ -28,7 +33,8 @@ func New(db *costdb.DB, opts Options) *Scheduler {
 func (s *Scheduler) Options() Options { return s.opts }
 
 // Result is the scheduler's output: the optimized schedule, its evaluated
-// metrics, and search statistics.
+// metrics, and search statistics. Every field is deterministic for a given
+// (scenario, MCM, objective, Options.Seed) regardless of Options.Workers.
 type Result struct {
 	// Schedule is the best schedule instance found.
 	Schedule *eval.Schedule
@@ -37,14 +43,28 @@ type Result struct {
 	// Splits is the number of time-window splits of the winning
 	// MCM-Reconfig candidate.
 	Splits int
-	// WindowEvals counts full window-schedule evaluations performed.
+	// WindowEvals counts logical window-schedule evaluations requested
+	// by the search (memoization hits included).
 	WindowEvals int
+	// UniqueWindows counts the distinct window configurations actually
+	// evaluated; WindowEvals - UniqueWindows evaluations were served
+	// from the shared window cache.
+	UniqueWindows int
 	// Candidates counts MCM-Reconfig partitioning candidates explored.
 	Candidates int
 	// Explored holds the metrics of every feasible partitioning
 	// candidate (the per-candidate cloud behind the paper's Pareto
-	// plots).
+	// plots), in candidate order.
 	Explored []CandidateMetrics
+}
+
+// CacheHitRate returns the fraction of window evaluations served by the
+// run's memoization layer, in [0, 1].
+func (r *Result) CacheHitRate() float64 {
+	if r.WindowEvals == 0 {
+		return 0
+	}
+	return 1 - float64(r.UniqueWindows)/float64(r.WindowEvals)
 }
 
 // CandidateMetrics records one explored MCM-Reconfig candidate.
@@ -54,7 +74,10 @@ type CandidateMetrics struct {
 	Metrics eval.Metrics
 }
 
-// run bundles one scheduling invocation's state.
+// run bundles one scheduling invocation's state. All of it is either
+// read-only after construction (evaluator, expectations, adjacency) or
+// concurrency-safe (pool, window cache, atomic eval counter); search
+// tasks carry their own derived RNG seeds.
 type run struct {
 	s      *Scheduler
 	sc     *workload.Scenario
@@ -63,20 +86,15 @@ type run struct {
 	obj    Objective
 	expLat [][]float64
 	expE   [][]float64
-	rng    *rand.Rand
-	evals  int
+	adj    [][]bool
+	pool   *pool
+	cache  *windowCache
+	evals  atomic.Int64
 }
 
-// Schedule runs the full two-level search of Figure 3 for the scenario on
-// the MCM under the objective, returning the optimized schedule.
-func (s *Scheduler) Schedule(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
-	if err := sc.Validate(); err != nil {
-		return nil, err
-	}
-	if err := m.Validate(); err != nil {
-		return nil, err
-	}
-	r := &run{
+// newRun prepares one invocation's shared state.
+func (s *Scheduler) newRun(sc *workload.Scenario, m *mcm.MCM, obj Objective) *run {
+	return &run{
 		s:      s,
 		sc:     sc,
 		m:      m,
@@ -84,8 +102,39 @@ func (s *Scheduler) Schedule(sc *workload.Scenario, m *mcm.MCM, obj Objective) (
 		obj:    obj,
 		expLat: expectedLatencies(s.db, sc, m),
 		expE:   expectedEnergies(s.db, sc, m),
-		rng:    rand.New(rand.NewSource(s.opts.Seed)),
+		// Hoisting the adjacency also forces the package's lazy network
+		// build before workers fan out.
+		adj:   m.AdjacencyMatrix(),
+		pool:  newPool(s.opts.Workers),
+		cache: newWindowCache(),
 	}
+}
+
+// window evaluates one time window through the run's memoization layer,
+// counting the logical evaluation.
+func (r *run) window(w eval.TimeWindow) eval.WindowMetrics {
+	r.evals.Add(1)
+	k := windowKey(w.Segments)
+	if wm, ok := r.cache.get(k); ok {
+		return wm
+	}
+	wm := r.ev.Window(w)
+	r.cache.put(k, wm)
+	return wm
+}
+
+// Schedule runs the full two-level search of Figure 3 for the scenario on
+// the MCM under the objective, returning the optimized schedule. The
+// search fans out across Options.Workers goroutines; results are
+// bit-identical for every worker count (see Options.Workers).
+func (s *Scheduler) Schedule(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	r := s.newRun(sc, m, obj)
 	cands := candidatePartitionings(r.expLat, s.opts.NSplits, s.opts.ExactSplits)
 	return s.searchPartitionings(r, cands)
 }
@@ -100,16 +149,7 @@ func (s *Scheduler) ScheduleUniformPacking(sc *workload.Scenario, m *mcm.MCM, ob
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	r := &run{
-		s:      s,
-		sc:     sc,
-		m:      m,
-		ev:     eval.New(s.db, m, sc, s.opts.Eval),
-		obj:    obj,
-		expLat: expectedLatencies(s.db, sc, m),
-		expE:   expectedEnergies(s.db, sc, m),
-		rng:    rand.New(rand.NewSource(s.opts.Seed)),
-	}
+	r := s.newRun(sc, m, obj)
 	lo := 0
 	if s.opts.ExactSplits {
 		lo = s.opts.NSplits
@@ -127,35 +167,64 @@ func (s *Scheduler) ScheduleUniformPacking(sc *workload.Scenario, m *mcm.MCM, ob
 	return s.searchPartitionings(r, cands)
 }
 
-// searchPartitionings evaluates every MCM-Reconfig candidate end to end
-// and returns the best schedule under the objective.
+// candOutcome is one candidate's end-to-end search result.
+type candOutcome struct {
+	sched   *eval.Schedule
+	metrics eval.Metrics
+	err     error
+	// internal marks evaluator rejections of schedules that should be
+	// valid by construction; these abort the whole search.
+	internal bool
+}
+
+// searchPartitionings evaluates every MCM-Reconfig candidate end to end —
+// in parallel across candidates — and returns the best schedule under the
+// objective. The reduction runs in candidate order with a strict
+// comparison, so score ties break toward the lowest candidate index
+// exactly as the serial loop always did.
 func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, error) {
+	outcomes := make([]candOutcome, len(cands))
+	r.pool.forEach(len(cands), func(ci int) {
+		sched, err := s.buildSchedule(r, cands[ci])
+		if err != nil {
+			outcomes[ci].err = err
+			return
+		}
+		metrics, err := r.ev.Evaluate(sched)
+		if err != nil {
+			outcomes[ci] = candOutcome{
+				err:      fmt.Errorf("core: internal error, produced invalid schedule: %w", err),
+				internal: true,
+			}
+			return
+		}
+		outcomes[ci] = candOutcome{sched: sched, metrics: metrics}
+	})
+
 	var best *Result
 	bestScore := math.Inf(1)
 	var lastErr error
 	var explored []CandidateMetrics
-	for _, p := range cands {
-		sched, err := s.buildSchedule(r, p)
-		if err != nil {
-			lastErr = err
+	for ci, out := range outcomes {
+		if out.internal {
+			return nil, out.err
+		}
+		if out.err != nil {
+			lastErr = out.err
 			continue
 		}
-		metrics, err := r.ev.Evaluate(sched)
-		if err != nil {
-			return nil, fmt.Errorf("core: internal error, produced invalid schedule: %w", err)
-		}
 		explored = append(explored, CandidateMetrics{
-			Splits:  p.splits,
-			Windows: len(p.windows),
-			Metrics: metrics,
+			Splits:  cands[ci].splits,
+			Windows: len(cands[ci].windows),
+			Metrics: out.metrics,
 		})
-		score := r.obj.Score(metrics)
+		score := r.obj.Score(out.metrics)
 		if score < bestScore {
 			bestScore = score
 			best = &Result{
-				Schedule: sched,
-				Metrics:  metrics,
-				Splits:   p.splits,
+				Schedule: out.sched,
+				Metrics:  out.metrics,
+				Splits:   cands[ci].splits,
 			}
 		}
 	}
@@ -165,35 +234,64 @@ func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, 
 		}
 		return nil, fmt.Errorf("core: no feasible schedule found")
 	}
-	best.WindowEvals = r.evals
+	best.WindowEvals = int(r.evals.Load())
+	best.UniqueWindows = r.cache.Len()
 	best.Candidates = len(cands)
 	best.Explored = explored
 	return best, nil
 }
 
+// assignmentSeed folds a window assignment's layer ranges into a salt, so
+// a window's RNG root depends on its *content*, not on which candidate or
+// window slot it appears in. Identical windows inside sibling candidates
+// therefore run identical searches — every one of their evaluations after
+// the first is a cache hit — while remaining worker-count-invariant.
+func assignmentSeed(w windowAssignment) int64 {
+	salts := make([]int64, 0, 2*len(w))
+	for _, rg := range w {
+		salts = append(salts, int64(rg.First), int64(rg.Last))
+	}
+	return mixSeed(int64(len(w)), salts...)
+}
+
 // buildSchedule runs the per-window search for every window of a
-// partitioning candidate.
+// partitioning candidate, windows in parallel. The first failing window
+// (by index) determines the candidate's error.
 func (s *Scheduler) buildSchedule(r *run, p partitioning) (*eval.Schedule, error) {
-	sched := &eval.Schedule{}
-	for wi, w := range p.windows {
-		var segs []eval.Segment
-		var err error
+	segs := make([][]eval.Segment, len(p.windows))
+	errs := make([]error, len(p.windows))
+	r.pool.forEach(len(p.windows), func(wi int) {
+		seed := mixSeed(s.opts.Seed, assignmentSeed(p.windows[wi]))
 		if s.opts.Search == SearchEvolutionary {
-			segs, err = s.searchWindowEvo(r, w, wi)
+			segs[wi], errs[wi] = s.searchWindowEvo(r, p.windows[wi], seed)
 		} else {
-			segs, err = s.searchWindow(r, w)
+			segs[wi], errs[wi] = s.searchWindow(r, p.windows[wi], seed)
 		}
-		if err != nil {
-			return nil, fmt.Errorf("core: window %d: %w", wi, err)
+	})
+	sched := &eval.Schedule{}
+	for wi := range p.windows {
+		if errs[wi] != nil {
+			return nil, fmt.Errorf("core: window %d: %w", wi, errs[wi])
 		}
-		sched.Windows = append(sched.Windows, eval.TimeWindow{Index: wi, Segments: segs})
+		sched.Windows = append(sched.Windows, eval.TimeWindow{Index: wi, Segments: segs[wi]})
 	}
 	return sched, nil
 }
 
+// comboTask is one (node allocation, segmentation combination) tree
+// search within a window, with its derived RNG seed and share of the
+// window's evaluation budget.
+type comboTask struct {
+	plans  []modelPlan
+	budget int
+	seed   int64
+}
+
 // searchWindow runs PROV -> SEG -> SCHED for one window and returns the
-// best segment mapping found.
-func (s *Scheduler) searchWindow(r *run, w windowAssignment) ([]eval.Segment, error) {
+// best segment mapping found. The segmentation-combo tree searches fan
+// out in parallel; the reduction keeps the lowest-index winner on ties.
+// seed is the window's deterministic RNG root (see mixSeed).
+func (s *Scheduler) searchWindow(r *run, w windowAssignment, seed int64) ([]eval.Segment, error) {
 	// Active models and their objective-proxy weights E(P_i).
 	var active []int
 	var weights []float64
@@ -232,16 +330,19 @@ func (s *Scheduler) searchWindow(r *run, w windowAssignment) ([]eval.Segment, er
 		allocOptions = [][]int{alloc}
 	}
 
-	best := treeResult{score: math.Inf(1)}
-	for _, alloc := range allocOptions {
+	// SEG + SCHED task construction stays serial (it is cheap relative
+	// to the tree searches); every task carries its own derived seed.
+	var tasks []comboTask
+	for ai, alloc := range allocOptions {
 		// SEG: top-k segmentation candidates per model (Heuristic 1).
 		topk := make([][]segCandidate, len(active))
 		for i, mi := range active {
 			rg := w[mi]
+			segRng := rand.New(rand.NewSource(mixSeed(seed, 1, int64(ai), int64(i))))
 			cands := segmentCandidates(
 				r.sc.Models[mi], rg, alloc[i],
 				r.expLat[mi], r.expE[mi],
-				r.m, r.obj, s.opts, r.rng,
+				r.m, r.obj, s.opts, segRng,
 			)
 			k := s.opts.TopKSeg
 			if k > len(cands) {
@@ -260,16 +361,32 @@ func (s *Scheduler) searchWindow(r *run, w windowAssignment) ([]eval.Segment, er
 		if budget < 8 {
 			budget = 8
 		}
-		for _, combo := range combos {
+		for j, combo := range combos {
 			plans := make([]modelPlan, len(active))
 			for i, mi := range active {
 				plans[i] = modelPlan{model: mi, r: w[mi], ends: topk[i][combo[i]].ends}
 			}
-			res := treeSearch(r.ev, r.m, plans, r.obj, s.opts.MaxTrees, budget, r.rng, s.opts.FreePlacement)
-			r.evals += res.evals
-			if res.found && res.score < best.score {
-				best = res
-			}
+			tasks = append(tasks, comboTask{
+				plans:  plans,
+				budget: budget,
+				seed:   mixSeed(seed, 2, int64(ai), int64(j)),
+			})
+		}
+	}
+
+	results := make([]treeResult, len(tasks))
+	r.pool.forEach(len(tasks), func(ti int) {
+		t := tasks[ti]
+		rng := rand.New(rand.NewSource(t.seed))
+		results[ti] = treeSearch(
+			r.window, r.adj, r.m.NumChiplets(),
+			t.plans, r.obj, s.opts.MaxTrees, t.budget, rng, s.opts.FreePlacement,
+		)
+	})
+	best := treeResult{score: math.Inf(1)}
+	for _, res := range results {
+		if res.found && res.score < best.score {
+			best = res
 		}
 	}
 	if !best.found {

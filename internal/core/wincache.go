@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+
+	"example.com/scar/internal/eval"
+)
+
+// windowCache memoizes full window evaluations for one scheduling run.
+// Sibling MCM-Reconfig candidates frequently contain identical windows
+// (greedy packings at adjacent split counts share window assignments, and
+// their tree searches then probe identical segment placements), so the
+// cache is shared across every candidate, window and combo task of a run.
+//
+// A window evaluation is a pure function of its segment multiset — the
+// evaluator holds no mutable state and the cost database is append-only —
+// which is what makes memoization sound. The cache key is the exact
+// (model, layer range, chiplet) sequence of the window's segments.
+//
+// Concurrency: a plain RWMutex map. Two workers racing on the same key
+// may both compute the (identical) value; correctness and determinism are
+// unaffected, only a little compute is duplicated. Len — the number of
+// distinct windows evaluated — is deterministic across worker counts
+// because the *set* of windows the search visits is deterministic even
+// though the visiting order is not.
+type windowCache struct {
+	mu sync.RWMutex
+	m  map[string]eval.WindowMetrics
+}
+
+func newWindowCache() *windowCache {
+	return &windowCache{m: make(map[string]eval.WindowMetrics)}
+}
+
+// windowKey fingerprints a window's segments: model, window-absolute
+// layer range and chiplet per segment. 4 bytes per field so custom
+// packages and models beyond 2^16 chiplets/layers cannot alias two
+// distinct windows to one cache entry.
+func windowKey(segs []eval.Segment) string {
+	buf := make([]byte, 0, 16*len(segs))
+	put := func(v int) {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	for _, s := range segs {
+		put(s.Model)
+		put(s.First)
+		put(s.Last)
+		put(s.Chiplet)
+	}
+	return string(buf)
+}
+
+func (c *windowCache) get(k string) (eval.WindowMetrics, bool) {
+	c.mu.RLock()
+	wm, ok := c.m[k]
+	c.mu.RUnlock()
+	return wm, ok
+}
+
+func (c *windowCache) put(k string, wm eval.WindowMetrics) {
+	c.mu.Lock()
+	c.m[k] = wm
+	c.mu.Unlock()
+}
+
+// Len returns the number of distinct windows evaluated.
+func (c *windowCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// concurrencyFixture builds an evaluator plus a couple of windows that
+// exercise pipelining, NoP transfers and off-chip contention.
+func concurrencyFixture() (*Evaluator, []TimeWindow, *Schedule) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	a := workload.NewModel("conv", 4, []workload.Layer{
+		workload.Conv("c0", 3, 64, 114, 114, 7, 2),
+		workload.Conv("c1", 64, 64, 58, 58, 3, 1),
+		workload.Conv("c2", 64, 128, 58, 58, 3, 1),
+	})
+	b := workload.NewModel("lm", 2, []workload.Layer{
+		workload.GEMM("g0", 128, 768, 2304),
+		workload.GEMM("g1", 128, 768, 768),
+	})
+	sc := workload.NewScenario("concurrent", a, b)
+	ev := New(db, pkg, &sc, DefaultOptions())
+	windows := []TimeWindow{
+		{Index: 0, Segments: []Segment{
+			{Model: 0, First: 0, Last: 1, Chiplet: 0},
+			{Model: 0, First: 2, Last: 2, Chiplet: 1},
+			{Model: 1, First: 0, Last: 0, Chiplet: 4},
+			{Model: 1, First: 1, Last: 1, Chiplet: 5},
+		}},
+		{Index: 0, Segments: []Segment{
+			{Model: 0, First: 0, Last: 2, Chiplet: 8},
+			{Model: 1, First: 0, Last: 1, Chiplet: 3},
+		}},
+	}
+	sched := &Schedule{Windows: []TimeWindow{
+		{Index: 0, Segments: windows[0].Segments},
+	}}
+	return ev, windows, sched
+}
+
+// TestEvaluatorConcurrentUse hammers one Evaluator from many goroutines
+// (run under -race) and checks every result matches the serial baseline:
+// the evaluator must hold no hidden mutable state.
+func TestEvaluatorConcurrentUse(t *testing.T) {
+	ev, windows, sched := concurrencyFixture()
+
+	// Serial baselines, computed before the hammering starts.
+	baseWin := make([]WindowMetrics, len(windows))
+	for i, w := range windows {
+		baseWin[i] = ev.Window(w)
+	}
+	baseSched := ev.EvaluateUnchecked(sched)
+
+	const goroutines = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < iters; it++ {
+				wi := (g + it) % len(windows)
+				got := ev.Window(windows[wi])
+				if !reflect.DeepEqual(got, baseWin[wi]) {
+					errs <- "Window result diverged under concurrency"
+					return
+				}
+				if got := ev.EvaluateUnchecked(sched); !reflect.DeepEqual(got, baseSched) {
+					errs <- "EvaluateUnchecked result diverged under concurrency"
+					return
+				}
+				nop, off := ev.ContentionFactors(windows[wi])
+				if nop < 0 || off < 0 {
+					errs <- "negative contention factors"
+					return
+				}
+				if timings := ev.WindowTimings(windows[wi]); len(timings) == 0 {
+					errs <- "empty window timings"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestEvaluatorConcurrentColdCache runs the first-ever evaluations (cost
+// database completely cold) concurrently, which is exactly the state the
+// parallel scheduler creates on its first window fan-out.
+func TestEvaluatorConcurrentColdCache(t *testing.T) {
+	ev, windows, _ := concurrencyFixture()
+	const goroutines = 8
+	results := make([]WindowMetrics, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = ev.Window(windows[0])
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if !reflect.DeepEqual(results[g], results[0]) {
+			t.Fatalf("cold-cache Window diverged between goroutines: %+v vs %+v", results[g], results[0])
+		}
+	}
+}

@@ -64,6 +64,16 @@ type Metrics struct {
 }
 
 // Evaluator scores schedules for one (scenario, MCM) pair.
+//
+// An Evaluator is safe for concurrent use: its fields are read-only after
+// New — the cost database serializes its memoization internally, and the
+// package/scenario models are never mutated — and every evaluation method
+// (Window, Evaluate, EvaluateUnchecked, WindowTimings, ContentionFactors,
+// LinkLoads) builds only call-local state. The parallel search in
+// internal/core shares one Evaluator across all of its workers. Callers
+// must ensure the MCM's lazy network tables are built (any routing query
+// does this) before sharing a *fresh* MCM across goroutines; MCMs from
+// the mcm package constructors are always pre-built.
 type Evaluator struct {
 	db   *costdb.DB
 	m    *mcm.MCM

@@ -83,15 +83,25 @@ func Scale6x6Strategies() []Strategy {
 type Suite struct {
 	DB   *costdb.DB
 	Opts core.Options
-	// Workers bounds parallel cells (0 = GOMAXPROCS).
+	// Workers bounds parallel cells (0 = GOMAXPROCS). Cell-level and
+	// search-level parallelism compose multiplicatively, so exactly one
+	// of the two should fan out: the suite parallelizes across cells
+	// and pins Opts.Workers to 1 (see NewSuite). Set Workers to 1 and
+	// Opts.Workers to 0 instead to parallelize inside each schedule —
+	// results are identical either way, per core's determinism
+	// guarantee.
 	Workers int
 }
 
-// NewSuite builds a suite with paper-default options.
+// NewSuite builds a suite with paper-default options. The in-search
+// worker count is pinned to 1 because the suite already fans out at cell
+// granularity; nesting both pools would oversubscribe the machine.
 func NewSuite() *Suite {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
 	return &Suite{
 		DB:   costdb.New(maestro.DefaultParams()),
-		Opts: core.DefaultOptions(),
+		Opts: opts,
 	}
 }
 

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"runtime"
+	"time"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+)
+
+// This file measures the parallel search engine itself rather than a
+// paper artifact: the serial-vs-parallel wall clock of one full SCAR
+// schedule, the window-cache hit rate, and a bit-identity check between
+// the two runs (the core determinism guarantee, observed end to end).
+
+// SpeedupResult reports the serial-vs-parallel comparison for one
+// scenario schedule.
+type SpeedupResult struct {
+	// Scenario is the Table III scenario number scheduled.
+	Scenario int
+	// Strategy names the package organization used.
+	Strategy string
+	// Workers is the parallel run's worker count (GOMAXPROCS).
+	Workers int
+	// SerialSec and ParallelSec are the measured wall clocks.
+	SerialSec, ParallelSec float64
+	// WindowEvals / UniqueWindows / CacheHitRate are the (identical)
+	// search statistics of both runs.
+	WindowEvals   int
+	UniqueWindows int
+	CacheHitRate  float64
+	// Identical reports whether the serial and parallel results were
+	// bit-identical (schedule, metrics, statistics).
+	Identical bool
+}
+
+// SpeedupFactor returns serial / parallel wall clock.
+func (r *SpeedupResult) SpeedupFactor() float64 {
+	if r.ParallelSec <= 0 {
+		return 0
+	}
+	return r.SerialSec / r.ParallelSec
+}
+
+// Speedup schedules Table III Scenario 4 on the Het-Sides 3x3 package
+// (the Figure 9 configuration) with Workers: 1 and Workers: GOMAXPROCS
+// and compares wall clock and results. A warm-up run populates the
+// layer-cost database first so neither timed run pays the one-time
+// MAESTRO analysis cost.
+func (s *Suite) Speedup() (*SpeedupResult, error) {
+	const scenarioNum = 4
+	sc, err := models.ScenarioByNumber(scenarioNum)
+	if err != nil {
+		return nil, err
+	}
+	pkg := mcm.HetSides(3, 3, maestro.DefaultDatacenterChiplet())
+	obj := core.EDPObjective()
+
+	warm := s.Opts
+	warm.Workers = 0
+	if _, err := core.New(s.DB, warm).Schedule(&sc, pkg, obj); err != nil {
+		return nil, fmt.Errorf("experiments: speedup warm-up: %w", err)
+	}
+
+	serialOpts := s.Opts
+	serialOpts.Workers = 1
+	start := time.Now()
+	serial, err := core.New(s.DB, serialOpts).Schedule(&sc, pkg, obj)
+	serialSec := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: speedup serial run: %w", err)
+	}
+
+	parOpts := s.Opts
+	parOpts.Workers = 0
+	start = time.Now()
+	parallel, err := core.New(s.DB, parOpts).Schedule(&sc, pkg, obj)
+	parallelSec := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: speedup parallel run: %w", err)
+	}
+
+	return &SpeedupResult{
+		Scenario:      scenarioNum,
+		Strategy:      "Het-Sides",
+		Workers:       runtime.GOMAXPROCS(0),
+		SerialSec:     serialSec,
+		ParallelSec:   parallelSec,
+		WindowEvals:   parallel.WindowEvals,
+		UniqueWindows: parallel.UniqueWindows,
+		CacheHitRate:  parallel.CacheHitRate(),
+		Identical:     reflect.DeepEqual(serial, parallel),
+	}, nil
+}
+
+// Print renders the comparison.
+func (r *SpeedupResult) Print(w io.Writer) {
+	fprintf(w, "Parallel search engine: Scenario %d on %s (EDP search)\n", r.Scenario, r.Strategy)
+	fprintf(w, "  serial   (workers=1): %8.3fs\n", r.SerialSec)
+	fprintf(w, "  parallel (workers=%d): %8.3fs  -> %.2fx speedup\n", r.Workers, r.ParallelSec, r.SpeedupFactor())
+	fprintf(w, "  window evals: %d (%d unique, %.1f%% served from cache)\n",
+		r.WindowEvals, r.UniqueWindows, 100*r.CacheHitRate)
+	fprintf(w, "  serial and parallel results bit-identical: %v\n", r.Identical)
+}

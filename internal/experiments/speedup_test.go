@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSpeedupIdenticalResults(t *testing.T) {
+	s := fastSuite()
+	res, err := s.Speedup()
+	if err != nil {
+		t.Fatalf("Speedup: %v", err)
+	}
+	if !res.Identical {
+		t.Error("serial and parallel schedules diverged")
+	}
+	if res.SerialSec <= 0 || res.ParallelSec <= 0 {
+		t.Errorf("non-positive wall clocks: serial %v, parallel %v", res.SerialSec, res.ParallelSec)
+	}
+	if res.WindowEvals <= 0 || res.UniqueWindows <= 0 || res.UniqueWindows > res.WindowEvals {
+		t.Errorf("bad search statistics: evals %d, unique %d", res.WindowEvals, res.UniqueWindows)
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "speedup") || !strings.Contains(buf.String(), "bit-identical") {
+		t.Errorf("Print output incomplete:\n%s", buf.String())
+	}
+}
