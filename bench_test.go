@@ -279,6 +279,39 @@ func benchmarkSchedule(b *testing.B, workers int) {
 func BenchmarkScheduleSerial(b *testing.B)   { benchmarkSchedule(b, 1) }
 func BenchmarkScheduleParallel(b *testing.B) { benchmarkSchedule(b, 0) }
 
+// BenchmarkCompiledSearch measures end-to-end search throughput on the
+// compiled evaluation session: a full two-level schedule of the default
+// AR/VR scenario (Table III Scenario 6) on the Het-Sides 3x3 edge
+// package, reporting logical window evaluations per second (memoization
+// hits included — the rate the search engine consumes placements at).
+func BenchmarkCompiledSearch(b *testing.B) {
+	sc, err := scar.ScenarioByNumber(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkg, err := scar.MCMByName("het-sides", 3, 3, scar.EdgeChiplet())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := scar.DefaultOptions()
+	sched := scar.NewScheduler(opts)
+	obj := scar.EDPObjective()
+	if _, err := sched.Schedule(&sc, pkg, obj); err != nil {
+		b.Fatal(err) // warm the shared cost database
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evals int
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Schedule(&sc, pkg, obj)
+		if err != nil {
+			b.Fatal(err)
+		}
+		evals += res.WindowEvals
+	}
+	b.ReportMetric(float64(evals)/b.Elapsed().Seconds(), "window-evals/s")
+}
+
 // BenchmarkComplexity regenerates the Section II-D search-space figures.
 func BenchmarkComplexity(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,13 +9,17 @@
 //	scarbench -exp fig2,table4,fig7,fig8,fig9,table5,fig11,fig12,fig13
 //	scarbench -exp nsplits,prov,packing,complexity
 //	scarbench -exp speedup          # serial-vs-parallel search engine
+//	scarbench -exp evalbench -benchjson BENCH_eval.json
 //	scarbench -workers 4 -exp all   # bound cell-level parallelism
+//	scarbench -cpuprofile cpu.pprof -exp table4
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,17 +31,40 @@ import (
 var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
-	"sensitivity", "speedup",
+	"sensitivity", "speedup", "evalbench",
 }
 
-func main() {
+var benchJSON string
+
+// main delegates so realMain's defers (CPU profile trailer, file close)
+// run before the process exits even when an experiment fails.
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
 	var (
-		exps    = flag.String("exp", "all", "comma-separated experiment list or 'all'")
-		fast    = flag.Bool("fast", false, "use reduced search budgets")
-		seed    = flag.Int64("seed", 1, "search seed")
-		workers = flag.Int("workers", 0, "parallel experiment cells (0 = all cores); the in-schedule search worker count stays 1 so the two pools do not multiply")
+		exps       = flag.String("exp", "all", "comma-separated experiment list or 'all'")
+		fast       = flag.Bool("fast", false, "use reduced search budgets")
+		seed       = flag.Int64("seed", 1, "search seed")
+		workers    = flag.Int("workers", 0, "parallel experiment cells (0 = all cores); the in-schedule search worker count stays 1 so the two pools do not multiply")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	)
+	flag.StringVar(&benchJSON, "benchjson", "", "with -exp evalbench: also write the snapshot as JSON to this file (the BENCH_eval.json format)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	suite := experiments.NewSuite()
 	if *fast {
@@ -55,10 +82,25 @@ func main() {
 		start := time.Now()
 		if err := run(suite, strings.TrimSpace(name)); err != nil {
 			fmt.Fprintf(os.Stderr, "scarbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return 0
 }
 
 func run(s *experiments.Suite, name string) error {
@@ -146,6 +188,26 @@ func run(s *experiments.Suite, name string) error {
 			return err
 		}
 		res.Print(w)
+	case "evalbench":
+		res, err := s.EvalBench()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if benchJSON != "" {
+			f, err := os.Create(benchJSON)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
+		}
 	case "sensitivity":
 		for _, runSweep := range []func() (*experiments.SensitivityResult, error){
 			s.CostModelSensitivity, s.ContentionSensitivity,

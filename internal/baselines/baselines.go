@@ -42,8 +42,15 @@ func Standalone(db *costdb.DB, sc *workload.Scenario, m *mcm.MCM, opts eval.Opti
 		})
 	}
 	sched := &eval.Schedule{Windows: []eval.TimeWindow{{Index: 0, Segments: segs}}}
-	ev := eval.New(db, m, sc, opts)
-	metrics, err := ev.Evaluate(sched)
+	return evaluate(db, sc, m, opts, sched)
+}
+
+// evaluate scores a baseline schedule on a compiled evaluation session
+// (one session + one scratch: baselines evaluate exactly one schedule, so
+// the Evaluator's pooled indirection buys nothing here).
+func evaluate(db *costdb.DB, sc *workload.Scenario, m *mcm.MCM, opts eval.Options, sched *eval.Schedule) (*eval.Schedule, eval.Metrics, error) {
+	c := eval.Compile(db, m, sc, opts)
+	metrics, err := c.Evaluate(c.NewScratch(), sched)
 	if err != nil {
 		return nil, eval.Metrics{}, err
 	}
@@ -62,12 +69,7 @@ func NNBaton(db *costdb.DB, sc *workload.Scenario, m *mcm.MCM, opts eval.Options
 		segs := nnBatonModel(mi, model, m, start)
 		sched.Windows = append(sched.Windows, eval.TimeWindow{Index: mi, Segments: segs})
 	}
-	ev := eval.New(db, m, sc, opts)
-	metrics, err := ev.Evaluate(sched)
-	if err != nil {
-		return nil, eval.Metrics{}, err
-	}
-	return sched, metrics, nil
+	return evaluate(db, sc, m, opts, sched)
 }
 
 // nnBatonModel packs a model's layers greedily into segments whose weight

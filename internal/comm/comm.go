@@ -30,10 +30,19 @@ func (c Cost) Add(o Cost) Cost {
 // traffic conflicts (the evaluator derives it from concurrent flows in the
 // time window). A transfer to the same chiplet is free.
 func ChipToChip(m *mcm.MCM, src, dst int, bytes int64, contention float64) Cost {
-	if src == dst || bytes <= 0 {
+	if src == dst {
 		return Cost{}
 	}
-	hops := m.Hops(src, dst)
+	return ChipToChipHops(m, m.Hops(src, dst), bytes, contention)
+}
+
+// ChipToChipHops is ChipToChip with a precomputed hop count: the form the
+// compiled evaluator uses, where the all-pairs hop table is snapshotted
+// once per session. hops == 0 means a same-chiplet (free) transfer.
+func ChipToChipHops(m *mcm.MCM, hops int, bytes int64, contention float64) Cost {
+	if hops == 0 || bytes <= 0 {
+		return Cost{}
+	}
 	serial := float64(bytes) / m.NoPBandwidth * (1 + contention)
 	lat := serial + float64(hops)*m.NoPHopLatency
 	energy := float64(bytes) * m.NoPEnergyPerByte * float64(hops)
@@ -58,7 +67,16 @@ func offchip(m *mcm.MCM, id int, bytes int64, contention float64) Cost {
 	if bytes <= 0 {
 		return Cost{}
 	}
-	hops := m.NearestMemIFHops(id)
+	return OffchipHops(m, m.NearestMemIFHops(id), bytes, contention)
+}
+
+// OffchipHops is the off-chip transfer cost with a precomputed hop count
+// to the nearest memory interface (the compiled evaluator's form; reads
+// and writes share one model, see OffchipWrite).
+func OffchipHops(m *mcm.MCM, hops int, bytes int64, contention float64) Cost {
+	if bytes <= 0 {
+		return Cost{}
+	}
 	serial := float64(bytes) / m.OffchipBandwidth * (1 + contention)
 	lat := serial + float64(hops)*m.NoPHopLatency + m.OffchipLatency
 	energy := float64(bytes)*m.OffchipEnergyPerByte +

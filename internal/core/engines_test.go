@@ -6,6 +6,7 @@ import (
 
 	"example.com/scar/internal/costdb"
 	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/eval"
 	"example.com/scar/internal/maestro"
 	"example.com/scar/internal/mcm"
 	"example.com/scar/internal/workload"
@@ -363,7 +364,10 @@ func TestTreeSearchRespectsAdjacencyAndExclusivity(t *testing.T) {
 		{model: 1, r: layerRange{0, 1}, ends: []int{0, 1}},    // 2 segments
 	}
 	rng := rand.New(rand.NewSource(5))
-	res := treeSearch(ev.Window, pkg.AdjacencyMatrix(), pkg.NumChiplets(), plans, EDPObjective(), 30, 500, rng, false)
+	evalWin := func(segs []eval.Segment) eval.WindowMetrics {
+		return ev.Window(eval.TimeWindow{Segments: segs})
+	}
+	res := treeSearch(evalWin, pkg.AdjacencyMatrix(), pkg.NumChiplets(), plans, EDPObjective(), 30, 500, rng, false)
 	if !res.found {
 		t.Fatal("tree search found nothing")
 	}

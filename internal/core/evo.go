@@ -148,10 +148,12 @@ func greedyPath(m intGraph, root, length int, used []bool, seed int) ([]int, boo
 // searchWindowEvo is the evolutionary counterpart of searchWindow: PROV
 // provisions nodes, then the GA explores segmentation and mapping
 // together. Falls back to the brute-force tree search when the GA cannot
-// find a feasible genome. seed is the window's deterministic RNG root
-// (mixSeed of the run seed with the candidate and window indices), so
-// concurrent windows run independent, reproducible GAs.
-func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, seed int64) ([]eval.Segment, error) {
+// find a feasible genome. self is the calling task's worker id (the GA is
+// serial within the task, so its fitness evaluations share the worker's
+// scratch); seed is the window's deterministic RNG root (mixSeed of the
+// run seed with the candidate and window indices), so concurrent windows
+// run independent, reproducible GAs.
+func (s *Scheduler) searchWindowEvo(r *run, self int, w windowAssignment, seed int64) ([]eval.Segment, error) {
 	var active []int
 	var ranges []layerRange
 	var weights []float64
@@ -182,7 +184,7 @@ func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, seed int64) ([]e
 		if !ok {
 			return math.Inf(1)
 		}
-		wm := r.window(eval.TimeWindow{Segments: segs})
+		wm := r.window(self, eval.TimeWindow{Segments: segs})
 		return r.obj.windowScore(wm)
 	}
 	gaOpts := s.opts.Evo
@@ -190,11 +192,11 @@ func (s *Scheduler) searchWindowEvo(r *run, w windowAssignment, seed int64) ([]e
 	res, err := search.Run(search.Problem{Bounds: genome.bounds, Fitness: fitness}, gaOpts)
 	if err != nil || math.IsInf(res.BestFitness, 1) {
 		// GA found nothing feasible: fall back to the tree search.
-		return s.searchWindow(r, w, seed)
+		return s.searchWindow(r, self, w, seed)
 	}
 	segs, ok := genome.decode(res.Best, graph)
 	if !ok {
-		return s.searchWindow(r, w, seed)
+		return s.searchWindow(r, self, w, seed)
 	}
 	return segs, nil
 }

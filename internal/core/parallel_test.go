@@ -202,7 +202,7 @@ func TestPoolForEachCoversAllIndices(t *testing.T) {
 		p := newPool(workers)
 		const n = 100
 		var hits [n]int32
-		p.forEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		p.forEach(0, n, func(_, i int) { atomic.AddInt32(&hits[i], 1) })
 		for i, h := range hits {
 			if h != 1 {
 				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
@@ -217,8 +217,8 @@ func TestPoolNestedForEach(t *testing.T) {
 	p := newPool(4)
 	const outer, inner = 6, 7
 	var count atomic.Int64
-	p.forEach(outer, func(i int) {
-		p.forEach(inner, func(j int) {
+	p.forEach(0, outer, func(worker, i int) {
+		p.forEach(worker, inner, func(_, j int) {
 			count.Add(1)
 		})
 	})
@@ -227,10 +227,45 @@ func TestPoolNestedForEach(t *testing.T) {
 	}
 }
 
+// Worker ids hand each concurrently-running task private scratch state,
+// so they must be in [0, NWorkers) and never shared by two tasks running
+// at the same time — including across nesting levels, where the caller
+// keeps its own id while helpers draw fresh tokens.
+func TestPoolWorkerIDsDistinctWhileRunning(t *testing.T) {
+	p := newPool(4)
+	nw := p.NWorkers()
+	if nw != 4 {
+		t.Fatalf("NWorkers = %d, want 4", nw)
+	}
+	inUse := make([]atomic.Bool, nw)
+	var violations atomic.Int64
+	enter := func(worker int) {
+		if worker < 0 || worker >= nw || !inUse[worker].CompareAndSwap(false, true) {
+			violations.Add(1)
+		}
+	}
+	exit := func(worker int) { inUse[worker].Store(false) }
+	p.forEach(0, 16, func(worker, i int) {
+		enter(worker)
+		p.forEach(worker, 5, func(inner, j int) {
+			if inner != worker {
+				// A nested helper drew its own token; the caller's id
+				// stays held by the enclosing task.
+				enter(inner)
+				defer exit(inner)
+			}
+		})
+		exit(worker)
+	})
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d worker-id sharing violations", v)
+	}
+}
+
 func TestPoolSerialIsInline(t *testing.T) {
 	p := newPool(1)
 	order := make([]int, 0, 5)
-	p.forEach(5, func(i int) { order = append(order, i) })
+	p.forEach(0, 5, func(_, i int) { order = append(order, i) })
 	for i, v := range order {
 		if v != i {
 			t.Fatalf("serial pool reordered tasks: %v", order)
@@ -258,14 +293,20 @@ func TestMixSeedSpreads(t *testing.T) {
 }
 
 func TestWindowKeyDistinguishesSegments(t *testing.T) {
+	key := func(segs []eval.Segment) string { return string(appendWindowKey(nil, segs)) }
 	a := []eval.Segment{{Model: 0, First: 0, Last: 1, Chiplet: 2}}
 	b := []eval.Segment{{Model: 0, First: 0, Last: 1, Chiplet: 3}}
 	c := []eval.Segment{{Model: 1, First: 0, Last: 1, Chiplet: 2}}
-	if windowKey(a) == windowKey(b) || windowKey(a) == windowKey(c) {
-		t.Error("windowKey collides on distinct placements")
+	if key(a) == key(b) || key(a) == key(c) {
+		t.Error("window key collides on distinct placements")
 	}
-	if windowKey(a) != windowKey([]eval.Segment{{Model: 0, First: 0, Last: 1, Chiplet: 2}}) {
-		t.Error("windowKey not stable")
+	if key(a) != key([]eval.Segment{{Model: 0, First: 0, Last: 1, Chiplet: 2}}) {
+		t.Error("window key not stable")
+	}
+	// Reusing a non-empty buffer must yield the same fingerprint bytes.
+	buf := appendWindowKey(nil, b)
+	if string(appendWindowKey(buf[:0], a)) != key(a) {
+		t.Error("window key differs when the buffer is reused")
 	}
 }
 

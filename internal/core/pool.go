@@ -16,14 +16,21 @@ import (
 // the scheduler, which make every task's work and the final winner
 // independent of interleaving.
 
-// pool bounds the helper goroutines recruited by the search. The calling
-// goroutine always works through its own task list, and helpers are added
-// only while a slot is free, so nested fan-outs (candidates -> windows ->
-// combos) can share one pool without deadlock or unbounded concurrency.
+// pool bounds the helper goroutines recruited by the search and hands
+// every concurrently-running task a distinct worker identity in
+// [0, NWorkers), which the scheduler uses to give each worker its own
+// evaluation Scratch. The calling goroutine always works through its own
+// task list, and helpers are added only while a slot is free, so nested
+// fan-outs (candidates -> windows -> combos) can share one pool without
+// deadlock or unbounded concurrency.
 type pool struct {
-	// slots holds one token per helper goroutine allowed beyond the
-	// caller; a zero-capacity channel degrades forEach to a plain loop.
-	slots chan struct{}
+	// slots holds one worker-identity token per helper goroutine allowed
+	// beyond the caller (ids 1..NWorkers-1; the root caller is id 0). A
+	// token is held for the lifetime of one helper and returned when it
+	// finishes, so ids held by live goroutines are always distinct — the
+	// invariant that makes per-worker scratch state race-free. An empty
+	// channel capacity degrades forEach to a plain loop.
+	slots chan int
 }
 
 // newPool builds a pool for the given worker count (0 = GOMAXPROCS).
@@ -33,28 +40,39 @@ func newPool(workers int) *pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &pool{slots: make(chan struct{}, workers-1)}
+	p := &pool{slots: make(chan int, workers-1)}
+	for id := 1; id < workers; id++ {
+		p.slots <- id
+	}
+	return p
 }
 
-// forEach runs fn(i) for every i in [0, n) and returns once all calls
-// completed. Iterations may run concurrently, bounded by the pool; fn
-// must communicate only through per-index storage (or atomics) and must
-// not depend on execution order.
-func (p *pool) forEach(n int, fn func(i int)) {
+// NWorkers returns the maximum number of concurrently-running tasks, and
+// the exclusive upper bound of the worker ids passed to forEach's fn.
+func (p *pool) NWorkers() int { return cap(p.slots) + 1 }
+
+// forEach runs fn(worker, i) for every i in [0, n) and returns once all
+// calls completed. self is the calling task's own worker id (0 at the
+// root; inside a nested fan-out, the id forEach handed the enclosing fn).
+// Iterations may run concurrently, bounded by the pool; no two concurrent
+// fn invocations see the same worker id. fn must communicate only through
+// per-index storage, per-worker state, or atomics, and must not depend on
+// execution order.
+func (p *pool) forEach(self, n int, fn func(worker, i int)) {
 	if n <= 1 || cap(p.slots) == 0 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(self, i)
 		}
 		return
 	}
 	var next atomic.Int64
-	work := func() {
+	work := func(worker int) {
 		for {
 			i := next.Add(1) - 1
 			if i >= int64(n) {
 				return
 			}
-			fn(int(i))
+			fn(worker, int(i))
 		}
 	}
 	var wg sync.WaitGroup
@@ -65,12 +83,12 @@ func (p *pool) forEach(n int, fn func(i int)) {
 recruit:
 	for h := 0; h < helpers; h++ {
 		select {
-		case p.slots <- struct{}{}:
+		case id := <-p.slots:
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				defer func() { <-p.slots }()
-				work()
+				defer func() { p.slots <- id }()
+				work(id)
 			}()
 		default:
 			// Every slot is busy (we are inside a nested fan-out):
@@ -78,7 +96,7 @@ recruit:
 			break recruit
 		}
 	}
-	work()
+	work(self)
 	wg.Wait()
 }
 

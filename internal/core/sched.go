@@ -59,11 +59,13 @@ type treeResult struct {
 // interposer neighbors (the mapping-locality ablation).
 //
 // The search itself is serial and self-contained — evalWin scores leaf
-// windows (in a run it is the memoizing run.window), adj/chiplets carry
-// the package shape, rng is the task's private stream — which is what
-// lets the scheduler fan many treeSearch calls out across workers.
+// windows (in a run it is the memoizing run.window bound to this task's
+// worker scratch; it must not retain the segment slice, which the search
+// mutates while backtracking), adj/chiplets carry the package shape, rng
+// is the task's private stream — which is what lets the scheduler fan
+// many treeSearch calls out across workers.
 func treeSearch(
-	evalWin func(eval.TimeWindow) eval.WindowMetrics, adj [][]bool, chiplets int,
+	evalWin func(segs []eval.Segment) eval.WindowMetrics, adj [][]bool, chiplets int,
 	plans []modelPlan, obj Objective, maxTrees, budget int, rng *rand.Rand, freePlacement bool,
 ) treeResult {
 	ordered := make([]modelPlan, len(plans))
@@ -96,15 +98,16 @@ func treeSearch(
 				return
 			}
 			if k == len(ordered) {
-				w := eval.TimeWindow{Segments: append([]eval.Segment(nil), segs...)}
-				wm := evalWin(w)
+				wm := evalWin(segs)
 				score := obj.windowScore(wm)
 				res.evals++
 				left--
 				if score < res.score {
+					// Snapshot only improvements: segs' backing array
+					// is rewritten as the DFS backtracks.
 					res.score = score
 					res.metrics = wm
-					res.segments = w.Segments
+					res.segments = append([]eval.Segment(nil), segs...)
 					res.found = true
 				}
 				return

@@ -74,31 +74,45 @@ type CandidateMetrics struct {
 	Metrics eval.Metrics
 }
 
-// run bundles one scheduling invocation's state. All of it is either
-// read-only after construction (evaluator, expectations, adjacency) or
-// concurrency-safe (pool, window cache, atomic eval counter); search
-// tasks carry their own derived RNG seeds.
-type run struct {
-	s      *Scheduler
-	sc     *workload.Scenario
-	m      *mcm.MCM
-	ev     *eval.Evaluator
-	obj    Objective
-	expLat [][]float64
-	expE   [][]float64
-	adj    [][]bool
-	pool   *pool
-	cache  *windowCache
-	evals  atomic.Int64
+// workerState is one pool worker's private evaluation state: a compiled-
+// session Scratch plus a reusable cache-key buffer. The pool guarantees
+// no two concurrently-running tasks share a worker id, so access is
+// race-free without locks.
+type workerState struct {
+	scratch *eval.Scratch
+	key     []byte
 }
 
-// newRun prepares one invocation's shared state.
+// run bundles one scheduling invocation's state. All of it is either
+// read-only after construction (compiled session, expectations,
+// adjacency) or concurrency-safe (pool, window cache, atomic eval
+// counter, per-worker scratch state); search tasks carry their own
+// derived RNG seeds.
+type run struct {
+	s       *Scheduler
+	sc      *workload.Scenario
+	m       *mcm.MCM
+	comp    *eval.Compiled
+	obj     Objective
+	expLat  [][]float64
+	expE    [][]float64
+	adj     [][]bool
+	pool    *pool
+	workers []workerState
+	cache   *windowCache
+	evals   atomic.Int64
+}
+
+// newRun prepares one invocation's shared state: the compiled evaluation
+// session (dense cost tables, built once per (scenario, MCM) pair) and
+// one Scratch per pool worker, so the search's window evaluations are
+// lock-free and allocation-free.
 func (s *Scheduler) newRun(sc *workload.Scenario, m *mcm.MCM, obj Objective) *run {
-	return &run{
+	r := &run{
 		s:      s,
 		sc:     sc,
 		m:      m,
-		ev:     eval.New(s.db, m, sc, s.opts.Eval),
+		comp:   eval.Compile(s.db, m, sc, s.opts.Eval),
 		obj:    obj,
 		expLat: expectedLatencies(s.db, sc, m),
 		expE:   expectedEnergies(s.db, sc, m),
@@ -108,18 +122,26 @@ func (s *Scheduler) newRun(sc *workload.Scenario, m *mcm.MCM, obj Objective) *ru
 		pool:  newPool(s.opts.Workers),
 		cache: newWindowCache(),
 	}
+	r.workers = make([]workerState, r.pool.NWorkers())
+	for i := range r.workers {
+		r.workers[i].scratch = r.comp.NewScratch()
+	}
+	return r
 }
 
-// window evaluates one time window through the run's memoization layer,
-// counting the logical evaluation.
-func (r *run) window(w eval.TimeWindow) eval.WindowMetrics {
+// window evaluates one time window through the run's memoization layer
+// with the given worker's scratch state, counting the logical evaluation.
+// Cache probes reuse the worker's key buffer; only a miss materializes
+// the metrics and the stored key.
+func (r *run) window(worker int, w eval.TimeWindow) eval.WindowMetrics {
 	r.evals.Add(1)
-	k := windowKey(w.Segments)
-	if wm, ok := r.cache.get(k); ok {
+	ws := &r.workers[worker]
+	ws.key = appendWindowKey(ws.key[:0], w.Segments)
+	if wm, ok := r.cache.get(ws.key); ok {
 		return wm
 	}
-	wm := r.ev.Window(w)
-	r.cache.put(k, wm)
+	wm := r.comp.Window(ws.scratch, w)
+	r.cache.put(ws.key, wm)
 	return wm
 }
 
@@ -184,13 +206,13 @@ type candOutcome struct {
 // exactly as the serial loop always did.
 func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, error) {
 	outcomes := make([]candOutcome, len(cands))
-	r.pool.forEach(len(cands), func(ci int) {
-		sched, err := s.buildSchedule(r, cands[ci])
+	r.pool.forEach(0, len(cands), func(worker, ci int) {
+		sched, err := s.buildSchedule(r, worker, cands[ci])
 		if err != nil {
 			outcomes[ci].err = err
 			return
 		}
-		metrics, err := r.ev.Evaluate(sched)
+		metrics, err := r.comp.Evaluate(r.workers[worker].scratch, sched)
 		if err != nil {
 			outcomes[ci] = candOutcome{
 				err:      fmt.Errorf("core: internal error, produced invalid schedule: %w", err),
@@ -255,17 +277,18 @@ func assignmentSeed(w windowAssignment) int64 {
 }
 
 // buildSchedule runs the per-window search for every window of a
-// partitioning candidate, windows in parallel. The first failing window
-// (by index) determines the candidate's error.
-func (s *Scheduler) buildSchedule(r *run, p partitioning) (*eval.Schedule, error) {
+// partitioning candidate, windows in parallel. self is the calling task's
+// worker id. The first failing window (by index) determines the
+// candidate's error.
+func (s *Scheduler) buildSchedule(r *run, self int, p partitioning) (*eval.Schedule, error) {
 	segs := make([][]eval.Segment, len(p.windows))
 	errs := make([]error, len(p.windows))
-	r.pool.forEach(len(p.windows), func(wi int) {
+	r.pool.forEach(self, len(p.windows), func(worker, wi int) {
 		seed := mixSeed(s.opts.Seed, assignmentSeed(p.windows[wi]))
 		if s.opts.Search == SearchEvolutionary {
-			segs[wi], errs[wi] = s.searchWindowEvo(r, p.windows[wi], seed)
+			segs[wi], errs[wi] = s.searchWindowEvo(r, worker, p.windows[wi], seed)
 		} else {
-			segs[wi], errs[wi] = s.searchWindow(r, p.windows[wi], seed)
+			segs[wi], errs[wi] = s.searchWindow(r, worker, p.windows[wi], seed)
 		}
 	})
 	sched := &eval.Schedule{}
@@ -290,8 +313,9 @@ type comboTask struct {
 // searchWindow runs PROV -> SEG -> SCHED for one window and returns the
 // best segment mapping found. The segmentation-combo tree searches fan
 // out in parallel; the reduction keeps the lowest-index winner on ties.
-// seed is the window's deterministic RNG root (see mixSeed).
-func (s *Scheduler) searchWindow(r *run, w windowAssignment, seed int64) ([]eval.Segment, error) {
+// self is the calling task's worker id; seed is the window's
+// deterministic RNG root (see mixSeed).
+func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int64) ([]eval.Segment, error) {
 	// Active models and their objective-proxy weights E(P_i).
 	var active []int
 	var weights []float64
@@ -375,11 +399,14 @@ func (s *Scheduler) searchWindow(r *run, w windowAssignment, seed int64) ([]eval
 	}
 
 	results := make([]treeResult, len(tasks))
-	r.pool.forEach(len(tasks), func(ti int) {
+	r.pool.forEach(self, len(tasks), func(worker, ti int) {
 		t := tasks[ti]
 		rng := rand.New(rand.NewSource(t.seed))
+		evalWin := func(segs []eval.Segment) eval.WindowMetrics {
+			return r.window(worker, eval.TimeWindow{Segments: segs})
+		}
 		results[ti] = treeSearch(
-			r.window, r.adj, r.m.NumChiplets(),
+			evalWin, r.adj, r.m.NumChiplets(),
 			t.plans, r.obj, s.opts.MaxTrees, t.budget, rng, s.opts.FreePlacement,
 		)
 	})

@@ -13,9 +13,10 @@ import (
 // cache is shared across every candidate, window and combo task of a run.
 //
 // A window evaluation is a pure function of its segment multiset — the
-// evaluator holds no mutable state and the cost database is append-only —
-// which is what makes memoization sound. The cache key is the exact
-// (model, layer range, chiplet) sequence of the window's segments.
+// compiled session holds no mutable state and any worker Scratch yields
+// bit-identical metrics — which is what makes memoization sound. The
+// cache key is the exact (model, layer range, chiplet) sequence of the
+// window's segments.
 //
 // Concurrency: a plain RWMutex map. Two workers racing on the same key
 // may both compute the (identical) value; correctness and determinism are
@@ -32,14 +33,14 @@ func newWindowCache() *windowCache {
 	return &windowCache{m: make(map[string]eval.WindowMetrics)}
 }
 
-// windowKey fingerprints a window's segments: model, window-absolute
-// layer range and chiplet per segment. 4 bytes per field so custom
-// packages and models beyond 2^16 chiplets/layers cannot alias two
-// distinct windows to one cache entry.
-func windowKey(segs []eval.Segment) string {
-	buf := make([]byte, 0, 16*len(segs))
+// appendWindowKey appends a window fingerprint to dst and returns it:
+// model, window-absolute layer range and chiplet per segment. 4 bytes per
+// field so custom packages and models beyond 2^16 chiplets/layers cannot
+// alias two distinct windows to one cache entry. Callers reuse dst across
+// evaluations, so the search's cache probes allocate nothing.
+func appendWindowKey(dst []byte, segs []eval.Segment) []byte {
 	put := func(v int) {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		dst = append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 	}
 	for _, s := range segs {
 		put(s.Model)
@@ -47,19 +48,22 @@ func windowKey(segs []eval.Segment) string {
 		put(s.Last)
 		put(s.Chiplet)
 	}
-	return string(buf)
+	return dst
 }
 
-func (c *windowCache) get(k string) (eval.WindowMetrics, bool) {
+// get looks a fingerprint up without copying it (the map index converts
+// the byte key in place).
+func (c *windowCache) get(k []byte) (eval.WindowMetrics, bool) {
 	c.mu.RLock()
-	wm, ok := c.m[k]
+	wm, ok := c.m[string(k)]
 	c.mu.RUnlock()
 	return wm, ok
 }
 
-func (c *windowCache) put(k string, wm eval.WindowMetrics) {
+// put stores a window evaluation, copying the fingerprint for ownership.
+func (c *windowCache) put(k []byte, wm eval.WindowMetrics) {
 	c.mu.Lock()
-	c.m[k] = wm
+	c.m[string(k)] = wm
 	c.mu.Unlock()
 }
 

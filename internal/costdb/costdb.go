@@ -8,6 +8,7 @@ package costdb
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"example.com/scar/internal/dataflow"
 	"example.com/scar/internal/maestro"
@@ -35,34 +36,79 @@ func makeKey(l workload.Layer, df dataflow.Dataflow, spec maestro.Chiplet) key {
 	}
 }
 
+// inflight tracks one in-progress Analyze so concurrent requests for the
+// same key wait for the first caller instead of recomputing.
+type inflight struct {
+	done chan struct{}
+	r    maestro.Result
+}
+
 // DB is a concurrency-safe memoizing layer-cost database.
 type DB struct {
 	params maestro.Params
 
-	mu    sync.RWMutex
-	cache map[key]maestro.Result
+	mu      sync.RWMutex
+	cache   map[key]maestro.Result
+	pending map[key]*inflight
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 // New creates a database using the given cost-model calibration.
 func New(params maestro.Params) *DB {
-	return &DB{params: params, cache: make(map[key]maestro.Result)}
+	return &DB{
+		params:  params,
+		cache:   make(map[key]maestro.Result),
+		pending: make(map[key]*inflight),
+	}
 }
 
 // Cost returns the intra-chiplet cost of layer l under dataflow df on a
 // chiplet with the given spec, computing and caching it on first use.
+//
+// Concurrent callers missing on the same key are coalesced
+// singleflight-style: exactly one runs maestro.Analyze, the rest wait for
+// its result. This both keeps the parallel search from burning cores on
+// duplicate analyses and dedups table-build work when several compiled
+// evaluation sessions spin up at once.
 func (db *DB) Cost(l workload.Layer, df dataflow.Dataflow, spec maestro.Chiplet) maestro.Result {
 	k := makeKey(l, df, spec)
 	db.mu.RLock()
 	r, ok := db.cache[k]
 	db.mu.RUnlock()
 	if ok {
+		db.hits.Add(1)
 		return r
 	}
-	r = maestro.Analyze(l, df, spec, db.params)
+
 	db.mu.Lock()
-	db.cache[k] = r
+	if r, ok := db.cache[k]; ok {
+		// Lost the race to a completed computation.
+		db.mu.Unlock()
+		db.hits.Add(1)
+		return r
+	}
+	if fl, ok := db.pending[k]; ok {
+		// Another goroutine is computing this key: wait for it.
+		db.mu.Unlock()
+		<-fl.done
+		db.hits.Add(1)
+		return fl.r
+	}
+	fl := &inflight{done: make(chan struct{})}
+	db.pending[k] = fl
 	db.mu.Unlock()
-	return r
+
+	fl.r = maestro.Analyze(l, df, spec, db.params)
+
+	db.mu.Lock()
+	db.cache[k] = fl.r
+	delete(db.pending, k)
+	db.mu.Unlock()
+	db.misses.Add(1)
+	close(fl.done)
+	return fl.r
 }
 
 // Size returns the number of cached entries (for tests and diagnostics).
@@ -70,6 +116,13 @@ func (db *DB) Size() int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return len(db.cache)
+}
+
+// Stats returns the lookup counters: hits is the number of Cost calls
+// served without running the cost model (cache hits plus singleflight
+// waiters), misses the number of maestro.Analyze computations performed.
+func (db *DB) Stats() (hits, misses int64) {
+	return db.hits.Load(), db.misses.Load()
 }
 
 // Expected implements Equation (1) of the paper and its energy analogue:

@@ -44,6 +44,54 @@ func TestMemoizationByShape(t *testing.T) {
 	}
 }
 
+// TestSingleflightComputesOnce hammers one cold key from many goroutines:
+// with in-flight tracking exactly one maestro.Analyze may run, so the miss
+// counter must end at 1 and every other call must be a hit.
+func TestSingleflightComputesOnce(t *testing.T) {
+	db := newDB()
+	spec := maestro.DefaultDatacenterChiplet()
+	l := workload.Conv("cold", 64, 64, 58, 58, 3, 1)
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]maestro.Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			results[g] = db.Cost(l, dataflow.NVDLA(), spec)
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	hits, misses := db.Stats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (duplicate compute not coalesced)", misses)
+	}
+	if hits != goroutines-1 {
+		t.Errorf("hits = %d, want %d", hits, goroutines-1)
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Fatalf("goroutine %d saw a different result", g)
+		}
+	}
+}
+
+func TestStatsCountHitsAndMisses(t *testing.T) {
+	db := newDB()
+	spec := maestro.DefaultDatacenterChiplet()
+	l := workload.GEMM("g", 64, 256, 256)
+	db.Cost(l, dataflow.NVDLA(), spec)
+	db.Cost(l, dataflow.NVDLA(), spec)
+	db.Cost(l, dataflow.ShiDianNao(), spec)
+	hits, misses := db.Stats()
+	if hits != 1 || misses != 2 {
+		t.Errorf("Stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	db := newDB()
 	spec := maestro.DefaultDatacenterChiplet()
@@ -81,7 +129,7 @@ func TestExpectedIsMixture(t *testing.T) {
 	lat, e = db.Expected(l, het)
 	wantLat := (5*nvd.ComputeSeconds + 4*shi.ComputeSeconds) / 9
 	wantE := (5*nvd.EnergyPJ + 4*shi.EnergyPJ) / 9
-	if !close(lat, wantLat) || !close(e, wantE) {
+	if !approxEq(lat, wantLat) || !approxEq(e, wantE) {
 		t.Errorf("Expected = (%v, %v), want (%v, %v)", lat, e, wantLat, wantE)
 	}
 	// The mixture must lie strictly between the pure costs.
@@ -109,12 +157,12 @@ func TestExpectedModelSums(t *testing.T) {
 		wantLat += ll
 		wantE += ee
 	}
-	if !close(lat, wantLat) || !close(e, wantE) {
+	if !approxEq(lat, wantLat) || !approxEq(e, wantE) {
 		t.Errorf("ExpectedModel = (%v,%v), want (%v,%v)", lat, e, wantLat, wantE)
 	}
 }
 
-func close(a, b float64) bool {
+func approxEq(a, b float64) bool {
 	d := a - b
 	if d < 0 {
 		d = -d

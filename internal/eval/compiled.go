@@ -1,0 +1,595 @@
+package eval
+
+import (
+	"fmt"
+
+	"example.com/scar/internal/comm"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/dataflow"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// This file is the compiled evaluation session: the zero-allocation,
+// lock-free hot path behind Evaluator. SCAR's offline MAESTRO database
+// (Section IV-A) is finite and enumerable up front — a layer's cost
+// depends only on (shape, dataflow class, mini-batch) — so instead of
+// consulting a guarded hash map per layer per evaluation, Compile
+// enumerates the whole table once per (scenario, MCM) pair into dense
+// arrays and derives prefix sums over the layer index. Any segment's
+// aggregate compute-seconds, energy, weight bytes and spill bytes then
+// cost O(1) prefix differences instead of O(layers) map lookups, and a
+// per-worker Scratch supplies every buffer an evaluation needs, so the
+// parallel search never allocates or takes a lock inside Window.
+
+// dfClass is one distinct (dataflow, chiplet spec) combination on the
+// package. The paper's templates use one spec per dataflow, but Compile
+// keys on the full pair so custom heterogeneous-spec packages stay
+// correct. rep is a representative chiplet's full dataflow (excluded from
+// class identity; the cost database keys dataflows by name).
+type dfClass struct {
+	df   string
+	spec maestro.Chiplet
+	rep  dataflow.Dataflow
+}
+
+// costPrefix carries the prefix sums of one (model, class, mini-batch)
+// cost column: index i holds the sum over layers [0, i).
+type costPrefix struct {
+	compute []float64 // seconds
+	energy  []float64 // pJ
+	spill   []int64   // capacity-induced DRAM refetch bytes
+}
+
+// compiledModel is one scenario model's dense tables.
+type compiledModel struct {
+	batch  int
+	layers int
+	// perSampleIn/perSampleOut are the layer's activation footprints at
+	// batch 1; footprints are exactly linear in the batch dimension, so
+	// bp * perSample reproduces Layer.WithBatch(bp).InputBytes() et al.
+	// without touching the layer structs.
+	perSampleIn  []int64
+	perSampleOut []int64
+	// weightPref is the weight-byte prefix sum (batch-independent).
+	weightPref []int64
+	// fit[class][layer] is the largest mini-batch whose activations stay
+	// L2-resident next to the layer's weights on that class (the
+	// residentBatch term), fitUnbounded for weight-free zero-activation
+	// layers that impose no cap.
+	fit [][]int32
+	// costs[class][bp-1] are the cost prefix columns.
+	costs [][]costPrefix
+}
+
+// fitUnbounded marks layers that impose no mini-batch cap.
+const fitUnbounded = int32(1<<31 - 1)
+
+// Compiled is an evaluation session for one (scenario, MCM) pair: every
+// cost the performance model of Section III-E can ask for, precomputed
+// into dense tables. A Compiled is immutable after Compile and safe for
+// unbounded concurrent use; each concurrent evaluation needs its own
+// Scratch.
+type Compiled struct {
+	m    *mcm.MCM
+	sc   *workload.Scenario
+	opts Options
+
+	classes   []dfClass
+	classOf   []int   // chiplet ID -> class index
+	memIFHops []int   // chiplet ID -> hops to nearest memory interface
+	hops      [][]int // all-pairs chiplet hop counts
+	models    []compiledModel
+}
+
+// Compile builds the evaluation session. Table entries are filled through
+// the cost database, so identical layer shapes across models, scenarios
+// and sessions are analyzed exactly once (the database's singleflight
+// also dedups concurrent compiles). Compile forces the MCM's lazy network
+// tables, so the session is safe to share across goroutines immediately.
+func Compile(db *costdb.DB, m *mcm.MCM, sc *workload.Scenario, opts Options) *Compiled {
+	c := &Compiled{m: m, sc: sc, opts: opts}
+
+	// Classify chiplets and snapshot the network tables.
+	n := m.NumChiplets()
+	c.classOf = make([]int, n)
+	c.memIFHops = make([]int, n)
+	c.hops = make([][]int, n)
+	for id, ch := range m.Chiplets {
+		idx := -1
+		for i, have := range c.classes {
+			if have.df == ch.Dataflow.Name && have.spec == ch.Spec {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(c.classes)
+			c.classes = append(c.classes, dfClass{df: ch.Dataflow.Name, spec: ch.Spec, rep: ch.Dataflow})
+		}
+		c.classOf[id] = idx
+	}
+	for src := 0; src < n; src++ {
+		c.memIFHops[src] = m.NearestMemIFHops(src)
+		c.hops[src] = make([]int, n)
+		for dst := 0; dst < n; dst++ {
+			c.hops[src][dst] = m.Hops(src, dst)
+		}
+	}
+
+	// Dense per-model tables.
+	c.models = make([]compiledModel, len(sc.Models))
+	for mi, model := range sc.Models {
+		L := len(model.Layers)
+		// Hand-built models may carry Batch 0 (NewModel and Validate
+		// both enforce >= 1, but neither is mandatory on this surface);
+		// clamp instead of indexing an empty table.
+		batch := model.Batch
+		if batch < 1 {
+			batch = 1
+		}
+		cm := compiledModel{
+			batch:        batch,
+			layers:       L,
+			perSampleIn:  make([]int64, L),
+			perSampleOut: make([]int64, L),
+			weightPref:   make([]int64, L+1),
+			fit:          make([][]int32, len(c.classes)),
+			costs:        make([][]costPrefix, len(c.classes)),
+		}
+		for li, l := range model.Layers {
+			l1 := l.WithBatch(1)
+			cm.perSampleIn[li] = l1.InputBytes()
+			cm.perSampleOut[li] = l1.OutputBytes()
+			cm.weightPref[li+1] = cm.weightPref[li] + l1.WeightBytes()
+		}
+		for ci, class := range c.classes {
+			// Mini-batch caps (the residentBatch rule): weights larger
+			// than L2 stream regardless, reserving half the capacity.
+			capacity := float64(class.spec.L2Bytes) * 0.9
+			cm.fit[ci] = make([]int32, L)
+			for li, l := range model.Layers {
+				l1 := l.WithBatch(1)
+				act := float64(l1.InputBytes() + l1.OutputBytes())
+				if act <= 0 {
+					cm.fit[ci][li] = fitUnbounded
+					continue
+				}
+				avail := capacity - float64(l1.WeightBytes())
+				if avail < capacity/2 {
+					avail = capacity / 2
+				}
+				f := int32(avail / act)
+				if f < 1 {
+					f = 1
+				}
+				cm.fit[ci][li] = f
+			}
+
+			// Cost prefix columns, but only for reachable mini-batches:
+			// miniBatch yields 1 (multi-stage), the model batch (all
+			// fits at least it) or a range-minimum of the fit table, so
+			// every other column would be dead weight — for a batch-32
+			// model that skips most of the batch x layers x classes
+			// cost-model calls a full enumeration would make. Only the
+			// chiplet class's dataflow is consulted — one chiplet never
+			// runs another class's dataflow.
+			need := make([]bool, batch+1)
+			need[1] = true
+			need[batch] = true
+			for _, f := range cm.fit[ci] {
+				if int(f) < batch {
+					need[f] = true
+				}
+			}
+			cm.costs[ci] = make([]costPrefix, batch)
+			for bp := 1; bp <= batch; bp++ {
+				if !need[bp] {
+					// Unreachable: left empty so an indexing bug fails
+					// loudly instead of reading zeros.
+					continue
+				}
+				cp := costPrefix{
+					compute: make([]float64, L+1),
+					energy:  make([]float64, L+1),
+					spill:   make([]int64, L+1),
+				}
+				for li, l := range model.Layers {
+					r := db.Cost(l.WithBatch(bp), class.rep, class.spec)
+					cp.compute[li+1] = cp.compute[li] + r.ComputeSeconds
+					cp.energy[li+1] = cp.energy[li] + r.EnergyPJ
+					cp.spill[li+1] = cp.spill[li] + r.ExtraDRAMBytes
+				}
+				cm.costs[ci][bp-1] = cp
+			}
+		}
+		c.models[mi] = cm
+	}
+	return c
+}
+
+// MCM returns the session's package model.
+func (c *Compiled) MCM() *mcm.MCM { return c.m }
+
+// Scenario returns the session's workload.
+func (c *Compiled) Scenario() *workload.Scenario { return c.sc }
+
+// stageSpan is one pipeline stage as a range of the scratch's bucketed
+// segments: a maximal run of consecutive same-chiplet segments of one
+// model (the fused unit of inter-chiplet pipelining).
+type stageSpan struct {
+	chiplet          int
+	segStart, segEnd int // half-open range into Scratch.segs
+}
+
+// Scratch is the reusable per-worker state of compiled evaluations. One
+// Scratch serves one goroutine; evaluations through the same Scratch are
+// strictly sequential, and its contents never influence results — any
+// Scratch of the session produces bit-identical metrics. Allocate one per
+// pool worker with NewScratch.
+type Scratch struct {
+	owner *Compiled
+
+	// Segment bucketing: segs holds the window's segments grouped by
+	// model and sorted by first layer; segOff[mi]..segOff[mi+1] is model
+	// mi's bucket.
+	segs   []Segment
+	segOff []int
+	cursor []int
+
+	// Stage grouping: stages holds all models' pipeline stages
+	// back-to-back; stageStart/stageCount locate each model's run.
+	stages     []stageSpan
+	stageStart []int
+	stageCount []int
+
+	// Per-chiplet busy accumulation with a touched list for O(touched)
+	// reset.
+	busy        []float64
+	busyTouched []int
+
+	// modelLat[mi] is the last evaluation's pipeline latency for models
+	// present in the window (segOff identifies presence).
+	modelLat []float64
+}
+
+// NewScratch allocates evaluation scratch state sized for the session.
+func (c *Compiled) NewScratch() *Scratch {
+	nm := len(c.models)
+	return &Scratch{
+		owner:       c,
+		segOff:      make([]int, nm+1),
+		cursor:      make([]int, nm),
+		stageStart:  make([]int, nm),
+		stageCount:  make([]int, nm),
+		busy:        make([]float64, c.m.NumChiplets()),
+		busyTouched: make([]int, 0, c.m.NumChiplets()),
+		modelLat:    make([]float64, nm),
+	}
+}
+
+// WindowEval is the map-free result of one compiled window evaluation;
+// per-model latencies stay in the Scratch (see Scratch.ModelLatencies).
+type WindowEval struct {
+	// LatencySec is Lat(tw): the max across per-model pipeline latencies
+	// and per-chiplet serialization.
+	LatencySec float64
+	// EnergyJ is the window's total energy in joules.
+	EnergyJ float64
+	// NumLayers is the layer count executed in the window.
+	NumLayers int
+}
+
+// bucket groups the window's segments by model (sorted by first layer)
+// into the scratch and returns the window's layer count.
+func (c *Compiled) bucket(s *Scratch, segs []Segment) int {
+	if s.owner != c {
+		panic(fmt.Sprintf("eval: Scratch for session %p used with session %p", s.owner, c))
+	}
+	nm := len(c.models)
+	for mi := 0; mi <= nm; mi++ {
+		s.segOff[mi] = 0
+	}
+	layers := 0
+	for _, seg := range segs {
+		s.segOff[seg.Model+1]++
+		layers += seg.NumLayers()
+	}
+	for mi := 0; mi < nm; mi++ {
+		s.segOff[mi+1] += s.segOff[mi]
+		s.cursor[mi] = s.segOff[mi]
+	}
+	if cap(s.segs) < len(segs) {
+		s.segs = make([]Segment, len(segs))
+	}
+	s.segs = s.segs[:len(segs)]
+	for _, seg := range segs {
+		s.segs[s.cursor[seg.Model]] = seg
+		s.cursor[seg.Model]++
+	}
+	// Insertion-sort each bucket by first layer (buckets are tiny; the
+	// sort is stable, matching TimeWindow.ModelSegments).
+	for mi := 0; mi < nm; mi++ {
+		bucket := s.segs[s.segOff[mi]:s.segOff[mi+1]]
+		for i := 1; i < len(bucket); i++ {
+			for j := i; j > 0 && bucket[j].First < bucket[j-1].First; j-- {
+				bucket[j], bucket[j-1] = bucket[j-1], bucket[j]
+			}
+		}
+	}
+	return layers
+}
+
+// group fuses each model's consecutive same-chiplet segments into
+// pipeline stages and counts the window's concurrent flows: every
+// stage-to-stage hop is a NoP flow; every stage's weight load plus every
+// model's boundary input/output is an off-chip stream.
+func (c *Compiled) group(s *Scratch) (crossFlows, offFlows int) {
+	s.stages = s.stages[:0]
+	for mi := range c.models {
+		start := len(s.stages)
+		s.stageStart[mi] = start
+		for i := s.segOff[mi]; i < s.segOff[mi+1]; i++ {
+			seg := s.segs[i]
+			if n := len(s.stages); n > start && s.stages[n-1].chiplet == seg.Chiplet {
+				s.stages[n-1].segEnd = i + 1
+				continue
+			}
+			s.stages = append(s.stages, stageSpan{chiplet: seg.Chiplet, segStart: i, segEnd: i + 1})
+		}
+		s.stageCount[mi] = len(s.stages) - start
+		if s.stageCount[mi] == 0 {
+			continue
+		}
+		offFlows += 2 // boundary input + output
+		for si := 0; si < s.stageCount[mi]; si++ {
+			offFlows++ // weight load
+			if si > 0 && s.stages[start+si].chiplet != s.stages[start+si-1].chiplet {
+				crossFlows++
+			}
+		}
+	}
+	return crossFlows, offFlows
+}
+
+// factors converts flow counts to the window's delta contention factors
+// (Section III-E).
+func (c *Compiled) factors(crossFlows, offFlows int) (nop, off float64) {
+	if crossFlows > 1 {
+		nop = c.opts.NoPContentionAlpha * float64(crossFlows-1)
+	}
+	if offFlows > 1 {
+		off = c.opts.OffchipContentionAlpha * float64(offFlows-1)
+	}
+	return nop, off
+}
+
+// miniBatch computes b' (Section III-E) for model mi: multi-stage
+// pipelines stream per-sample; a single stage runs the largest mini-batch
+// whose activations stay L2-resident (precomputed per layer and class).
+func (c *Compiled) miniBatch(s *Scratch, mi int) int {
+	cm := &c.models[mi]
+	if s.stageCount[mi] != 1 {
+		return 1
+	}
+	fit := cm.fit[c.classOf[s.stages[s.stageStart[mi]].chiplet]]
+	bp := int32(cm.batch)
+	for i := s.segOff[mi]; i < s.segOff[mi+1]; i++ {
+		seg := s.segs[i]
+		for li := seg.First; li <= seg.Last; li++ {
+			if f := fit[li]; f < bp {
+				bp = f
+			}
+		}
+	}
+	if bp < 1 {
+		bp = 1
+	}
+	return int(bp)
+}
+
+// modelPass evaluates one model's pipeline inside a window (the
+// modelTimings computation on dense tables): first-pass fill with weight
+// prefetch overlap, steady-state bottleneck amortization, energy
+// accumulation and per-chiplet busy time. When timings is non-nil, stage
+// timings are appended to it (the cold path behind WindowTimings); the
+// hot path passes nil and allocates nothing.
+func (c *Compiled) modelPass(s *Scratch, mi int, nopC, offC float64, timings *[]StageTiming) (modelLat, energyPJ float64) {
+	cm := &c.models[mi]
+	bp := c.miniBatch(s, mi)
+	passes := (cm.batch + bp - 1) / bp
+	stages := s.stages[s.stageStart[mi] : s.stageStart[mi]+s.stageCount[mi]]
+	timingsAt := 0
+	if timings != nil {
+		timingsAt = len(*timings)
+	}
+
+	var prevOut, steadyMax float64
+	for si, st := range stages {
+		class := c.classOf[st.chiplet]
+		cp := &cm.costs[class][bp-1]
+
+		// Segment aggregates as O(1) prefix differences.
+		var computeSec, computePJ float64
+		var spillBytes, weightBytes int64
+		for i := st.segStart; i < st.segEnd; i++ {
+			seg := s.segs[i]
+			computeSec += cp.compute[seg.Last+1] - cp.compute[seg.First]
+			computePJ += cp.energy[seg.Last+1] - cp.energy[seg.First]
+			spillBytes += cp.spill[seg.Last+1] - cp.spill[seg.First]
+			weightBytes += cm.weightPref[seg.Last+1] - cm.weightPref[seg.First]
+		}
+
+		// One-time weight load from DRAM (overlaps upstream fill).
+		wload := comm.OffchipHops(c.m, c.memIFHops[st.chiplet], weightBytes, offC)
+
+		// Input arrives from the previous stage's chiplet, or from DRAM
+		// at the window boundary.
+		inBytes := int64(bp) * cm.perSampleIn[s.segs[st.segStart].First]
+		var in comm.Cost
+		if si == 0 {
+			in = comm.OffchipHops(c.m, c.memIFHops[st.chiplet], inBytes, offC)
+		} else {
+			in = comm.ChipToChipHops(c.m, c.hops[stages[si-1].chiplet][st.chiplet], inBytes, nopC)
+		}
+
+		// Output leaves to DRAM from the last stage only; stage-to-stage
+		// transfers are charged as the next stage's input.
+		var out comm.Cost
+		if si == len(stages)-1 {
+			outBytes := int64(bp) * cm.perSampleOut[s.segs[st.segEnd-1].Last]
+			out = comm.OffchipHops(c.m, c.memIFHops[st.chiplet], outBytes, offC)
+		}
+
+		spill := comm.OffchipHops(c.m, c.memIFHops[st.chiplet], spillBytes, offC)
+		passLat := in.Seconds + computeSec + spill.Seconds + out.Seconds
+		start := prevOut
+		if wload.Seconds > start {
+			start = wload.Seconds
+		}
+		passPJ := in.EnergyPJ + computePJ + spill.EnergyPJ + out.EnergyPJ
+		stageE := wload.EnergyPJ + float64(passes)*passPJ
+		energyPJ += stageE
+
+		if s.busy[st.chiplet] == 0 {
+			s.busyTouched = append(s.busyTouched, st.chiplet)
+		}
+		s.busy[st.chiplet] += wload.Seconds + float64(passes)*passLat
+
+		if timings != nil {
+			*timings = append(*timings, StageTiming{
+				Model:      mi,
+				Chiplet:    st.chiplet,
+				Segments:   append([]Segment(nil), s.segs[st.segStart:st.segEnd]...),
+				WeightSec:  wload.Seconds,
+				FirstStart: start,
+				FirstEnd:   start + passLat,
+				PassSec:    passLat,
+				Passes:     passes,
+				EnergyPJ:   stageE,
+			})
+		}
+		prevOut = start + passLat
+		if passLat > steadyMax {
+			steadyMax = passLat
+		}
+	}
+	modelLat = prevOut + float64(passes-1)*steadyMax
+	if timings != nil {
+		// Steady-state drain: every stage completes its last pass by the
+		// model's pipeline end, staggered by the bottleneck pass.
+		for i := timingsAt; i < len(*timings); i++ {
+			(*timings)[i].BusyEnd = (*timings)[i].FirstEnd + float64(passes-1)*steadyMax
+		}
+	}
+	return modelLat, energyPJ
+}
+
+// windowInto evaluates a window's segments, leaving per-model latencies
+// in the scratch; timings optionally collects stage timings.
+func (c *Compiled) windowInto(s *Scratch, segs []Segment, timings *[]StageTiming) WindowEval {
+	we := WindowEval{NumLayers: c.bucket(s, segs)}
+	nopC, offC := c.factors(c.group(s))
+
+	for _, ci := range s.busyTouched {
+		s.busy[ci] = 0
+	}
+	s.busyTouched = s.busyTouched[:0]
+
+	for mi := range c.models {
+		if s.segOff[mi] == s.segOff[mi+1] {
+			continue
+		}
+		lat, energyPJ := c.modelPass(s, mi, nopC, offC, timings)
+		s.modelLat[mi] = lat
+		we.EnergyJ += energyPJ * 1e-12
+		if lat > we.LatencySec {
+			we.LatencySec = lat
+		}
+	}
+	for _, ci := range s.busyTouched {
+		if s.busy[ci] > we.LatencySec {
+			we.LatencySec = s.busy[ci]
+		}
+	}
+	return we
+}
+
+// WindowEval evaluates one time window on the session: per-model
+// inter-chiplet pipeline latency with mini-batches (Section III-E,
+// Lat(SG_m)), window latency as the maximum across models and per-chiplet
+// busy time, and energy as the sum of all compute and communication
+// energies. It is the zero-allocation hot path: all state lives in the
+// scratch, whose per-model latencies remain readable until its next use.
+func (c *Compiled) WindowEval(s *Scratch, w TimeWindow) WindowEval {
+	return c.windowInto(s, w.Segments, nil)
+}
+
+// ModelLatencies invokes fn for every model present in the scratch's last
+// evaluation, in ascending model order, with the model's pipeline latency
+// in that window.
+func (s *Scratch) ModelLatencies(fn func(model int, latencySec float64)) {
+	for mi := 0; mi < len(s.segOff)-1; mi++ {
+		if s.segOff[mi] != s.segOff[mi+1] {
+			fn(mi, s.modelLat[mi])
+		}
+	}
+}
+
+// Window evaluates one window and materializes the classic WindowMetrics
+// (allocating its per-model latency map — callers on the hot path use
+// WindowEval plus Scratch.ModelLatencies instead).
+func (c *Compiled) Window(s *Scratch, w TimeWindow) WindowMetrics {
+	we := c.WindowEval(s, w)
+	wm := WindowMetrics{
+		LatencySec:   we.LatencySec,
+		EnergyJ:      we.EnergyJ,
+		NumLayers:    we.NumLayers,
+		ModelLatency: make(map[int]float64),
+	}
+	s.ModelLatencies(func(mi int, lat float64) { wm.ModelLatency[mi] = lat })
+	return wm
+}
+
+// EvaluateUnchecked scores a schedule without validity checking.
+func (c *Compiled) EvaluateUnchecked(s *Scratch, sched *Schedule) Metrics {
+	m := Metrics{ModelLatency: map[int]float64{}}
+	var elapsed float64
+	for _, w := range sched.Windows {
+		wm := c.Window(s, w)
+		m.Windows = append(m.Windows, wm)
+		for mi, lat := range wm.ModelLatency {
+			m.ModelLatency[mi] = elapsed + lat
+		}
+		elapsed += wm.LatencySec
+		m.LatencySec += wm.LatencySec
+		m.EnergyJ += wm.EnergyJ
+	}
+	m.EDP = m.LatencySec * m.EnergyJ
+	return m
+}
+
+// Evaluate validates the schedule and returns its metrics.
+func (c *Compiled) Evaluate(s *Scratch, sched *Schedule) (Metrics, error) {
+	if err := sched.Validate(c.sc, c.m); err != nil {
+		return Metrics{}, err
+	}
+	return c.EvaluateUnchecked(s, sched), nil
+}
+
+// ContentionFactors derives the window's delta factors from its
+// concurrent flows.
+func (c *Compiled) ContentionFactors(s *Scratch, w TimeWindow) (nop, off float64) {
+	c.bucket(s, w.Segments)
+	return c.factors(c.group(s))
+}
+
+// WindowTimings returns the evaluated stage timings of every model in the
+// window (the data behind schedule traces and Gantt rendering), in model
+// then pipeline order.
+func (c *Compiled) WindowTimings(s *Scratch, w TimeWindow) []StageTiming {
+	var timings []StageTiming
+	c.windowInto(s, w.Segments, &timings)
+	return timings
+}

@@ -1,0 +1,343 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/workload"
+)
+
+// relTol is the allowed relative difference between the compiled path and
+// the legacy reference: the two sum identical positive cost terms in
+// different association orders (prefix-sum differences vs layer-by-layer
+// accumulation), so they agree to float regrouping error, not bit-exactly.
+const relTol = 1e-9
+
+func relClose(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return d <= relTol*scale
+}
+
+// randScenario builds a random multi-model workload: 2-3 models, mixed
+// conv/GEMM/pool/eltwise layers, batches 1-8.
+func randScenario(rng *rand.Rand) workload.Scenario {
+	nModels := 2 + rng.Intn(2)
+	var ms []workload.Model
+	for mi := 0; mi < nModels; mi++ {
+		nLayers := 2 + rng.Intn(7)
+		var ls []workload.Layer
+		ch := 16 << rng.Intn(3)
+		sp := 16 + 2*rng.Intn(8)
+		for li := 0; li < nLayers; li++ {
+			name := string(rune('a'+mi)) + string(rune('0'+li))
+			switch rng.Intn(4) {
+			case 0:
+				out := ch * (1 + rng.Intn(2))
+				ls = append(ls, workload.Conv(name, ch, out, sp+2, sp+2, 3, 1))
+				ch = out
+			case 1:
+				ls = append(ls, workload.GEMM(name, 32+rng.Intn(96), ch*8, 64<<rng.Intn(3)))
+			case 2:
+				ls = append(ls, workload.Pool(name, ch, sp+2, sp+2, 2, 2))
+			default:
+				ls = append(ls, workload.Eltwise(name, ch, sp, sp))
+			}
+		}
+		ms = append(ms, workload.NewModel("m"+string(rune('a'+mi)), 1+rng.Intn(8), ls))
+	}
+	return workload.NewScenario("rand", ms...)
+}
+
+// randWindow builds a window over a random subset of the scenario's
+// models: per model a contiguous layer range split into 1-3 segments on
+// random chiplets (repeats allowed, exercising stage fusion and shared-
+// chiplet serialization).
+func randWindow(rng *rand.Rand, sc *workload.Scenario, chiplets int) TimeWindow {
+	var segs []Segment
+	for mi, model := range sc.Models {
+		if rng.Intn(4) == 0 && mi > 0 {
+			continue // model absent from the window
+		}
+		L := len(model.Layers)
+		first := rng.Intn(L)
+		last := first + rng.Intn(L-first)
+		nSegs := 1 + rng.Intn(3)
+		if nSegs > last-first+1 {
+			nSegs = last - first + 1
+		}
+		cuts := rng.Perm(last - first + 1)[:nSegs-1]
+		ends := append([]int(nil), cuts...)
+		for i := range ends {
+			ends[i] += first
+		}
+		ends = append(ends, last)
+		insertionSortInts(ends)
+		start := first
+		for _, end := range ends {
+			if end < start {
+				continue
+			}
+			segs = append(segs, Segment{
+				Model: mi, First: start, Last: end, Chiplet: rng.Intn(chiplets),
+			})
+			start = end + 1
+		}
+	}
+	// Shuffle so bucketing has to regroup and re-sort.
+	rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+	return TimeWindow{Segments: segs}
+}
+
+func insertionSortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func equivalencePackages() []*mcm.MCM {
+	return []*mcm.MCM{
+		mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet()),
+		mcm.HetSides(3, 3, maestro.DefaultDatacenterChiplet()),
+		mcm.HetSides(3, 3, maestro.DefaultEdgeChiplet()),
+	}
+}
+
+// TestCompiledMatchesReference: across randomized scenarios, packages and
+// windows, the compiled session reproduces the legacy evaluator's window
+// metrics (to float regrouping tolerance; layer counts and contention
+// factors exactly).
+func TestCompiledMatchesReference(t *testing.T) {
+	packages := equivalencePackages()
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sc := randScenario(rng)
+		pkg := packages[int(seed)%len(packages)]
+		db := costdb.New(maestro.DefaultParams())
+		ev := New(db, pkg, &sc, DefaultOptions())
+		c := ev.Compile()
+		s := c.NewScratch()
+
+		for wi := 0; wi < 8; wi++ {
+			w := randWindow(rng, &sc, pkg.NumChiplets())
+			if len(w.Segments) == 0 {
+				continue
+			}
+			want := ev.referenceWindow(w)
+			got := c.Window(s, w)
+			if got.NumLayers != want.NumLayers {
+				t.Fatalf("seed %d window %d: NumLayers %d != %d", seed, wi, got.NumLayers, want.NumLayers)
+			}
+			if !relClose(got.LatencySec, want.LatencySec) || !relClose(got.EnergyJ, want.EnergyJ) {
+				t.Fatalf("seed %d window %d: (lat %v, energy %v) != reference (%v, %v)",
+					seed, wi, got.LatencySec, got.EnergyJ, want.LatencySec, want.EnergyJ)
+			}
+			if len(got.ModelLatency) != len(want.ModelLatency) {
+				t.Fatalf("seed %d window %d: model set %v != %v", seed, wi, got.ModelLatency, want.ModelLatency)
+			}
+			for mi, lat := range want.ModelLatency {
+				if !relClose(got.ModelLatency[mi], lat) {
+					t.Fatalf("seed %d window %d model %d: latency %v != %v", seed, wi, mi, got.ModelLatency[mi], lat)
+				}
+			}
+
+			// Contention factors derive from integer flow counts: exact.
+			gNop, gOff := c.ContentionFactors(s, w)
+			wNop, wOff := ev.referenceContentionFactors(w)
+			if gNop != wNop || gOff != wOff {
+				t.Fatalf("seed %d window %d: contention (%v,%v) != (%v,%v)", seed, wi, gNop, gOff, wNop, wOff)
+			}
+
+			// Stage timings: same stages in the same order.
+			gotT := c.WindowTimings(s, w)
+			var wantT []StageTiming
+			for _, mi := range w.Models() {
+				timings, _, _ := ev.referenceModelTimings(w, mi, wNop, wOff)
+				wantT = append(wantT, timings...)
+			}
+			if len(gotT) != len(wantT) {
+				t.Fatalf("seed %d window %d: %d stages != %d", seed, wi, len(gotT), len(wantT))
+			}
+			for i := range wantT {
+				g, wt := gotT[i], wantT[i]
+				if g.Model != wt.Model || g.Chiplet != wt.Chiplet || g.Passes != wt.Passes ||
+					!reflect.DeepEqual(g.Segments, wt.Segments) {
+					t.Fatalf("seed %d window %d stage %d: %+v != %+v", seed, wi, i, g, wt)
+				}
+				for _, pair := range [][2]float64{
+					{g.WeightSec, wt.WeightSec}, {g.FirstStart, wt.FirstStart},
+					{g.FirstEnd, wt.FirstEnd}, {g.PassSec, wt.PassSec},
+					{g.BusyEnd, wt.BusyEnd}, {g.EnergyPJ, wt.EnergyPJ},
+				} {
+					if !relClose(pair[0], pair[1]) {
+						t.Fatalf("seed %d window %d stage %d: timing %v != %v (%+v vs %+v)",
+							seed, wi, i, pair[0], pair[1], g, wt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledScheduleMatchesReference checks full-schedule metrics
+// against the legacy path on the package's own test rig.
+func TestCompiledScheduleMatchesReference(t *testing.T) {
+	for _, batch := range []int{1, 4, 16} {
+		db, pkg, sc := testRig(batch)
+		ev := New(db, pkg, sc, DefaultOptions())
+		sched := &Schedule{Windows: []TimeWindow{
+			{Index: 0, Segments: []Segment{
+				{Model: 0, First: 0, Last: 1, Chiplet: 0},
+				{Model: 0, First: 2, Last: 3, Chiplet: 1},
+				{Model: 1, First: 0, Last: 0, Chiplet: 4},
+			}},
+			{Index: 1, Segments: []Segment{
+				{Model: 1, First: 1, Last: 2, Chiplet: 4},
+			}},
+		}}
+		want := ev.referenceEvaluateUnchecked(sched)
+		got := ev.EvaluateUnchecked(sched)
+		if !relClose(got.LatencySec, want.LatencySec) || !relClose(got.EnergyJ, want.EnergyJ) || !relClose(got.EDP, want.EDP) {
+			t.Fatalf("batch %d: metrics (%v, %v, %v) != reference (%v, %v, %v)",
+				batch, got.LatencySec, got.EnergyJ, got.EDP, want.LatencySec, want.EnergyJ, want.EDP)
+		}
+		for mi, lat := range want.ModelLatency {
+			if !relClose(got.ModelLatency[mi], lat) {
+				t.Fatalf("batch %d model %d: latency %v != %v", batch, mi, got.ModelLatency[mi], lat)
+			}
+		}
+	}
+}
+
+// TestScratchReuseBitIdentical: the same session must produce
+// bit-identical metrics through a reused Scratch, a fresh Scratch per
+// call, and the Evaluator's pooled path — any divergence means evaluation
+// state is leaking between windows.
+func TestScratchReuseBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	sc := randScenario(rng)
+	pkg := mcm.HetSides(3, 3, maestro.DefaultDatacenterChiplet())
+	db := costdb.New(maestro.DefaultParams())
+	ev := New(db, pkg, &sc, DefaultOptions())
+	c := ev.Compile()
+
+	var windows []TimeWindow
+	for len(windows) < 20 {
+		if w := randWindow(rng, &sc, pkg.NumChiplets()); len(w.Segments) > 0 {
+			windows = append(windows, w)
+		}
+	}
+
+	reused := c.NewScratch()
+	for i, w := range windows {
+		viaReused := c.Window(reused, w)
+		viaFresh := c.Window(c.NewScratch(), w)
+		viaEvaluator := ev.Window(w)
+		if !reflect.DeepEqual(viaReused, viaFresh) {
+			t.Fatalf("window %d: reused scratch diverged from fresh scratch:\n%+v\n%+v", i, viaReused, viaFresh)
+		}
+		if !reflect.DeepEqual(viaReused, viaEvaluator) {
+			t.Fatalf("window %d: compiled path diverged from Evaluator path:\n%+v\n%+v", i, viaReused, viaEvaluator)
+		}
+	}
+
+	// Same property for the map-free hot path and repeated evaluation of
+	// the same window through dirty scratch state.
+	for i, w := range windows {
+		first := c.WindowEval(reused, w)
+		for j := 0; j < 3; j++ {
+			c.WindowEval(reused, windows[(i+j+1)%len(windows)]) // dirty the scratch
+			if again := c.WindowEval(reused, w); again != first {
+				t.Fatalf("window %d: re-evaluation after dirtying scratch diverged: %+v != %+v", i, again, first)
+			}
+		}
+	}
+}
+
+// TestCompiledConcurrentScratches hammers one session from many
+// goroutines, each with a private Scratch (run under -race), checking
+// every result against the serial baseline.
+func TestCompiledConcurrentScratches(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sc := randScenario(rng)
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	db := costdb.New(maestro.DefaultParams())
+	c := Compile(db, pkg, &sc, DefaultOptions())
+
+	var windows []TimeWindow
+	for len(windows) < 8 {
+		if w := randWindow(rng, &sc, pkg.NumChiplets()); len(w.Segments) > 0 {
+			windows = append(windows, w)
+		}
+	}
+	base := make([]WindowMetrics, len(windows))
+	s := c.NewScratch()
+	for i, w := range windows {
+		base[i] = c.Window(s, w)
+	}
+
+	const goroutines = 8
+	const iters = 50
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mine := c.NewScratch()
+			for it := 0; it < iters; it++ {
+				wi := (g + it) % len(windows)
+				if got := c.Window(mine, windows[wi]); !reflect.DeepEqual(got, base[wi]) {
+					errs <- "concurrent compiled Window diverged from serial baseline"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestCompileClampsZeroBatch: a hand-built model may carry Batch 0
+// (NewModel and Validate enforce >= 1, but neither is mandatory on this
+// surface); Compile must clamp it rather than panic building the table.
+func TestCompileClampsZeroBatch(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	m := workload.Model{Name: "raw", Batch: 0, Layers: []workload.Layer{workload.GEMM("g", 8, 16, 16)}}
+	sc := workload.NewScenario("z", m)
+	c := Compile(db, pkg, &sc, DefaultOptions())
+	wm := c.Window(c.NewScratch(), TimeWindow{Segments: []Segment{{Model: 0, First: 0, Last: 0, Chiplet: 0}}})
+	if wm.LatencySec <= 0 {
+		t.Errorf("zero-batch model latency = %v, want > 0", wm.LatencySec)
+	}
+}
+
+// TestScratchOwnerCheck: using a Scratch with a foreign session must
+// panic rather than silently read mismatched tables.
+func TestScratchOwnerCheck(t *testing.T) {
+	db := costdb.New(maestro.DefaultParams())
+	_, pkg, sc := testRig(1)
+	a := Compile(db, pkg, sc, DefaultOptions())
+	b := Compile(db, pkg, sc, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Error("foreign Scratch accepted without panic")
+		}
+	}()
+	a.WindowEval(b.NewScratch(), TimeWindow{Segments: []Segment{{Model: 0, First: 0, Last: 0, Chiplet: 0}}})
+}

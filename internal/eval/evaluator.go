@@ -3,8 +3,8 @@ package eval
 import (
 	"fmt"
 	"math"
+	"sync"
 
-	"example.com/scar/internal/comm"
 	"example.com/scar/internal/costdb"
 	"example.com/scar/internal/mcm"
 	"example.com/scar/internal/workload"
@@ -65,26 +65,41 @@ type Metrics struct {
 
 // Evaluator scores schedules for one (scenario, MCM) pair.
 //
-// An Evaluator is safe for concurrent use: its fields are read-only after
-// New — the cost database serializes its memoization internally, and the
-// package/scenario models are never mutated — and every evaluation method
-// (Window, Evaluate, EvaluateUnchecked, WindowTimings, ContentionFactors,
-// LinkLoads) builds only call-local state. The parallel search in
-// internal/core shares one Evaluator across all of its workers. Callers
-// must ensure the MCM's lazy network tables are built (any routing query
-// does this) before sharing a *fresh* MCM across goroutines; MCMs from
-// the mcm package constructors are always pre-built.
+// Evaluation runs on a compiled session (see Compile): the first
+// evaluation method called compiles the session's dense cost tables, and
+// every method after that is lock-free against the cost database. An
+// Evaluator is safe for concurrent use — the session is immutable once
+// built and per-call Scratch state comes from an internal pool. Callers
+// that manage their own worker Scratches (the parallel search in
+// internal/core) obtain the session with Compile and call it directly.
 type Evaluator struct {
 	db   *costdb.DB
 	m    *mcm.MCM
 	sc   *workload.Scenario
 	opts Options
+
+	once     sync.Once
+	compiled *Compiled
+	scratch  sync.Pool
 }
 
-// New builds an evaluator.
+// New builds an evaluator. Construction is cheap: the compiled session is
+// built lazily on first use.
 func New(db *costdb.DB, m *mcm.MCM, sc *workload.Scenario, opts Options) *Evaluator {
-	return &Evaluator{db: db, m: m, sc: sc, opts: opts}
+	e := &Evaluator{db: db, m: m, sc: sc, opts: opts}
+	e.scratch.New = func() any { return e.Compile().NewScratch() }
+	return e
 }
+
+// Compile returns the evaluator's compiled session, building it on first
+// call.
+func (e *Evaluator) Compile() *Compiled {
+	e.once.Do(func() { e.compiled = Compile(e.db, e.m, e.sc, e.opts) })
+	return e.compiled
+}
+
+// getScratch borrows pooled scratch state for one evaluation call.
+func (e *Evaluator) getScratch() *Scratch { return e.scratch.Get().(*Scratch) }
 
 // MCM returns the evaluator's package model.
 func (e *Evaluator) MCM() *mcm.MCM { return e.m }
@@ -106,19 +121,10 @@ func (e *Evaluator) Evaluate(s *Schedule) (Metrics, error) {
 // EvaluateUnchecked scores a schedule without validity checking; the
 // search inner loops use it on schedules that are valid by construction.
 func (e *Evaluator) EvaluateUnchecked(s *Schedule) Metrics {
-	m := Metrics{ModelLatency: map[int]float64{}}
-	var elapsed float64
-	for _, w := range s.Windows {
-		wm := e.Window(w)
-		m.Windows = append(m.Windows, wm)
-		for mi, lat := range wm.ModelLatency {
-			m.ModelLatency[mi] = elapsed + lat
-		}
-		elapsed += wm.LatencySec
-		m.LatencySec += wm.LatencySec
-		m.EnergyJ += wm.EnergyJ
-	}
-	m.EDP = m.LatencySec * m.EnergyJ
+	c := e.Compile()
+	sc := e.getScratch()
+	m := c.EvaluateUnchecked(sc, s)
+	e.scratch.Put(sc)
 	return m
 }
 
@@ -168,129 +174,15 @@ type StageTiming struct {
 	EnergyPJ float64
 }
 
-// modelTimings evaluates one model's stages inside a window, returning
-// the stage timings, the model's pipeline latency and its energy.
-func (e *Evaluator) modelTimings(w TimeWindow, mi int, nopC, offC float64) ([]StageTiming, float64, float64) {
-	segs := w.ModelSegments(mi)
-	stages := groupStages(segs)
-	model := e.sc.Models[mi]
-	batch := model.Batch
-	// Mini-batch b' (Section III-E): "the max number of samples any
-	// chiplet can process at a time". Multi-stage pipelines stream
-	// per-sample; a single stage runs the largest mini-batch whose
-	// activations stay resident in L2.
-	bp := 1
-	if len(stages) == 1 {
-		bp = e.residentBatch(model, segs, stages[0].chiplet)
-	}
-	passes := (batch + bp - 1) / bp
-
-	// First-pass pipeline fill: stage k starts once the previous
-	// stage's first pass completes AND its own weights have arrived
-	// (weight prefetch overlaps upstream compute; the off-chip
-	// contention factor already prices the concurrent DRAM streams).
-	timings := make([]StageTiming, 0, len(stages))
-	var prevOut, steadyMax float64
-	var energyPJ float64
-	for si, st := range stages {
-		c := e.m.Chiplets[st.chiplet]
-
-		// One-time weight load from DRAM.
-		var weightBytes int64
-		var computeSec, computePJ float64
-		var spillBytes int64
-		for _, seg := range st.segments {
-			for li := seg.First; li <= seg.Last; li++ {
-				layer := model.Layers[li].WithBatch(bp)
-				r := e.db.Cost(layer, c.Dataflow, c.Spec)
-				computeSec += r.ComputeSeconds
-				computePJ += r.EnergyPJ
-				spillBytes += r.ExtraDRAMBytes
-				weightBytes += layer.WeightBytes()
-			}
-		}
-		wload := comm.OffchipRead(e.m, st.chiplet, weightBytes, offC)
-
-		// Input arrives from the previous stage's chiplet, or from
-		// DRAM at the window boundary.
-		firstLayer := model.Layers[st.segments[0].First].WithBatch(bp)
-		var in comm.Cost
-		if si == 0 {
-			in = comm.OffchipRead(e.m, st.chiplet, firstLayer.InputBytes(), offC)
-		} else {
-			in = comm.ChipToChip(e.m, stages[si-1].chiplet, st.chiplet, firstLayer.InputBytes(), nopC)
-		}
-
-		// Output leaves to DRAM from the last stage only;
-		// stage-to-stage transfers are charged as the next stage's
-		// input.
-		var out comm.Cost
-		if si == len(stages)-1 {
-			lastSeg := st.segments[len(st.segments)-1]
-			lastLayer := model.Layers[lastSeg.Last].WithBatch(bp)
-			out = comm.OffchipWrite(e.m, st.chiplet, lastLayer.OutputBytes(), offC)
-		}
-
-		spill := comm.OffchipRead(e.m, st.chiplet, spillBytes, offC)
-		passLat := in.Seconds + computeSec + spill.Seconds + out.Seconds
-		start := prevOut
-		if wload.Seconds > start {
-			start = wload.Seconds
-		}
-		passPJ := in.EnergyPJ + computePJ + spill.EnergyPJ + out.EnergyPJ
-		stageE := wload.EnergyPJ + float64(passes)*passPJ
-		energyPJ += stageE
-		timings = append(timings, StageTiming{
-			Model:      mi,
-			Chiplet:    st.chiplet,
-			Segments:   st.segments,
-			WeightSec:  wload.Seconds,
-			FirstStart: start,
-			FirstEnd:   start + passLat,
-			PassSec:    passLat,
-			Passes:     passes,
-			EnergyPJ:   stageE,
-		})
-		prevOut = start + passLat
-		if passLat > steadyMax {
-			steadyMax = passLat
-		}
-	}
-	modelLat := prevOut + float64(passes-1)*steadyMax
-	// Steady-state drain: every stage completes its last pass by the
-	// model's pipeline end, staggered by its remaining downstream
-	// stages' pass latencies (approximated with the bottleneck pass).
-	for i := range timings {
-		timings[i].BusyEnd = timings[i].FirstEnd + float64(passes-1)*steadyMax
-	}
-	return timings, modelLat, energyPJ
-}
-
 // Window evaluates one time window: per-model inter-chiplet pipeline
 // latency with mini-batches (Section III-E, Lat(SG_m)), window latency as
 // the maximum across models and across per-chiplet busy time, and energy
 // as the sum of all compute and communication energies.
 func (e *Evaluator) Window(w TimeWindow) WindowMetrics {
-	wm := WindowMetrics{ModelLatency: map[int]float64{}}
-	nopC, offC := e.ContentionFactors(w)
-
-	chipletBusy := map[int]float64{}
-	for _, mi := range w.Models() {
-		timings, modelLat, energyPJ := e.modelTimings(w, mi, nopC, offC)
-		for _, st := range timings {
-			chipletBusy[st.Chiplet] += st.WeightSec + float64(st.Passes)*st.PassSec
-		}
-		wm.ModelLatency[mi] = modelLat
-		wm.EnergyJ += energyPJ * 1e-12
-		wm.NumLayers += countLayers(w.ModelSegments(mi))
-	}
-
-	for _, lat := range wm.ModelLatency {
-		wm.LatencySec = math.Max(wm.LatencySec, lat)
-	}
-	for _, busy := range chipletBusy {
-		wm.LatencySec = math.Max(wm.LatencySec, busy)
-	}
+	c := e.Compile()
+	s := e.getScratch()
+	wm := c.Window(s, w)
+	e.scratch.Put(s)
 	return wm
 }
 
@@ -298,47 +190,11 @@ func (e *Evaluator) Window(w TimeWindow) WindowMetrics {
 // window (the data behind schedule traces and Gantt rendering), in model
 // then pipeline order.
 func (e *Evaluator) WindowTimings(w TimeWindow) []StageTiming {
-	nopC, offC := e.ContentionFactors(w)
-	var out []StageTiming
-	for _, mi := range w.Models() {
-		timings, _, _ := e.modelTimings(w, mi, nopC, offC)
-		out = append(out, timings...)
-	}
+	c := e.Compile()
+	s := e.getScratch()
+	out := c.WindowTimings(s, w)
+	e.scratch.Put(s)
 	return out
-}
-
-// residentBatch computes b' for a single-stage mapping: the largest
-// sample count (capped at the model batch) whose per-layer activation
-// working set fits the chiplet's L2 next to that layer's weights. Weights
-// larger than L2 stream regardless, so they reserve only half the
-// capacity in that case.
-func (e *Evaluator) residentBatch(model workload.Model, segs []Segment, chiplet int) int {
-	capacity := float64(e.m.Chiplets[chiplet].Spec.L2Bytes) * 0.9
-	bp := model.Batch
-	for _, seg := range segs {
-		for li := seg.First; li <= seg.Last; li++ {
-			l := model.Layers[li].WithBatch(1)
-			act := float64(l.InputBytes() + l.OutputBytes())
-			if act <= 0 {
-				continue
-			}
-			avail := capacity - float64(l.WeightBytes())
-			if avail < capacity/2 {
-				avail = capacity / 2
-			}
-			fit := int(avail / act)
-			if fit < 1 {
-				fit = 1
-			}
-			if fit < bp {
-				bp = fit
-			}
-		}
-	}
-	if bp < 1 {
-		bp = 1
-	}
-	return bp
 }
 
 // ContentionFactors derives the window's delta factors from its
@@ -346,23 +202,10 @@ func (e *Evaluator) residentBatch(model workload.Model, segs []Segment, chiplet 
 // weight load plus every model's boundary input/output is an off-chip
 // stream.
 func (e *Evaluator) ContentionFactors(w TimeWindow) (nop, off float64) {
-	crossFlows, offFlows := 0, 0
-	for _, mi := range w.Models() {
-		stages := groupStages(w.ModelSegments(mi))
-		offFlows += 2 // boundary input + output
-		for si := range stages {
-			offFlows++ // weight load
-			if si > 0 && stages[si].chiplet != stages[si-1].chiplet {
-				crossFlows++
-			}
-		}
-	}
-	if crossFlows > 1 {
-		nop = e.opts.NoPContentionAlpha * float64(crossFlows-1)
-	}
-	if offFlows > 1 {
-		off = e.opts.OffchipContentionAlpha * float64(offFlows-1)
-	}
+	c := e.Compile()
+	s := e.getScratch()
+	nop, off = c.ContentionFactors(s, w)
+	e.scratch.Put(s)
 	return nop, off
 }
 

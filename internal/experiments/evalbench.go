@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+)
+
+// This file benchmarks the evaluator hot path itself rather than a paper
+// artifact: window-evaluation latency and allocation rate on the compiled
+// session, session compile time, and end-to-end search throughput. Its
+// JSON output is the checked-in BENCH_eval.json snapshot (regenerate with
+// `go run ./cmd/scarbench -exp evalbench -benchjson BENCH_eval.json`).
+
+// EvalBenchResult is the evaluator hot-path snapshot.
+type EvalBenchResult struct {
+	// Scenario is the Table III scenario measured (the default AR/VR
+	// scenario); Strategy the package organization.
+	Scenario int    `json:"scenario"`
+	Strategy string `json:"strategy"`
+	// Windows is the number of distinct schedule windows in the
+	// measurement set (taken from the winning schedule of a real
+	// search).
+	Windows int `json:"windows"`
+	// WindowNsPerOp / WindowAllocsPerOp measure Compiled.WindowEval with
+	// a reused Scratch: the search's innermost loop. AllocsPerOp must be
+	// 0 — the compiled hot path does not allocate.
+	WindowNsPerOp     float64 `json:"window_ns_per_op"`
+	WindowAllocsPerOp float64 `json:"window_allocs_per_op"`
+	// CompileMs is the one-time dense-table build per (scenario, MCM)
+	// pair with a warm cost database.
+	CompileMs float64 `json:"compile_ms"`
+	// ScheduleMs is one full two-level search on the compiled session;
+	// WindowEvals its logical window-evaluation count (memoization hits
+	// included), WindowEvalsPerSec the resulting search throughput and
+	// CacheHitRate the run's memoization rate.
+	ScheduleMs        float64 `json:"schedule_ms"`
+	WindowEvals       int     `json:"window_evals"`
+	WindowEvalsPerSec float64 `json:"window_evals_per_sec"`
+	CacheHitRate      float64 `json:"cache_hit_rate"`
+	// Workers is the schedule run's worker bound (0 = GOMAXPROCS).
+	Workers int `json:"workers"`
+}
+
+// EvalBench measures the compiled evaluator on the default AR/VR scenario
+// (Table III Scenario 6) on the Het-Sides 3x3 edge package. The window
+// set comes from the winning schedule of a real EDP search, so the
+// measured mix of pipeline depths and chiplet sharing is representative
+// of what the search actually evaluates.
+func (s *Suite) EvalBench() (*EvalBenchResult, error) {
+	const scenarioNum = 6
+	sc, err := models.ScenarioByNumber(scenarioNum)
+	if err != nil {
+		return nil, err
+	}
+	pkg := mcm.HetSides(3, 3, maestro.DefaultEdgeChiplet())
+	obj := core.EDPObjective()
+
+	// Warm-up search: populates the cost database and yields the
+	// measurement windows.
+	warm, err := core.New(s.DB, s.Opts).Schedule(&sc, pkg, obj)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evalbench warm-up: %w", err)
+	}
+	windows := warm.Schedule.Windows
+
+	// Session compile time (cost database warm).
+	start := time.Now()
+	c := eval.Compile(s.DB, pkg, &sc, s.Opts.Eval)
+	compileMs := float64(time.Since(start).Microseconds()) / 1e3
+
+	// Hot-path window evaluation: reused scratch, measured over enough
+	// iterations to amortize timer noise; allocations from the global
+	// counter (the loop is single-goroutine).
+	scratch := c.NewScratch()
+	for _, w := range windows {
+		c.WindowEval(scratch, w) // warm scratch capacity
+	}
+	const iters = 200000
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		c.WindowEval(scratch, windows[i%len(windows)])
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	// Search throughput on the compiled session.
+	start = time.Now()
+	res, err := core.New(s.DB, s.Opts).Schedule(&sc, pkg, obj)
+	scheduleSec := time.Since(start).Seconds()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: evalbench schedule: %w", err)
+	}
+
+	return &EvalBenchResult{
+		Scenario:          scenarioNum,
+		Strategy:          "Het-Sides",
+		Windows:           len(windows),
+		WindowNsPerOp:     float64(elapsed.Nanoseconds()) / iters,
+		WindowAllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / iters,
+		CompileMs:         compileMs,
+		ScheduleMs:        scheduleSec * 1e3,
+		WindowEvals:       res.WindowEvals,
+		WindowEvalsPerSec: float64(res.WindowEvals) / scheduleSec,
+		CacheHitRate:      res.CacheHitRate(),
+		Workers:           s.Opts.Workers,
+	}, nil
+}
+
+// Print renders the snapshot.
+func (r *EvalBenchResult) Print(w io.Writer) {
+	fprintf(w, "Compiled evaluator hot path: Scenario %d on %s\n", r.Scenario, r.Strategy)
+	fprintf(w, "  window eval: %8.1f ns/op, %.3f allocs/op (%d windows)\n",
+		r.WindowNsPerOp, r.WindowAllocsPerOp, r.Windows)
+	fprintf(w, "  session compile: %.2f ms (warm cost database)\n", r.CompileMs)
+	fprintf(w, "  full search: %.1f ms, %d window evals -> %.0f evals/s (cache hit rate %.1f%%, workers=%d)\n",
+		r.ScheduleMs, r.WindowEvals, r.WindowEvalsPerSec, 100*r.CacheHitRate, r.Workers)
+}
+
+// WriteJSON writes the snapshot as indented JSON (the BENCH_eval.json
+// format).
+func (r *EvalBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

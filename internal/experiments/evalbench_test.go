@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEvalBenchSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evalbench measures wall-clock rates; skipped in -short mode")
+	}
+	s := fastSuite()
+	res, err := s.EvalBench()
+	if err != nil {
+		t.Fatalf("EvalBench: %v", err)
+	}
+	if res.WindowNsPerOp <= 0 {
+		t.Errorf("window ns/op = %v, want > 0", res.WindowNsPerOp)
+	}
+	// The hot path must not allocate; allow sub-1e-2 noise from stray
+	// runtime allocations landing inside the measurement interval.
+	if res.WindowAllocsPerOp >= 0.01 {
+		t.Errorf("window allocs/op = %v, want ~0 (compiled hot path must not allocate)", res.WindowAllocsPerOp)
+	}
+	if res.WindowEvals <= 0 || res.WindowEvalsPerSec <= 0 {
+		t.Errorf("bad search throughput: %d evals, %v evals/s", res.WindowEvals, res.WindowEvalsPerSec)
+	}
+
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if !strings.Contains(buf.String(), "allocs/op") {
+		t.Errorf("Print output incomplete:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded EvalBenchResult
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if decoded.Scenario != res.Scenario || decoded.WindowEvals != res.WindowEvals {
+		t.Errorf("round-tripped snapshot differs: %+v vs %+v", decoded, res)
+	}
+}
