@@ -1,7 +1,7 @@
 // Command scarbench regenerates the SCAR paper's evaluation tables and
 // figures (Section V) and prints them as text tables. Each experiment is
-// indexed against the paper in DESIGN.md; the measured-vs-paper
-// comparison is recorded in EXPERIMENTS.md.
+// indexed against the paper in EXPERIMENTS.md; the system inventory
+// behind them is DESIGN.md.
 //
 // Usage:
 //
@@ -10,13 +10,16 @@
 //	scarbench -exp nsplits,prov,packing,complexity
 //	scarbench -exp speedup          # serial-vs-parallel search engine
 //	scarbench -exp evalbench -benchjson BENCH_eval.json
+//	scarbench -exp online -benchjson BENCH_online.json
 //	scarbench -workers 4 -exp all   # bound cell-level parallelism
 //	scarbench -cpuprofile cpu.pprof -exp table4
+//	scarbench -costdb scar.costdb -exp table4  # warm-start the cost model
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -31,7 +34,7 @@ import (
 var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
-	"sensitivity", "speedup", "evalbench",
+	"sensitivity", "speedup", "evalbench", "online",
 }
 
 var benchJSON string
@@ -48,8 +51,9 @@ func realMain() int {
 		workers    = flag.Int("workers", 0, "parallel experiment cells (0 = all cores); the in-schedule search worker count stays 1 so the two pools do not multiply")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
+		costdbPath = flag.String("costdb", "", "cost-database snapshot: loaded if present before the run, saved after it, so repeated runs skip cost-model warmup")
 	)
-	flag.StringVar(&benchJSON, "benchjson", "", "with -exp evalbench: also write the snapshot as JSON to this file (the BENCH_eval.json format)")
+	flag.StringVar(&benchJSON, "benchjson", "", "with -exp evalbench or online: also write the snapshot as JSON to this file (the BENCH_*.json format)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -74,6 +78,17 @@ func realMain() int {
 	suite.Opts.Workers = 1
 	suite.Workers = *workers
 
+	if *costdbPath != "" {
+		loaded, err := suite.DB.LoadFile(*costdbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -costdb %v\n", err)
+			return 1
+		}
+		if loaded {
+			fmt.Printf("cost database loaded from %s (%d entries)\n", *costdbPath, suite.DB.Size())
+		}
+	}
+
 	list := allExperiments
 	if *exps != "all" {
 		list = strings.Split(*exps, ",")
@@ -85,6 +100,14 @@ func realMain() int {
 			return 1
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *costdbPath != "" {
+		if err := suite.DB.SaveFile(*costdbPath); err != nil {
+			fmt.Fprintf(os.Stderr, "scarbench: -costdb %v\n", err)
+			return 1
+		}
+		fmt.Printf("cost database saved to %s (%d entries)\n", *costdbPath, suite.DB.Size())
 	}
 
 	if *memprofile != "" {
@@ -195,15 +218,19 @@ func run(s *experiments.Suite, name string) error {
 		}
 		res.Print(w)
 		if benchJSON != "" {
-			f, err := os.Create(benchJSON)
-			if err != nil {
+			if err := writeSnapshot(benchJSON, res.WriteJSON); err != nil {
 				return err
 			}
-			if err := res.WriteJSON(f); err != nil {
-				f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
+		}
+	case "online":
+		res, err := s.Online()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if benchJSON != "" {
+			if err := writeSnapshot(benchJSON, res.WriteJSON); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
@@ -224,4 +251,17 @@ func run(s *experiments.Suite, name string) error {
 		return fmt.Errorf("unknown experiment (know: %s)", strings.Join(allExperiments, ", "))
 	}
 	return nil
+}
+
+// writeSnapshot writes a JSON snapshot via the result's encoder.
+func writeSnapshot(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,114 @@
+// Command scarserve is the SCAR online scheduling daemon: an HTTP service
+// exposing the scheduler and the discrete-event serving simulator as
+// JSON endpoints over one shared warm cost database. Identical concurrent
+// /schedule requests are singleflight-deduplicated into one search.
+//
+// Usage:
+//
+//	scarserve [-addr :8080] [-fast] [-seed 1] [-workers 0] [-costdb scar.costdb]
+//
+// Endpoints:
+//
+//	POST /schedule  {"scenario": 6, "pattern": "het-sides", "objective": "edp"}
+//	POST /simulate  {"classes": [{"scenario": 6, "rate_per_sec": 2}], "horizon_sec": 60}
+//	GET  /stats
+//	GET  /healthz
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// complete (bounded by -shutdown-timeout) and, when -costdb is set, the
+// warmed cost database is saved so the next start skips cost-model
+// warmup. See DESIGN.md for where the service sits in the system.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/serve"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		fast        = flag.Bool("fast", false, "use reduced search budgets")
+		seed        = flag.Int64("seed", 1, "search seed")
+		workers     = flag.Int("workers", 0, "per-search worker bound (0 = all cores)")
+		costdbPath  = flag.String("costdb", "", "cost-database snapshot: loaded at start if present, saved on shutdown")
+		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+	)
+	flag.Parse()
+
+	opts := core.DefaultOptions()
+	if *fast {
+		opts = core.FastOptions()
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+
+	db := costdb.New(maestro.DefaultParams())
+	if *costdbPath != "" {
+		loaded, err := db.LoadFile(*costdbPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scarserve: -costdb %v\n", err)
+			return 1
+		}
+		if loaded {
+			fmt.Printf("scarserve: cost database loaded from %s (%d entries)\n", *costdbPath, db.Size())
+		}
+	}
+	svc := serve.NewWithDB(db, opts)
+
+	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d)\n", *addr, *fast, *seed, *workers)
+		errc <- server.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		// ListenAndServe never returns nil; anything here is a startup
+		// or accept failure.
+		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	fmt.Println("scarserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "scarserve: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
+		return 1
+	}
+
+	if *costdbPath != "" {
+		if err := db.SaveFile(*costdbPath); err != nil {
+			fmt.Fprintf(os.Stderr, "scarserve: -costdb %v\n", err)
+			return 1
+		}
+		fmt.Printf("scarserve: cost database saved to %s (%d entries)\n", *costdbPath, db.Size())
+	}
+	st := svc.Stats()
+	fmt.Printf("scarserve: served %d schedule requests (%d searches, %d cache hits), %d simulations\n",
+		st.Requests, st.ScheduleCalls, st.CacheHits, st.Simulations)
+	return 0
+}

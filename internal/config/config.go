@@ -39,6 +39,10 @@ type ModelSpec struct {
 	Name string `json:"name,omitempty"`
 	// Batch is the model's batch size (default 1).
 	Batch int `json:"batch,omitempty"`
+	// FPS marks the model as a periodic real-time task at this frame
+	// rate (frames per second); the online simulator derives its
+	// deadline from it. 0 = no real-time requirement.
+	FPS float64 `json:"fps,omitempty"`
 	// Layers spells out the model when Zoo is empty.
 	Layers []LayerSpec `json:"layers,omitempty"`
 }
@@ -96,7 +100,7 @@ func BuildWorkload(spec WorkloadSpec) (workload.Scenario, error) {
 			if err != nil {
 				return workload.Scenario{}, fmt.Errorf("config: model %d: %w", i, err)
 			}
-			ms = append(ms, zm)
+			ms = append(ms, zm.WithFPS(m.FPS))
 			continue
 		}
 		if len(m.Layers) == 0 {
@@ -114,7 +118,7 @@ func BuildWorkload(spec WorkloadSpec) (workload.Scenario, error) {
 		if name == "" {
 			name = fmt.Sprintf("model%d", i)
 		}
-		ms = append(ms, workload.NewModel(name, batch, ls))
+		ms = append(ms, workload.NewModel(name, batch, ls).WithFPS(m.FPS))
 	}
 	sc := workload.NewScenario(spec.Name, ms...)
 	if err := sc.Validate(); err != nil {

@@ -4,9 +4,8 @@
 // clouds, the Figure 9 / Table VI schedule breakdown, the Table V /
 // Figure 10 AR/VR results, the Figure 12 triangular-NoP and Figure 13
 // 6x6 scaling studies, and the Section V-E ablations. Each experiment
-// returns a printable result; the per-experiment mapping to the paper is
-// indexed in DESIGN.md and the measured-vs-paper comparison lives in
-// EXPERIMENTS.md.
+// returns a printable result; the per-experiment mapping to the paper
+// and the measured-vs-paper notes are indexed in EXPERIMENTS.md.
 package experiments
 
 import (

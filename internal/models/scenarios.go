@@ -60,16 +60,24 @@ func Scenario5() workload.Scenario {
 	)
 }
 
+// rt marks an XRBench model as a periodic real-time task. The Table III
+// AR/VR scenarios batch one second's worth of frames per scenario
+// execution (batch = fps), so the frame rate equals the batch size and
+// the model's implicit deadline is the one-second frame budget.
+func rt(m workload.Model) workload.Model {
+	return m.WithFPS(float64(m.Batch))
+}
+
 // Scenario6 is the XRBench "AR Assistant" scenario: object detection,
 // plane detection, depth estimation, speech recognition, semantic
 // segmentation.
 func Scenario6() workload.Scenario {
 	return workload.NewScenario("sc6-ar-assistant",
-		D2GO(10),
-		PlaneRCNN(15),
-		MiDaS(30),
-		Emformer(3),
-		HRViT(10),
+		rt(D2GO(10)),
+		rt(PlaneRCNN(15)),
+		rt(MiDaS(30)),
+		rt(Emformer(3)),
+		rt(HRViT(10)),
 	)
 }
 
@@ -77,17 +85,17 @@ func Scenario6() workload.Scenario {
 // estimation.
 func Scenario7() workload.Scenario {
 	return workload.NewScenario("sc7-ar-gaming",
-		PlaneRCNN(15),
-		HandShapePose(45),
-		MiDaS(30),
+		rt(PlaneRCNN(15)),
+		rt(HandShapePose(45)),
+		rt(MiDaS(30)),
 	)
 }
 
 // Scenario8 is "Outdoors": object detection and speech recognition.
 func Scenario8() workload.Scenario {
 	return workload.NewScenario("sc8-outdoors",
-		D2GO(30),
-		Emformer(3),
+		rt(D2GO(30)),
+		rt(Emformer(3)),
 	)
 }
 
@@ -95,17 +103,17 @@ func Scenario8() workload.Scenario {
 // refinement.
 func Scenario9() workload.Scenario {
 	return workload.NewScenario("sc9-social",
-		EyeCod(60),
-		HandShapePose(30),
-		Sp2Dense(30),
+		rt(EyeCod(60)),
+		rt(HandShapePose(30)),
+		rt(Sp2Dense(30)),
 	)
 }
 
 // Scenario10 is "VR Gaming": gaze estimation and hand tracking.
 func Scenario10() workload.Scenario {
 	return workload.NewScenario("sc10-vr-gaming",
-		EyeCod(60),
-		HandShapePose(45),
+		rt(EyeCod(60)),
+		rt(HandShapePose(45)),
 	)
 }
 

@@ -1,0 +1,101 @@
+package online
+
+import "math/rand"
+
+// Arrivals generates the deterministic arrival-time sequence of one
+// request class. Implementations must return ascending times and must be
+// reproducible: the same receiver value always yields the same sequence,
+// regardless of how many goroutines run simulations concurrently (the
+// PR 1 determinism convention — generators own seeded private RNGs and
+// never share mutable state).
+type Arrivals interface {
+	// Times returns the arrival times in seconds, ascending, bounded by
+	// the horizon (exclusive, when > 0) and by max entries (when > 0).
+	// At least one of the two bounds is guaranteed positive by the
+	// simulator's config validation.
+	Times(horizonSec float64, max int) []float64
+}
+
+// Poisson is a seeded Poisson arrival process: exponential inter-arrival
+// times at RatePerSec requests per second.
+type Poisson struct {
+	// RatePerSec is the mean arrival rate lambda.
+	RatePerSec float64
+	// Seed drives the process's private RNG.
+	Seed int64
+}
+
+// Times draws the arrival sequence. A fixed (RatePerSec, Seed) pair
+// always produces the identical sequence.
+func (p Poisson) Times(horizonSec float64, max int) []float64 {
+	if p.RatePerSec <= 0 {
+		return nil
+	}
+	if horizonSec <= 0 && max <= 0 {
+		// No bound at all would loop forever; match Periodic's guard.
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []float64
+	t := 0.0
+	for max <= 0 || len(out) < max {
+		t += rng.ExpFloat64() / p.RatePerSec
+		if horizonSec > 0 && t >= horizonSec {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Trace replays an explicit arrival-time list (trace-driven load), e.g.
+// timestamps captured from a production frontend.
+type Trace struct {
+	// TimesSec are the arrival times in seconds, ascending.
+	TimesSec []float64
+}
+
+// Times returns the trace clipped to the horizon and entry bounds.
+func (tr Trace) Times(horizonSec float64, max int) []float64 {
+	out := make([]float64, 0, len(tr.TimesSec))
+	for _, t := range tr.TimesSec {
+		if horizonSec > 0 && t >= horizonSec {
+			break
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Periodic emits one request every PeriodSec starting at OffsetSec — the
+// XRBench frame-clock pattern (a scenario epoch per second is Periodic
+// with PeriodSec 1).
+type Periodic struct {
+	PeriodSec float64
+	OffsetSec float64
+}
+
+// Times returns the periodic sequence within the bounds.
+func (p Periodic) Times(horizonSec float64, max int) []float64 {
+	if p.PeriodSec <= 0 {
+		return nil
+	}
+	var out []float64
+	for i := 0; ; i++ {
+		t := p.OffsetSec + float64(i)*p.PeriodSec
+		if horizonSec > 0 && t >= horizonSec {
+			break
+		}
+		if max > 0 && len(out) >= max {
+			break
+		}
+		out = append(out, t)
+		if horizonSec <= 0 && max <= 0 {
+			break
+		}
+	}
+	return out
+}

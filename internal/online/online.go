@@ -1,0 +1,485 @@
+// Package online is a deterministic discrete-event simulator that drives
+// an MCM package through time under request load. Where the SCAR paper
+// schedules a fixed multi-model scenario once, this package models the
+// serving problem around it: scenario requests arrive over time (Poisson
+// or trace-driven), queue for the package, execute under the schedule's
+// evaluated window latencies, and are scored against per-model deadlines
+// derived from XRBench frame rates (workload.Model.DeadlineSec). The
+// simulator reports SLA attainment, latency percentiles, queue depth,
+// utilization and energy, and charges a schedule-switch cost whenever the
+// in-flight scenario mix changes — the MCM-Reconfig window-entry weight
+// reload that cannot overlap a drained pipeline.
+//
+// Simulations are bit-identical for a fixed configuration: arrival
+// processes own seeded private RNGs, the event loop is single-goroutine,
+// ties in the arrival merge break on (time, class index, sequence), and
+// every aggregate accumulates in request order. Running many simulations
+// concurrently (the arrival-rate sweep, the serving daemon) cannot
+// perturb any individual result.
+package online
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/trace"
+	"example.com/scar/internal/workload"
+)
+
+// Class is one request type the package serves: a scenario with its
+// optimized schedule, evaluated metrics, deadlines, reconfiguration cost
+// and arrival process.
+type Class struct {
+	// Name labels the class in reports.
+	Name string
+	// Scenario is the multi-model workload of the class.
+	Scenario *workload.Scenario
+	// Schedule is the class's optimized schedule; Metrics its evaluation
+	// (window latencies, per-model latencies, energy).
+	Schedule *eval.Schedule
+	Metrics  eval.Metrics
+	// SwitchInSec is the reconfiguration cost charged when the package
+	// switches to this class from a different one (see SwitchCost).
+	SwitchInSec float64
+	// Deadlines maps model index -> seconds after request arrival by
+	// which the model must complete (see DeriveDeadlines). Models absent
+	// from the map are unconstrained.
+	Deadlines map[int]float64
+	// Spans is the optional per-execution span template (trace.Build of
+	// the schedule); when set and Config.EmitTimeline is on, every
+	// executed request contributes shifted copies of these spans to the
+	// report's timeline.
+	Spans *trace.Timeline
+	// Arrivals generates the class's request arrival times.
+	Arrivals Arrivals
+}
+
+// NewClass assembles a simulator class from a scheduled scenario: it
+// evaluates the schedule on the evaluator, derives per-model deadlines
+// (slackFactor covers models without frame rates), computes the
+// schedule-switch cost and builds the span template for trace emission.
+func NewClass(name string, ev *eval.Evaluator, sched *eval.Schedule, arr Arrivals, slackFactor float64) (Class, error) {
+	metrics, err := ev.Evaluate(sched)
+	if err != nil {
+		return Class{}, fmt.Errorf("online: class %s: %w", name, err)
+	}
+	return Class{
+		Name:        name,
+		Scenario:    ev.Scenario(),
+		Schedule:    sched,
+		Metrics:     metrics,
+		SwitchInSec: SwitchCost(ev, sched),
+		Deadlines:   DeriveDeadlines(ev.Scenario(), metrics, slackFactor),
+		Spans:       trace.Build(ev, ev.Scenario(), ev.MCM(), sched),
+		Arrivals:    arr,
+	}, nil
+}
+
+// DeriveDeadlines builds the per-model deadline map of a scenario.
+// Real-time models (FPS > 0) get their XRBench frame budget
+// (Model.DeadlineSec, one second under the batch = fps convention).
+// Models without a frame rate get slackFactor times their own scheduled
+// latency — the request may queue for (slackFactor-1) service times
+// before it is late — or no deadline at all when slackFactor <= 0.
+func DeriveDeadlines(sc *workload.Scenario, metrics eval.Metrics, slackFactor float64) map[int]float64 {
+	out := make(map[int]float64)
+	for mi, m := range sc.Models {
+		if d := m.DeadlineSec(); d > 0 {
+			out[mi] = d
+			continue
+		}
+		if slackFactor > 0 {
+			if lat, ok := metrics.ModelLatency[mi]; ok && lat > 0 {
+				out[mi] = slackFactor * lat
+			}
+		}
+	}
+	return out
+}
+
+// SwitchCost models the price of reconfiguring the package to a new
+// schedule: the first MCM-Reconfig window's largest weight prefetch. In
+// steady state the evaluator overlaps a stage's weight load with the
+// upstream pipeline fill, but when the scenario mix changes the pipeline
+// has drained and the incoming schedule's window-entry weight reload is
+// exposed on the critical path.
+func SwitchCost(ev *eval.Evaluator, sched *eval.Schedule) float64 {
+	if len(sched.Windows) == 0 {
+		return 0
+	}
+	var worst float64
+	for _, st := range ev.WindowTimings(sched.Windows[0]) {
+		if st.WeightSec > worst {
+			worst = st.WeightSec
+		}
+	}
+	return worst
+}
+
+// Config is one simulation's input.
+type Config struct {
+	// Classes are the request types; at least one is required.
+	Classes []Class
+	// HorizonSec bounds arrival generation (exclusive). Requests in
+	// flight at the horizon still run to completion.
+	HorizonSec float64
+	// MaxRequestsPerClass bounds each class's arrival count. At least
+	// one of HorizonSec and MaxRequestsPerClass must be positive.
+	MaxRequestsPerClass int
+	// EmitTimeline attaches a merged trace.Timeline of every executed
+	// request to the report (classes need span templates).
+	EmitTimeline bool
+	// MaxTimelineSpans caps the emitted span count (0 = 100000). The cap
+	// is reported via Report.TimelineTruncated, never silent.
+	MaxTimelineSpans int
+}
+
+// RequestOutcome is one request's simulated life cycle.
+type RequestOutcome struct {
+	// Class and Seq identify the request (class index, per-class arrival
+	// sequence number).
+	Class int `json:"class"`
+	Seq   int `json:"seq"`
+	// ArrivalSec / StartSec / FinishSec are absolute times; StartSec
+	// includes the schedule-switch reconfiguration when one was charged.
+	ArrivalSec float64 `json:"arrival_sec"`
+	StartSec   float64 `json:"start_sec"`
+	FinishSec  float64 `json:"finish_sec"`
+	// WaitSec is queueing delay (service start minus arrival, switch
+	// included); SojournSec the end-to-end request latency.
+	WaitSec    float64 `json:"wait_sec"`
+	SojournSec float64 `json:"sojourn_sec"`
+	// Switched marks that serving this request reconfigured the package.
+	Switched bool `json:"switched,omitempty"`
+	// MissedModels lists the model indices that blew their deadline.
+	MissedModels []int `json:"missed_models,omitempty"`
+}
+
+// ClassReport aggregates one class's outcomes.
+type ClassReport struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	SLAAttainment float64 `json:"sla_attainment"`
+	MeanSojourn   float64 `json:"mean_sojourn_sec"`
+	P99Sojourn    float64 `json:"p99_sojourn_sec"`
+}
+
+// Report is the simulation output.
+type Report struct {
+	// Requests is the number simulated (all run to completion);
+	// MakespanSec the completion time of the last one.
+	Requests    int     `json:"requests"`
+	MakespanSec float64 `json:"makespan_sec"`
+
+	// DeadlineChecks counts (request, deadline-bounded model) pairs;
+	// DeadlineMisses those completing late. SLAAttainment is their
+	// complement ratio (1 when nothing is bounded). RequestsOnTime
+	// counts requests with every bounded model on time.
+	DeadlineChecks int     `json:"deadline_checks"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	SLAAttainment  float64 `json:"sla_attainment"`
+	RequestsOnTime int     `json:"requests_on_time"`
+
+	// Sojourn-latency distribution (arrival to finish), in seconds.
+	MeanLatencySec float64 `json:"mean_latency_sec"`
+	P50LatencySec  float64 `json:"p50_latency_sec"`
+	P95LatencySec  float64 `json:"p95_latency_sec"`
+	P99LatencySec  float64 `json:"p99_latency_sec"`
+	MaxLatencySec  float64 `json:"max_latency_sec"`
+	MeanWaitSec    float64 `json:"mean_wait_sec"`
+
+	// MeanQueueDepth is the time-averaged number of waiting requests
+	// (total waiting time over the makespan, per Little's law);
+	// MaxQueueDepth the instantaneous peak.
+	MeanQueueDepth float64 `json:"mean_queue_depth"`
+	MaxQueueDepth  int     `json:"max_queue_depth"`
+
+	// Utilization is the busy fraction of the makespan (service plus
+	// reconfiguration); ScheduleSwitches counts reconfigurations and
+	// SwitchSec their total cost.
+	Utilization      float64 `json:"utilization"`
+	BusySec          float64 `json:"busy_sec"`
+	SwitchSec        float64 `json:"switch_sec"`
+	ScheduleSwitches int     `json:"schedule_switches"`
+
+	// EnergyJ is the summed schedule energy of every executed request.
+	EnergyJ float64 `json:"energy_j"`
+
+	PerClass []ClassReport `json:"per_class"`
+
+	// Outcomes holds every request's life cycle, in service order.
+	Outcomes []RequestOutcome `json:"-"`
+
+	// Timeline is the merged execution trace (EmitTimeline only).
+	Timeline          *trace.Timeline `json:"-"`
+	TimelineTruncated bool            `json:"timeline_truncated,omitempty"`
+}
+
+// pending is one generated arrival before service.
+type pending struct {
+	class, seq int
+	arrival    float64
+}
+
+// Simulate runs the discrete-event loop: requests are served in arrival
+// order (FIFO, single package) with deterministic tie-breaking on
+// (time, class index, sequence).
+func Simulate(cfg Config) (*Report, error) {
+	if len(cfg.Classes) == 0 {
+		return nil, fmt.Errorf("online: no request classes")
+	}
+	if cfg.HorizonSec <= 0 && cfg.MaxRequestsPerClass <= 0 {
+		return nil, fmt.Errorf("online: unbounded simulation: set HorizonSec or MaxRequestsPerClass")
+	}
+	for ci := range cfg.Classes {
+		c := &cfg.Classes[ci]
+		if c.Schedule == nil || len(c.Schedule.Windows) == 0 {
+			return nil, fmt.Errorf("online: class %d (%s) has no schedule", ci, c.Name)
+		}
+		if c.Metrics.LatencySec <= 0 {
+			return nil, fmt.Errorf("online: class %d (%s) has non-positive service latency", ci, c.Name)
+		}
+		if c.Arrivals == nil {
+			return nil, fmt.Errorf("online: class %d (%s) has no arrival process", ci, c.Name)
+		}
+	}
+
+	// Generate and merge the per-class arrival streams.
+	var reqs []pending
+	for ci := range cfg.Classes {
+		times := cfg.Classes[ci].Arrivals.Times(cfg.HorizonSec, cfg.MaxRequestsPerClass)
+		for seq, t := range times {
+			if seq > 0 && t < times[seq-1] {
+				return nil, fmt.Errorf("online: class %d (%s) arrivals not ascending", ci, cfg.Classes[ci].Name)
+			}
+			reqs = append(reqs, pending{class: ci, seq: seq, arrival: t})
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].arrival != reqs[j].arrival {
+			return reqs[i].arrival < reqs[j].arrival
+		}
+		if reqs[i].class != reqs[j].class {
+			return reqs[i].class < reqs[j].class
+		}
+		return reqs[i].seq < reqs[j].seq
+	})
+
+	rep := &Report{Requests: len(reqs)}
+	if len(reqs) == 0 {
+		rep.SLAAttainment = 1
+		return rep, nil
+	}
+
+	maxSpans := cfg.MaxTimelineSpans
+	if maxSpans <= 0 {
+		maxSpans = 100000
+	}
+	var tl *trace.Timeline
+	if cfg.EmitTimeline {
+		tl = &trace.Timeline{}
+		for _, c := range cfg.Classes {
+			if c.Spans != nil && c.Spans.Chiplets > tl.Chiplets {
+				tl.Chiplets = c.Spans.Chiplets
+			}
+		}
+	}
+
+	// Serve the merged stream.
+	rep.Outcomes = make([]RequestOutcome, 0, len(reqs))
+	freeAt := 0.0
+	curClass := -1
+	var totalWait, totalSojourn float64
+	for _, rq := range reqs {
+		c := &cfg.Classes[rq.class]
+		start := rq.arrival
+		if freeAt > start {
+			start = freeAt
+		}
+		out := RequestOutcome{
+			Class:      rq.class,
+			Seq:        rq.seq,
+			ArrivalSec: rq.arrival,
+		}
+		// busyStart is when the package starts working on the request
+		// (reconfiguration included); start is when service proper
+		// begins.
+		busyStart := start
+		if rq.class != curClass {
+			if curClass >= 0 {
+				rep.ScheduleSwitches++
+				rep.SwitchSec += c.SwitchInSec
+				start += c.SwitchInSec
+				out.Switched = true
+			}
+			curClass = rq.class
+		}
+		finish := start + c.Metrics.LatencySec
+		out.StartSec = start
+		out.FinishSec = finish
+		out.WaitSec = start - rq.arrival
+		out.SojournSec = finish - rq.arrival
+		freeAt = finish
+
+		// Deadline scoring: model m completes at start + its pipeline
+		// latency; the deadline counts from request arrival.
+		for mi := 0; mi < len(c.Scenario.Models); mi++ {
+			d, ok := c.Deadlines[mi]
+			if !ok {
+				continue
+			}
+			rep.DeadlineChecks++
+			mLat, ok := c.Metrics.ModelLatency[mi]
+			if !ok {
+				mLat = c.Metrics.LatencySec
+			}
+			if start+mLat-rq.arrival > d {
+				rep.DeadlineMisses++
+				out.MissedModels = append(out.MissedModels, mi)
+			}
+		}
+		if len(out.MissedModels) == 0 {
+			rep.RequestsOnTime++
+		}
+
+		totalWait += out.WaitSec
+		totalSojourn += out.SojournSec
+		rep.BusySec += finish - busyStart
+		rep.EnergyJ += c.Metrics.EnergyJ
+		if finish > rep.MakespanSec {
+			rep.MakespanSec = finish
+		}
+		if tl != nil && c.Spans != nil && !rep.TimelineTruncated {
+			if len(tl.Spans)+len(c.Spans.Spans) > maxSpans {
+				// Truncate the tail, never punch holes: once one
+				// request's spans do not fit, no later request is
+				// recorded either, so the emitted trace is a complete
+				// prefix of the simulation.
+				rep.TimelineTruncated = true
+			} else {
+				for _, sp := range c.Spans.Spans {
+					sp.StartSec += start
+					sp.EndSec += start
+					tl.Spans = append(tl.Spans, sp)
+				}
+			}
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+
+	rep.finish(cfg, totalWait, totalSojourn, tl)
+	return rep, nil
+}
+
+// finish derives the report's aggregates from the raw outcomes.
+func (rep *Report) finish(cfg Config, totalWait, totalSojourn float64, tl *trace.Timeline) {
+	n := len(rep.Outcomes)
+	rep.MeanWaitSec = totalWait / float64(n)
+	rep.MeanLatencySec = totalSojourn / float64(n)
+	if rep.DeadlineChecks > 0 {
+		rep.SLAAttainment = 1 - float64(rep.DeadlineMisses)/float64(rep.DeadlineChecks)
+	} else {
+		rep.SLAAttainment = 1
+	}
+	if rep.MakespanSec > 0 {
+		rep.Utilization = rep.BusySec / rep.MakespanSec
+		rep.MeanQueueDepth = totalWait / rep.MakespanSec
+	}
+
+	sojourns := make([]float64, n)
+	for i, o := range rep.Outcomes {
+		sojourns[i] = o.SojournSec
+	}
+	sort.Float64s(sojourns)
+	rep.P50LatencySec = percentile(sojourns, 0.50)
+	rep.P95LatencySec = percentile(sojourns, 0.95)
+	rep.P99LatencySec = percentile(sojourns, 0.99)
+	rep.MaxLatencySec = sojourns[n-1]
+	rep.MaxQueueDepth = maxQueueDepth(rep.Outcomes)
+
+	// Per-class aggregates, in class order.
+	for ci := range cfg.Classes {
+		cr := ClassReport{Name: cfg.Classes[ci].Name}
+		var sum float64
+		var cls []float64
+		checks, misses := 0, 0
+		for _, o := range rep.Outcomes {
+			if o.Class != ci {
+				continue
+			}
+			cr.Requests++
+			sum += o.SojournSec
+			cls = append(cls, o.SojournSec)
+			checks += len(cfg.Classes[ci].Deadlines)
+			misses += len(o.MissedModels)
+		}
+		cr.SLAAttainment = 1
+		if checks > 0 {
+			cr.SLAAttainment = 1 - float64(misses)/float64(checks)
+		}
+		if cr.Requests > 0 {
+			cr.MeanSojourn = sum / float64(cr.Requests)
+			sort.Float64s(cls)
+			cr.P99Sojourn = percentile(cls, 0.99)
+		}
+		rep.PerClass = append(rep.PerClass, cr)
+	}
+
+	if tl != nil {
+		tl.TotalSec = rep.MakespanSec
+		sort.SliceStable(tl.Spans, func(i, j int) bool {
+			if tl.Spans[i].StartSec != tl.Spans[j].StartSec {
+				return tl.Spans[i].StartSec < tl.Spans[j].StartSec
+			}
+			return tl.Spans[i].Chiplet < tl.Spans[j].Chiplet
+		})
+		rep.Timeline = tl
+	}
+}
+
+// percentile returns the nearest-rank percentile of an ascending slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// qEvent is one queue-depth change: arrivals push, service starts pop.
+type qEvent struct {
+	t     float64
+	delta int
+}
+
+// maxQueueDepth sweeps arrival/start events for the instantaneous peak
+// of the waiting queue. Pops sort before pushes at equal times, so a
+// request starting the moment it arrives never counts as queued.
+func maxQueueDepth(outs []RequestOutcome) int {
+	evs := make([]qEvent, 0, 2*len(outs))
+	for _, o := range outs {
+		evs = append(evs, qEvent{t: o.ArrivalSec, delta: 1}, qEvent{t: o.StartSec, delta: -1})
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].t != evs[j].t {
+			return evs[i].t < evs[j].t
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	cur, max := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

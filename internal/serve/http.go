@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"example.com/scar/internal/eval"
+)
+
+// ScheduleHTTPResponse is the JSON body of POST /schedule.
+type ScheduleHTTPResponse struct {
+	Key    string `json:"key"`
+	Cached bool   `json:"cached"`
+	// Splits / Windows describe the winning MCM-Reconfig candidate.
+	Splits  int `json:"splits"`
+	Windows int `json:"windows"`
+	// Metrics is the schedule evaluation; Schedule the window/segment
+	// structure itself.
+	Metrics  eval.Metrics   `json:"metrics"`
+	Schedule *eval.Schedule `json:"schedule,omitempty"`
+	// Search statistics of the underlying run (cache hits report the
+	// original search's numbers).
+	WindowEvals  int     `json:"window_evals"`
+	CacheHitRate float64 `json:"search_cache_hit_rate"`
+	// ElapsedMs is this call's wall time — near zero on a cache hit.
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// httpError is the JSON error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /schedule  {scenario|workload_json, pattern, objective, ...}
+//	POST /simulate  {classes: [{scenario, rate_per_sec, ...}], horizon_sec, ...}
+//	GET  /stats
+//	GET  /healthz
+//
+// Every response is JSON; errors arrive as {"error": "..."} with a 4xx
+// or 5xx status.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/schedule", s.handleSchedule)
+	mux.HandleFunc("/simulate", s.handleSimulate)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+// decodePost guards method + body decoding for the POST endpoints.
+func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// scheduleHTTPRequest adds the wire-only include_schedule toggle.
+type scheduleHTTPRequest struct {
+	Request
+	// IncludeSchedule attaches the full window/segment structure to the
+	// response (off by default; metrics alone are much smaller).
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+}
+
+func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleHTTPRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	start := time.Now()
+	sr, err := s.Schedule(req.Request)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ScheduleHTTPResponse{
+		Key:          sr.Key,
+		Cached:       sr.Cached,
+		Splits:       sr.Result.Splits,
+		Windows:      len(sr.Result.Schedule.Windows),
+		Metrics:      sr.Result.Metrics,
+		WindowEvals:  sr.Result.WindowEvals,
+		CacheHitRate: sr.Result.CacheHitRate(),
+		ElapsedMs:    float64(time.Since(start).Microseconds()) / 1e3,
+	}
+	if req.IncludeSchedule {
+		resp.Schedule = sr.Result.Schedule
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	if !decodePost(w, r, &req) {
+		return
+	}
+	rep, err := s.Simulate(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"example.com/scar/internal/online"
+)
+
+func postJSON(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHTTPScheduleEndpoint(t *testing.T) {
+	srv := httptest.NewServer(fastService().Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{"workload_json": %s, "profile": "edge", "include_schedule": true}`, tinyWorkload)
+	resp, data := postJSON(t, srv.URL+"/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var sr ScheduleHTTPResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatalf("response not valid JSON: %v\n%s", err, data)
+	}
+	if sr.Cached {
+		t.Error("first request reported cached")
+	}
+	if sr.Windows < 1 || sr.Metrics.LatencySec <= 0 || sr.Metrics.EnergyJ <= 0 {
+		t.Errorf("implausible schedule response: %+v", sr)
+	}
+	if sr.Schedule == nil || len(sr.Schedule.Windows) != sr.Windows {
+		t.Errorf("include_schedule did not attach the schedule")
+	}
+
+	// Identical request: served from cache.
+	resp, data = postJSON(t, srv.URL+"/schedule", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if !sr.Cached {
+		t.Error("second identical request not served from cache")
+	}
+}
+
+func TestHTTPSimulateAndStats(t *testing.T) {
+	srv := httptest.NewServer(fastService().Handler())
+	defer srv.Close()
+
+	body := fmt.Sprintf(`{
+	  "classes": [{"workload_json": %s, "profile": "edge", "name": "tiny", "rate_per_sec": 5, "seed": 3}],
+	  "max_requests_per_class": 40,
+	  "horizon_sec": 1e9
+	}`, tinyWorkload)
+	resp, data := postJSON(t, srv.URL+"/simulate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var rep online.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("simulate response not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Requests != 40 {
+		t.Errorf("simulated requests = %d, want 40", rep.Requests)
+	}
+	if rep.SLAAttainment < 0 || rep.SLAAttainment > 1 {
+		t.Errorf("SLA attainment = %v", rep.SLAAttainment)
+	}
+	if len(rep.PerClass) != 1 || rep.PerClass[0].Name != "tiny" {
+		t.Errorf("per-class report: %+v", rep.PerClass)
+	}
+
+	resp, data = postJSON(t, srv.URL+"/simulate", `{"classes": []}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty simulate: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+
+	r, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Simulations != 1 || st.ScheduleCalls != 1 {
+		t.Errorf("stats = %+v, want 1 simulation over 1 search (rejected requests are not counted)", st)
+	}
+	if st.CostEntries <= 0 || st.CostMisses <= 0 {
+		t.Errorf("cost database stats empty: %+v", st)
+	}
+}
+
+func TestHTTPMethodAndBodyGuards(t *testing.T) {
+	srv := httptest.NewServer(fastService().Handler())
+	defer srv.Close()
+
+	r, err := http.Get(srv.URL + "/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /schedule: status %d, want 405", r.StatusCode)
+	}
+
+	resp, data := postJSON(t, srv.URL+"/schedule", `{"scenario": `)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("truncated body: status %d (%s)", resp.StatusCode, data)
+	}
+	var e httpError
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Errorf("error body not JSON: %s", data)
+	}
+
+	resp, data = postJSON(t, srv.URL+"/schedule", `{"scenario": 1, "bogus_field": true}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d (%s)", resp.StatusCode, data)
+	}
+
+	resp, _ = postJSON(t, srv.URL+"/schedule", `{}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty request: status %d, want 400", resp.StatusCode)
+	}
+
+	r, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Errorf("healthz: %d", r.StatusCode)
+	}
+}

@@ -1,0 +1,420 @@
+// Package serve is the concurrent scheduling service behind the scarserve
+// daemon: it wraps core.Scheduler behind a request API with a
+// singleflight-deduplicated schedule cache keyed by (scenario, MCM,
+// objective, options) over a shared warm cost database. N identical
+// concurrent requests trigger exactly one search — the waiters block on
+// the in-flight entry and share its result. PR 2's compiled evaluator
+// makes the underlying search tens of milliseconds, so a cache miss is an
+// acceptable online cost and a hit is effectively free.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"example.com/scar/internal/config"
+	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/eval"
+	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/mcm"
+	"example.com/scar/internal/models"
+	"example.com/scar/internal/online"
+	"example.com/scar/internal/workload"
+)
+
+// Request identifies one scheduling problem. Built-in inputs name a
+// Table III scenario and a Figure 6 package pattern; custom inputs carry
+// raw workload/MCM JSON in the config package's description format.
+type Request struct {
+	// Scenario is the Table III scenario number (1-10); ignored when
+	// WorkloadJSON is set.
+	Scenario int `json:"scenario,omitempty"`
+	// WorkloadJSON is a custom workload description (config format).
+	WorkloadJSON json.RawMessage `json:"workload_json,omitempty"`
+	// Pattern, Width, Height and Profile pick a built-in package
+	// (defaults: het-sides, 3x3, profile inferred from the scenario —
+	// datacenter for 1-5, edge for 6-10). Ignored when MCMJSON is set.
+	Pattern string `json:"pattern,omitempty"`
+	Width   int    `json:"width,omitempty"`
+	Height  int    `json:"height,omitempty"`
+	Profile string `json:"profile,omitempty"`
+	// MCMJSON is a custom MCM description (config format).
+	MCMJSON json.RawMessage `json:"mcm_json,omitempty"`
+	// Objective is "latency", "energy" or "edp" (default edp).
+	Objective string `json:"objective,omitempty"`
+}
+
+// withDefaults resolves the request's implied fields.
+func (r Request) withDefaults() Request {
+	if r.Pattern == "" {
+		r.Pattern = "het-sides"
+	}
+	if r.Width == 0 {
+		r.Width = 3
+	}
+	if r.Height == 0 {
+		r.Height = 3
+	}
+	if r.Profile == "" {
+		if r.WorkloadJSON == nil && r.Scenario >= 6 {
+			r.Profile = "edge"
+		} else {
+			r.Profile = "datacenter"
+		}
+	}
+	if r.Objective == "" {
+		r.Objective = "edp"
+	}
+	return r
+}
+
+// key canonicalizes the request into the cache key's request half.
+// Custom JSON inputs contribute a content hash, so byte-identical
+// descriptions share an entry.
+func (r Request) key() string {
+	wl := fmt.Sprintf("sc%d", r.Scenario)
+	if r.WorkloadJSON != nil {
+		h := sha256.Sum256(r.WorkloadJSON)
+		wl = "wl:" + hex.EncodeToString(h[:8])
+	}
+	pkg := fmt.Sprintf("%s:%dx%d:%s", r.Pattern, r.Width, r.Height, r.Profile)
+	if r.MCMJSON != nil {
+		h := sha256.Sum256(r.MCMJSON)
+		pkg = "mcm:" + hex.EncodeToString(h[:8])
+	}
+	return wl + "|" + pkg + "|" + r.Objective
+}
+
+// build materializes the request's scenario and package.
+func (r Request) build() (workload.Scenario, *mcm.MCM, core.Objective, error) {
+	var sc workload.Scenario
+	var err error
+	switch {
+	case r.WorkloadJSON != nil:
+		sc, err = config.ParseWorkload(r.WorkloadJSON)
+	case r.Scenario >= 1:
+		sc, err = models.ScenarioByNumber(r.Scenario)
+	default:
+		err = fmt.Errorf("serve: request needs scenario (1-10) or workload_json")
+	}
+	if err != nil {
+		return sc, nil, core.Objective{}, err
+	}
+	var pkg *mcm.MCM
+	if r.MCMJSON != nil {
+		pkg, err = config.ParseMCM(r.MCMJSON)
+	} else {
+		spec := maestro.DefaultDatacenterChiplet()
+		if r.Profile == "edge" {
+			spec = maestro.DefaultEdgeChiplet()
+		} else if r.Profile != "datacenter" {
+			return sc, nil, core.Objective{}, fmt.Errorf("serve: unknown profile %q (want datacenter or edge)", r.Profile)
+		}
+		pkg, err = mcm.ByName(r.Pattern, r.Width, r.Height, spec)
+	}
+	if err != nil {
+		return sc, nil, core.Objective{}, err
+	}
+	obj, err := core.ObjectiveByName(r.Objective)
+	if err != nil {
+		return sc, nil, core.Objective{}, err
+	}
+	return sc, pkg, obj, nil
+}
+
+// entry is one cache slot. The creator closes done after filling res/err;
+// waiters block on done and then read the immutable fields.
+type entry struct {
+	done chan struct{}
+	sc   workload.Scenario
+	pkg  *mcm.MCM
+	res  *core.Result
+	err  error
+}
+
+// DefaultMaxCachedSchedules bounds the schedule cache: keys are partly
+// client-controlled (custom description hashes), so a long-running
+// daemon must not grow without limit. Eviction is FIFO over completed
+// entries.
+const DefaultMaxCachedSchedules = 1024
+
+// Service is the concurrent scheduling service. Safe for concurrent use.
+type Service struct {
+	db      *costdb.DB
+	opts    core.Options
+	optsKey string
+
+	mu         sync.Mutex
+	entries    map[string]*entry
+	order      []string // insertion order, for FIFO eviction
+	maxEntries int
+
+	requests      atomic.Int64
+	scheduleCalls atomic.Int64
+	cacheHits     atomic.Int64
+	simulations   atomic.Int64
+	started       time.Time
+}
+
+// New builds a service with a fresh cost database.
+func New(opts core.Options) *Service {
+	return NewWithDB(costdb.New(maestro.DefaultParams()), opts)
+}
+
+// NewWithDB builds a service over an existing (possibly pre-warmed or
+// Load-ed) cost database.
+func NewWithDB(db *costdb.DB, opts core.Options) *Service {
+	// The options are immutable after construction; fingerprint them
+	// once so cache keys honor the full (scenario, MCM, objective,
+	// options) tuple.
+	oh := sha256.Sum256([]byte(fmt.Sprintf("%+v", opts)))
+	return &Service{
+		db:         db,
+		opts:       opts,
+		optsKey:    "opts:" + hex.EncodeToString(oh[:8]),
+		entries:    make(map[string]*entry),
+		maxEntries: DefaultMaxCachedSchedules,
+		started:    time.Now(),
+	}
+}
+
+// DB exposes the shared cost database (persistence, diagnostics).
+func (s *Service) DB() *costdb.DB { return s.db }
+
+// Options returns the service's scheduler configuration.
+func (s *Service) Options() core.Options { return s.opts }
+
+// ScheduleResult is one resolved scheduling request.
+type ScheduleResult struct {
+	// Key is the cache key the request resolved to.
+	Key string
+	// Cached reports that no new search ran for this call (the result
+	// came from a completed entry or from waiting on an in-flight one).
+	Cached bool
+	// Scenario and MCM are the materialized inputs; Result the scheduler
+	// output.
+	Scenario *workload.Scenario
+	MCM      *mcm.MCM
+	Result   *core.Result
+}
+
+// Schedule resolves a request through the cache, running at most one
+// underlying search per key regardless of concurrency.
+func (s *Service) Schedule(req Request) (*ScheduleResult, error) {
+	s.requests.Add(1)
+	req = req.withDefaults()
+	key := req.key() + "|" + s.optsKey
+
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		s.mu.Unlock()
+		<-e.done
+		if e.err != nil {
+			return nil, e.err
+		}
+		s.cacheHits.Add(1)
+		return &ScheduleResult{Key: key, Cached: true, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
+	}
+	e := &entry{done: make(chan struct{})}
+	s.entries[key] = e
+	s.order = append(s.order, key)
+	s.evictLocked()
+	s.mu.Unlock()
+
+	e.sc, e.pkg, e.err = s.fill(e, req)
+	if e.err != nil {
+		// Failed searches are not cached: the key may succeed later
+		// (e.g. a transiently invalid custom description).
+		s.mu.Lock()
+		delete(s.entries, key)
+		for i, k := range s.order {
+			if k == key {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+		s.mu.Unlock()
+	}
+	close(e.done)
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &ScheduleResult{Key: key, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
+}
+
+// evictLocked drops the oldest *completed* cache entries until the
+// cache fits the bound. In-flight entries are never evicted (their
+// waiters hold the singleflight guarantee); evicted keys simply search
+// again on next request. Callers hold s.mu.
+func (s *Service) evictLocked() {
+	for len(s.entries) > s.maxEntries {
+		evicted := false
+		for i, k := range s.order {
+			e, ok := s.entries[k]
+			if !ok {
+				// Key already removed (failed search); drop the stale
+				// order slot.
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+				break
+			}
+			select {
+			case <-e.done:
+				delete(s.entries, k)
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				evicted = true
+			default:
+				continue // in-flight: try the next-oldest
+			}
+			break
+		}
+		if !evicted {
+			return // everything in flight; the bound yields temporarily
+		}
+	}
+}
+
+// fill runs the cache-miss path: materialize inputs, search.
+func (s *Service) fill(e *entry, req Request) (workload.Scenario, *mcm.MCM, error) {
+	sc, pkg, obj, err := req.build()
+	if err != nil {
+		return sc, pkg, err
+	}
+	s.scheduleCalls.Add(1)
+	res, err := core.New(s.db, s.opts).Schedule(&sc, pkg, obj)
+	if err != nil {
+		return sc, pkg, err
+	}
+	e.res = res
+	return sc, pkg, nil
+}
+
+// Evaluator builds a schedule evaluator for a resolved request on the
+// service's shared cost database.
+func (s *Service) Evaluator(sr *ScheduleResult) *eval.Evaluator {
+	return eval.New(s.db, sr.MCM, sr.Scenario, s.opts.Eval)
+}
+
+// SimClass is one request class of a simulation: a scheduling request
+// plus its arrival process (Poisson rate or explicit trace).
+type SimClass struct {
+	Request
+	// Name labels the class in the report (default: the cache key).
+	Name string `json:"name,omitempty"`
+	// RatePerSec is the Poisson arrival rate; ArrivalTimes is the
+	// trace-driven alternative (exactly one must be set).
+	RatePerSec   float64   `json:"rate_per_sec,omitempty"`
+	ArrivalTimes []float64 `json:"arrival_times,omitempty"`
+	// Seed drives the class's Poisson stream (default: class index + 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SimRequest drives one simulation over scheduled classes.
+type SimRequest struct {
+	Classes []SimClass `json:"classes"`
+	// HorizonSec / MaxRequestsPerClass bound the simulated load (at
+	// least one must be positive; defaults: 100 requests per class).
+	HorizonSec          float64 `json:"horizon_sec,omitempty"`
+	MaxRequestsPerClass int     `json:"max_requests_per_class,omitempty"`
+	// SlackFactor derives deadlines for models without frame rates
+	// (default 3: a request may queue two service times before missing).
+	SlackFactor float64 `json:"slack_factor,omitempty"`
+}
+
+// Simulate schedules every class (through the cache) and runs the
+// discrete-event simulator on the results.
+func (s *Service) Simulate(req SimRequest) (*online.Report, error) {
+	if len(req.Classes) == 0 {
+		return nil, fmt.Errorf("serve: simulation needs at least one class")
+	}
+	if req.HorizonSec <= 0 && req.MaxRequestsPerClass <= 0 {
+		req.MaxRequestsPerClass = 100
+	}
+	slack := req.SlackFactor
+	if slack == 0 {
+		slack = 3
+	}
+	s.simulations.Add(1)
+
+	classes := make([]online.Class, len(req.Classes))
+	for i, sc := range req.Classes {
+		sr, err := s.Schedule(sc.Request)
+		if err != nil {
+			return nil, fmt.Errorf("serve: class %d: %w", i, err)
+		}
+		var arr online.Arrivals
+		switch {
+		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
+			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
+		case len(sc.ArrivalTimes) > 0:
+			arr = online.Trace{TimesSec: sc.ArrivalTimes}
+		case sc.RatePerSec > 0:
+			seed := sc.Seed
+			if seed == 0 {
+				seed = int64(i) + 1
+			}
+			arr = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
+		default:
+			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
+		}
+		name := sc.Name
+		if name == "" {
+			name = sr.Key
+		}
+		cl, err := online.NewClass(name, s.Evaluator(sr), sr.Result.Schedule, arr, slack)
+		if err != nil {
+			return nil, fmt.Errorf("serve: class %d: %w", i, err)
+		}
+		classes[i] = cl
+	}
+	return online.Simulate(online.Config{
+		Classes:             classes,
+		HorizonSec:          req.HorizonSec,
+		MaxRequestsPerClass: req.MaxRequestsPerClass,
+	})
+}
+
+// Stats is a point-in-time service counter snapshot.
+type Stats struct {
+	// Requests counts Schedule calls; ScheduleCalls the underlying
+	// searches actually run; CacheHits the requests served without one.
+	Requests      int64 `json:"requests"`
+	ScheduleCalls int64 `json:"schedule_calls"`
+	CacheHits     int64 `json:"cache_hits"`
+	// Simulations counts Simulate calls; CachedSchedules the resident
+	// schedule-cache entries.
+	Simulations     int64 `json:"simulations"`
+	CachedSchedules int   `json:"cached_schedules"`
+	// CostEntries / CostHits / CostMisses snapshot the shared cost
+	// database (misses = cost-model computations performed).
+	CostEntries int   `json:"cost_entries"`
+	CostHits    int64 `json:"cost_hits"`
+	CostMisses  int64 `json:"cost_misses"`
+	// UptimeSec is seconds since service construction.
+	UptimeSec float64 `json:"uptime_sec"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.entries)
+	s.mu.Unlock()
+	hits, misses := s.db.Stats()
+	return Stats{
+		Requests:        s.requests.Load(),
+		ScheduleCalls:   s.scheduleCalls.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		Simulations:     s.simulations.Load(),
+		CachedSchedules: n,
+		CostEntries:     s.db.Size(),
+		CostHits:        hits,
+		CostMisses:      misses,
+		UptimeSec:       time.Since(s.started).Seconds(),
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"example.com/scar/internal/core"
+)
+
+// tinyWorkload is a two-model custom description small enough that a
+// full (fast-budget) search runs in milliseconds; model m0 carries a
+// frame rate so simulations have a real-time deadline to score.
+const tinyWorkload = `{
+  "name": "tiny",
+  "models": [
+    {"name": "m0", "batch": 2, "fps": 2, "layers": [
+      {"name": "c0", "type": "conv", "c": 16, "k": 16, "y": 28, "x": 28, "r": 3, "s": 3, "stride": 1},
+      {"name": "c1", "type": "conv", "c": 16, "k": 16, "y": 28, "x": 28, "r": 3, "s": 3, "stride": 1}
+    ]},
+    {"name": "m1", "batch": 1, "layers": [
+      {"name": "g0", "type": "gemm", "c": 256, "k": 256, "y": 64}
+    ]}
+  ]
+}`
+
+func fastService() *Service {
+	opts := core.FastOptions()
+	opts.Workers = 1
+	return New(opts)
+}
+
+func tinyRequest() Request {
+	return Request{WorkloadJSON: []byte(tinyWorkload), Pattern: "het-sides", Profile: "edge"}
+}
+
+// TestSingleflightDedup is the PR's concurrency contract: N goroutines
+// requesting the same (scenario, MCM, objective) trigger exactly one
+// underlying search.
+func TestSingleflightDedup(t *testing.T) {
+	s := fastService()
+	const n = 24
+	results := make([]*ScheduleResult, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Schedule(tinyRequest())
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+	}
+	st := s.Stats()
+	if st.ScheduleCalls != 1 {
+		t.Fatalf("underlying Schedule calls = %d, want exactly 1", st.ScheduleCalls)
+	}
+	if st.Requests != n {
+		t.Errorf("requests = %d, want %d", st.Requests, n)
+	}
+	if st.CacheHits != n-1 {
+		t.Errorf("cache hits = %d, want %d", st.CacheHits, n-1)
+	}
+	if st.CachedSchedules != 1 {
+		t.Errorf("cached schedules = %d, want 1", st.CachedSchedules)
+	}
+	// Every caller shares the one result object.
+	for i := 1; i < n; i++ {
+		if results[i].Result != results[0].Result {
+			t.Fatalf("request %d got a different result object", i)
+		}
+		if results[i].Key != results[0].Key {
+			t.Fatalf("request %d got key %q, want %q", i, results[i].Key, results[0].Key)
+		}
+	}
+	cached := 0
+	for _, r := range results {
+		if r.Cached {
+			cached++
+		}
+	}
+	if cached != n-1 {
+		t.Errorf("cached results = %d, want %d", cached, n-1)
+	}
+}
+
+func TestDistinctKeysSearchSeparately(t *testing.T) {
+	s := fastService()
+	a, err := s.Schedule(tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tinyRequest()
+	req.Objective = "latency"
+	b, err := s.Schedule(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key == b.Key {
+		t.Fatal("different objectives share a cache key")
+	}
+	if st := s.Stats(); st.ScheduleCalls != 2 {
+		t.Errorf("schedule calls = %d, want 2", st.ScheduleCalls)
+	}
+	// Latency search must not be slower than the EDP search's latency.
+	if b.Result.Metrics.LatencySec > a.Result.Metrics.LatencySec*1.0001 {
+		t.Errorf("latency objective latency %v > edp objective latency %v",
+			b.Result.Metrics.LatencySec, a.Result.Metrics.LatencySec)
+	}
+}
+
+func TestBadRequestsNotCached(t *testing.T) {
+	s := fastService()
+	bad := Request{Scenario: 99}
+	for i := 0; i < 2; i++ {
+		if _, err := s.Schedule(bad); err == nil {
+			t.Fatal("scenario 99 accepted")
+		}
+	}
+	st := s.Stats()
+	if st.CachedSchedules != 0 {
+		t.Errorf("failed request left %d cache entries", st.CachedSchedules)
+	}
+	if st.ScheduleCalls != 0 {
+		t.Errorf("failed request ran %d searches", st.ScheduleCalls)
+	}
+	if _, err := s.Schedule(Request{Scenario: 1, Profile: "tpu"}); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	if _, err := s.Schedule(Request{Scenario: 1, Objective: "carbon"}); err == nil {
+		t.Error("unknown objective accepted")
+	}
+	if _, err := s.Schedule(Request{WorkloadJSON: []byte(`{"models": []}`)}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestSimulateDeterministicAndCached(t *testing.T) {
+	s := fastService()
+	req := SimRequest{
+		Classes: []SimClass{
+			{Request: tinyRequest(), Name: "tiny", RatePerSec: 5, Seed: 3},
+		},
+		MaxRequestsPerClass: 50,
+		HorizonSec:          1e9,
+	}
+	r1, err := s.Simulate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Simulate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Requests != 50 || r2.Requests != 50 {
+		t.Fatalf("requests = %d / %d, want 50", r1.Requests, r2.Requests)
+	}
+	if r1.SLAAttainment != r2.SLAAttainment || r1.P99LatencySec != r2.P99LatencySec ||
+		r1.MakespanSec != r2.MakespanSec || r1.EnergyJ != r2.EnergyJ {
+		t.Fatal("two simulations of the same request differ")
+	}
+	if st := s.Stats(); st.ScheduleCalls != 1 {
+		t.Errorf("schedule calls = %d, want 1 (second simulation reuses the cached schedule)", st.ScheduleCalls)
+	}
+	if st := s.Stats(); st.Simulations != 2 {
+		t.Errorf("simulations = %d, want 2", st.Simulations)
+	}
+	if r1.PerClass[0].Name != "tiny" {
+		t.Errorf("class name = %q", r1.PerClass[0].Name)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	s := fastService()
+	if _, err := s.Simulate(SimRequest{}); err == nil {
+		t.Error("empty simulation accepted")
+	}
+	if _, err := s.Simulate(SimRequest{Classes: []SimClass{{Request: tinyRequest()}}}); err == nil {
+		t.Error("class without arrivals accepted")
+	}
+	both := SimClass{Request: tinyRequest(), RatePerSec: 1, ArrivalTimes: []float64{1}}
+	if _, err := s.Simulate(SimRequest{Classes: []SimClass{both}}); err == nil {
+		t.Error("class with both rate and trace accepted")
+	}
+}
+
+func TestRequestKeyCoversInputs(t *testing.T) {
+	base := tinyRequest().withDefaults()
+	seen := map[string]string{}
+	for _, r := range []Request{
+		base,
+		{Scenario: 6},
+		{Scenario: 7},
+		{Scenario: 6, Pattern: "simba-shi"},
+		{Scenario: 6, Objective: "latency"},
+		{Scenario: 6, Width: 4, Height: 4},
+		{Scenario: 6, Profile: "datacenter"},
+	} {
+		r = r.withDefaults()
+		k := r.key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %q between %+v and %s", k, r, prev)
+		}
+		seen[k] = fmt.Sprintf("%+v", r)
+	}
+	// Byte-identical custom JSON shares a key.
+	if tinyRequest().withDefaults().key() != base.key() {
+		t.Error("identical custom workloads got different keys")
+	}
+}
+
+func TestCacheEvictionBound(t *testing.T) {
+	s := fastService()
+	s.maxEntries = 2
+	reqs := []Request{}
+	for _, obj := range []string{"edp", "latency", "energy"} {
+		r := tinyRequest()
+		r.Objective = obj
+		reqs = append(reqs, r)
+	}
+	for _, r := range reqs {
+		if _, err := s.Schedule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.CachedSchedules > 2 {
+		t.Fatalf("cache holds %d entries, bound is 2", st.CachedSchedules)
+	}
+	// The oldest key (edp) was evicted FIFO: requesting it searches
+	// again; the newest (energy) is still cached.
+	before := s.Stats().ScheduleCalls
+	res, err := s.Schedule(reqs[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached || s.Stats().ScheduleCalls != before {
+		t.Error("newest entry should still be cached")
+	}
+	res, err = s.Schedule(reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached || s.Stats().ScheduleCalls != before+1 {
+		t.Error("evicted entry should have searched again")
+	}
+}

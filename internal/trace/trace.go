@@ -159,3 +159,57 @@ func (t *Timeline) ChromeTrace() ([]byte, error) {
 	}
 	return json.MarshalIndent(events, "", "  ")
 }
+
+// ParseChromeTrace reconstructs a Timeline from a ChromeTrace export:
+// the inverse mapping (threads back to chiplets, complete events back to
+// spans, categories back to window indices). TotalSec is the last span
+// end and Chiplets the highest thread id plus one — a timeline whose
+// trailing chiplets were idle round-trips with a smaller Chiplets count.
+func ParseChromeTrace(data []byte) (*Timeline, error) {
+	var events []chromeEvent
+	if err := json.Unmarshal(data, &events); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	tl := &Timeline{}
+	for i, e := range events {
+		if e.Ph != "X" {
+			return nil, fmt.Errorf("trace: parse: event %d has phase %q, want complete (X)", i, e.Ph)
+		}
+		if e.Dur < 0 {
+			return nil, fmt.Errorf("trace: parse: event %d has negative duration", i)
+		}
+		s := Span{
+			Chiplet:  e.TID,
+			Label:    e.Name,
+			StartSec: e.Ts / 1e6,
+			EndSec:   (e.Ts + e.Dur) / 1e6,
+		}
+		if _, err := fmt.Sscanf(e.Cat, "window%d", &s.Window); err != nil {
+			return nil, fmt.Errorf("trace: parse: event %d category %q is not a window", i, e.Cat)
+		}
+		if v, ok := e.Args["model"]; ok {
+			if _, err := fmt.Sscanf(v, "%d", &s.Model); err != nil {
+				return nil, fmt.Errorf("trace: parse: event %d model %q: %w", i, v, err)
+			}
+		}
+		if v, ok := e.Args["passes"]; ok {
+			if _, err := fmt.Sscanf(v, "%d", &s.Passes); err != nil {
+				return nil, fmt.Errorf("trace: parse: event %d passes %q: %w", i, v, err)
+			}
+		}
+		if s.EndSec > tl.TotalSec {
+			tl.TotalSec = s.EndSec
+		}
+		if s.Chiplet+1 > tl.Chiplets {
+			tl.Chiplets = s.Chiplet + 1
+		}
+		tl.Spans = append(tl.Spans, s)
+	}
+	sort.SliceStable(tl.Spans, func(i, j int) bool {
+		if tl.Spans[i].StartSec != tl.Spans[j].StartSec {
+			return tl.Spans[i].StartSec < tl.Spans[j].StartSec
+		}
+		return tl.Spans[i].Chiplet < tl.Spans[j].Chiplet
+	})
+	return tl, nil
+}

@@ -143,3 +143,83 @@ func TestEmptyTimeline(t *testing.T) {
 		t.Errorf("empty Gantt = %q", out)
 	}
 }
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	ev, sc, pkg, sched := rig()
+	tl := Build(ev, sc, pkg, sched)
+	data, err := tl.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseChromeTrace(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Spans) != len(tl.Spans) {
+		t.Fatalf("round-trip spans = %d, want %d", len(back.Spans), len(tl.Spans))
+	}
+	// Microsecond conversion introduces at most float rounding; all
+	// structural fields must survive exactly.
+	const tol = 1e-9
+	for i, want := range tl.Spans {
+		got := back.Spans[i]
+		if got.Chiplet != want.Chiplet || got.Model != want.Model ||
+			got.Window != want.Window || got.Label != want.Label || got.Passes != want.Passes {
+			t.Errorf("span %d: got %+v, want %+v", i, got, want)
+		}
+		if ds := got.StartSec - want.StartSec; ds > tol || ds < -tol {
+			t.Errorf("span %d start %v, want %v", i, got.StartSec, want.StartSec)
+		}
+		if de := got.EndSec - want.EndSec; de > tol || de < -tol {
+			t.Errorf("span %d end %v, want %v", i, got.EndSec, want.EndSec)
+		}
+	}
+	if d := back.TotalSec - tl.TotalSec; d > 1e-9 || d < -1e-9 {
+		t.Errorf("round-trip total %v, want %v", back.TotalSec, tl.TotalSec)
+	}
+	// The rig occupies chiplets 0..4 of 9; the export does not record
+	// idle trailing chiplets.
+	if back.Chiplets != 5 {
+		t.Errorf("round-trip chiplets = %d, want 5 (highest used + 1)", back.Chiplets)
+	}
+
+	// A second round-trip stays within the same tolerance of the
+	// original (structural fields are exact; timestamps only ever see
+	// the microsecond float conversion).
+	data2, err := back.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back2, err := ParseChromeTrace(data2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range tl.Spans {
+		got := back2.Spans[i]
+		if got.Chiplet != want.Chiplet || got.Window != want.Window || got.Label != want.Label {
+			t.Errorf("second round-trip span %d: got %+v, want %+v", i, got, want)
+		}
+		if ds := got.StartSec - want.StartSec; ds > tol || ds < -tol {
+			t.Errorf("second round-trip span %d start %v, want %v", i, got.StartSec, want.StartSec)
+		}
+	}
+}
+
+func TestParseChromeTraceRejects(t *testing.T) {
+	if _, err := ParseChromeTrace([]byte("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := ParseChromeTrace([]byte(`[{"ph": "B", "cat": "window0"}]`)); err == nil {
+		t.Error("non-complete event accepted")
+	}
+	if _, err := ParseChromeTrace([]byte(`[{"ph": "X", "cat": "gc"}]`)); err == nil {
+		t.Error("foreign category accepted")
+	}
+	if _, err := ParseChromeTrace([]byte(`[{"ph": "X", "cat": "window0", "dur": -1}]`)); err == nil {
+		t.Error("negative duration accepted")
+	}
+	tl, err := ParseChromeTrace([]byte(`[]`))
+	if err != nil || len(tl.Spans) != 0 {
+		t.Errorf("empty trace: %v %v", tl, err)
+	}
+}

@@ -10,6 +10,13 @@ type Model struct {
 	Name   string
 	Batch  int
 	Layers []Layer
+	// FPS is the model's real-time frame rate in frames per second
+	// (XRBench-style periodic tasks), or 0 when the model carries no
+	// real-time requirement. The AR/VR scenarios follow the batch = fps
+	// convention: one scenario execution processes one second's worth of
+	// frames, so a model's implicit deadline is Batch/FPS seconds after
+	// the request arrives (see DeadlineSec).
+	FPS float64
 }
 
 // NewModel constructs a model, normalizing the batch to >= 1.
@@ -22,6 +29,25 @@ func NewModel(name string, batch int, layers []Layer) Model {
 		norm[i] = l.normalized()
 	}
 	return Model{Name: name, Batch: batch, Layers: norm}
+}
+
+// WithFPS returns a copy of the model carrying a real-time frame-rate
+// requirement (frames per second; 0 clears it).
+func (m Model) WithFPS(fps float64) Model {
+	m.FPS = fps
+	return m
+}
+
+// DeadlineSec is the model's implicit real-time deadline: the time by
+// which one scenario execution's Batch frames must complete, counted
+// from request arrival. Under the XRBench batch = fps convention this is
+// the one-second frame budget; models without a frame rate return 0 (no
+// deadline).
+func (m Model) DeadlineSec() float64 {
+	if m.FPS <= 0 {
+		return 0
+	}
+	return float64(m.Batch) / m.FPS
 }
 
 // NumLayers returns |m|, the layer count.
@@ -50,6 +76,9 @@ func (m Model) Validate() error {
 	if m.Batch < 1 {
 		return fmt.Errorf("workload: model %q batch %d < 1", m.Name, m.Batch)
 	}
+	if m.FPS < 0 {
+		return fmt.Errorf("workload: model %q frame rate %g < 0", m.Name, m.FPS)
+	}
 	if len(m.Layers) == 0 {
 		return fmt.Errorf("workload: model %q has no layers", m.Name)
 	}
@@ -75,6 +104,17 @@ func NewScenario(name string, models ...Model) Scenario {
 
 // NumModels returns |Sc|.
 func (s Scenario) NumModels() int { return len(s.Models) }
+
+// HasDeadlines reports whether any member model carries a real-time
+// frame-rate requirement.
+func (s Scenario) HasDeadlines() bool {
+	for _, m := range s.Models {
+		if m.FPS > 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // TotalLayers returns L = sum over models of |m_i|.
 func (s Scenario) TotalLayers() int {

@@ -92,3 +92,28 @@ func TestAllRefsOrder(t *testing.T) {
 		}
 	}
 }
+
+func TestModelDeadlines(t *testing.T) {
+	m := NewModel("rt", 30, []Layer{GEMM("g", 16, 32, 64)}).WithFPS(30)
+	if got := m.DeadlineSec(); got != 1.0 {
+		t.Errorf("DeadlineSec = %v, want 1.0 (batch=fps convention)", got)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	m.FPS = -1
+	if err := m.Validate(); err == nil {
+		t.Error("negative FPS passed Validate")
+	}
+	plain := NewModel("batch", 4, []Layer{GEMM("g", 16, 32, 64)})
+	if got := plain.DeadlineSec(); got != 0 {
+		t.Errorf("no-FPS DeadlineSec = %v, want 0", got)
+	}
+	sc := NewScenario("mix", plain, NewModel("rt", 60, []Layer{GEMM("g", 16, 32, 64)}).WithFPS(60))
+	if !sc.HasDeadlines() {
+		t.Error("HasDeadlines = false with one real-time model")
+	}
+	if NewScenario("plain", plain).HasDeadlines() {
+		t.Error("HasDeadlines = true with no real-time models")
+	}
+}

@@ -15,11 +15,20 @@
 //	res, _ := sched.Schedule(&sc, pkg, scar.EDPObjective())
 //	fmt.Println(scar.RenderSchedule(&sc, pkg, res.Schedule, res.Metrics))
 //
+// Beyond the paper's one-shot search, the package serves schedules
+// online: Service (cmd/scarserve) answers concurrent scheduling requests
+// through a singleflight-deduplicated cache, and Simulate drives a
+// package through time under Poisson or trace-driven request load,
+// scoring XRBench frame-rate deadlines (see the README's Serving
+// section).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-vs-measured comparison of every table and figure.
+// paper-vs-measured mapping of every table and figure.
 package scar
 
 import (
+	"io"
+
 	"example.com/scar/internal/baselines"
 	"example.com/scar/internal/config"
 	"example.com/scar/internal/core"
@@ -29,6 +38,8 @@ import (
 	"example.com/scar/internal/maestro"
 	"example.com/scar/internal/mcm"
 	"example.com/scar/internal/models"
+	"example.com/scar/internal/online"
+	"example.com/scar/internal/serve"
 	"example.com/scar/internal/trace"
 	"example.com/scar/internal/workload"
 )
@@ -61,6 +72,9 @@ type (
 	Metrics = eval.Metrics
 	// WindowMetrics is the per-window breakdown.
 	WindowMetrics = eval.WindowMetrics
+	// Evaluator scores schedules for one (scenario, MCM) pair on a
+	// compiled session (see Scheduler.Evaluator).
+	Evaluator = eval.Evaluator
 	// Options are the scheduler hyperparameters.
 	Options = core.Options
 	// Objective is an optimization metric (Definition 10).
@@ -80,6 +94,60 @@ type (
 	Timeline = trace.Timeline
 	// Span is one chiplet-occupancy interval of a Timeline.
 	Span = trace.Span
+)
+
+// Online serving: the discrete-event request simulator (internal/online)
+// and the concurrent scheduling service (internal/serve) behind the
+// scarserve daemon.
+type (
+	// SimClass is one request type of a simulation: a scheduled
+	// scenario with deadlines, switch cost and an arrival process.
+	SimClass = online.Class
+	// SimConfig drives one simulation run.
+	SimConfig = online.Config
+	// SimReport is the simulation output: SLA attainment, latency
+	// percentiles, queue depth, utilization, energy.
+	SimReport = online.Report
+	// SimOutcome is one simulated request's life cycle.
+	SimOutcome = online.RequestOutcome
+	// Arrivals generates a deterministic arrival-time sequence.
+	Arrivals = online.Arrivals
+	// PoissonArrivals is a seeded Poisson arrival process.
+	PoissonArrivals = online.Poisson
+	// TraceArrivals replays explicit arrival timestamps.
+	TraceArrivals = online.Trace
+	// PeriodicArrivals emits one request per fixed period (the XRBench
+	// frame clock).
+	PeriodicArrivals = online.Periodic
+	// Service is the concurrent scheduling service: a singleflight-
+	// deduplicated schedule cache over a shared warm cost database,
+	// with an http.Handler exposing /schedule, /simulate and /stats.
+	Service = serve.Service
+	// ServeRequest identifies one scheduling problem for the service.
+	ServeRequest = serve.Request
+	// ServeStats is a service counter snapshot.
+	ServeStats = serve.Stats
+)
+
+// Online serving constructors.
+var (
+	// Simulate runs the discrete-event serving simulator; results are
+	// bit-identical for a fixed configuration.
+	Simulate = online.Simulate
+	// NewSimClass assembles a simulator class from a scheduled
+	// scenario: evaluated metrics, per-model deadlines, switch cost and
+	// trace spans.
+	NewSimClass = online.NewClass
+	// DeriveDeadlines maps a scenario's models to deadlines: XRBench
+	// frame budgets where frame rates exist, slack-scaled scheduled
+	// latencies elsewhere.
+	DeriveDeadlines = online.DeriveDeadlines
+	// ScheduleSwitchCost is the reconfiguration price of switching the
+	// package to a new schedule (first-window weight reload).
+	ScheduleSwitchCost = online.SwitchCost
+	// NewService builds a scheduling service with a fresh cost
+	// database; see Service.
+	NewService = serve.New
 )
 
 // Layer constructors.
@@ -222,6 +290,21 @@ func (s *Scheduler) ScheduleUniformPacking(sc *Scenario, m *MCM, obj Objective) 
 func (s *Scheduler) Evaluate(sc *Scenario, m *MCM, sched *Schedule) (Metrics, error) {
 	return eval.New(s.db, m, sc, s.opts.Eval).Evaluate(sched)
 }
+
+// Evaluator builds a reusable schedule evaluator for one (scenario, MCM)
+// pair on this scheduler's cost database — the input NewSimClass needs
+// to assemble simulator request classes.
+func (s *Scheduler) Evaluator(sc *Scenario, m *MCM) *Evaluator {
+	return eval.New(s.db, m, sc, s.opts.Eval)
+}
+
+// SaveCostDB writes the scheduler's warmed layer-cost database as a gob
+// stream, so a later process can LoadCostDB and skip cost-model warmup.
+func (s *Scheduler) SaveCostDB(w io.Writer) error { return s.db.Save(w) }
+
+// LoadCostDB merges a previously saved cost-database snapshot; snapshots
+// calibrated with different cost-model constants are rejected.
+func (s *Scheduler) LoadCostDB(r io.Reader) error { return s.db.Load(r) }
 
 // Standalone runs the paper's Standalone baseline: one chiplet per model.
 func (s *Scheduler) Standalone(sc *Scenario, m *MCM) (*Schedule, Metrics, error) {
