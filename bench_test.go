@@ -10,6 +10,7 @@ package scar_test
 // tractable.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -270,7 +271,7 @@ func benchmarkSchedule(b *testing.B, workers int) {
 	sched := scar.NewScheduler(opts)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sched.Schedule(&sc, pkg, scar.EDPObjective()); err != nil {
+		if _, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.EDPObjective())); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,14 +297,14 @@ func BenchmarkCompiledSearch(b *testing.B) {
 	opts := scar.DefaultOptions()
 	sched := scar.NewScheduler(opts)
 	obj := scar.EDPObjective()
-	if _, err := sched.Schedule(&sc, pkg, obj); err != nil {
+	if _, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, obj)); err != nil {
 		b.Fatal(err) // warm the shared cost database
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	var evals int
 	for i := 0; i < b.N; i++ {
-		res, err := sched.Schedule(&sc, pkg, obj)
+		res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, obj))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -52,6 +53,7 @@ func realMain() int {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 		costdbPath = flag.String("costdb", "", "cost-database snapshot: loaded if present before the run, saved after it, so repeated runs skip cost-model warmup")
+		timeout    = flag.Duration("timeout", 0, "wall-clock bound over the whole run (0 = none); searches in flight at expiry abort and the run fails")
 	)
 	flag.StringVar(&benchJSON, "benchjson", "", "with -exp evalbench or online: also write the snapshot as JSON to this file (the BENCH_*.json format)")
 	flag.Parse()
@@ -77,6 +79,11 @@ func realMain() int {
 	suite.Opts.Seed = *seed
 	suite.Opts.Workers = 1
 	suite.Workers = *workers
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		suite.Ctx = ctx
+	}
 
 	if *costdbPath != "" {
 		loaded, err := suite.DB.LoadFile(*costdbPath)

@@ -6,14 +6,20 @@
 // Usage:
 //
 //	scarsched -workload workload.json -mcm mcm.json [-objective edp]
-//	          [-nsplits 4] [-seed 1] [-fast] [-evolutionary] [-out schedule.json]
+//	          [-nsplits 4] [-seed 1] [-fast] [-evolutionary] [-timeout 0]
+//	          [-out schedule.json]
 //
 // Built-in inputs are also supported:
 //
 //	scarsched -scenario 4 -pattern het-sides [-size 3x3] [-profile datacenter]
+//
+// -timeout bounds the search wall clock: on expiry the best schedule
+// found so far is printed (marked "partial"), or the run fails when
+// nothing feasible was found yet.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -34,6 +40,7 @@ func main() {
 		seed         = flag.Int64("seed", 1, "search seed")
 		fast         = flag.Bool("fast", false, "use reduced search budgets")
 		evolutionary = flag.Bool("evolutionary", false, "use the evolutionary per-window search")
+		timeout      = flag.Duration("timeout", 0, "search deadline (0 = none); on expiry the best schedule found so far is kept")
 		outPath      = flag.String("out", "", "write the schedule as JSON to this file")
 		quiet        = flag.Bool("quiet", false, "suppress the schedule rendering")
 	)
@@ -63,14 +70,24 @@ func main() {
 		fmt.Println()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	sched := scar.NewScheduler(opts)
-	res, err := sched.Schedule(&sc, pkg, obj)
+	res, err := sched.Schedule(ctx, scar.NewRequest(&sc, pkg, obj))
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s search on %s: latency %.6g s, energy %.6g J, EDP %.6g J.s (%d windows, %d candidate evals)\n",
+	partial := ""
+	if res.Partial {
+		partial = " [partial: -timeout expired mid-search]"
+	}
+	fmt.Printf("%s search on %s: latency %.6g s, energy %.6g J, EDP %.6g J.s (%d windows, %d candidate evals)%s\n",
 		obj.Name, pkg.Name, res.Metrics.LatencySec, res.Metrics.EnergyJ, res.Metrics.EDP,
-		len(res.Schedule.Windows), res.WindowEvals)
+		len(res.Schedule.Windows), res.WindowEvals, partial)
 	if !*quiet {
 		fmt.Println()
 		fmt.Print(scar.RenderPackage(pkg))

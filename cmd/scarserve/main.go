@@ -6,6 +6,7 @@
 // Usage:
 //
 //	scarserve [-addr :8080] [-fast] [-seed 1] [-workers 0] [-costdb scar.costdb]
+//	          [-request-timeout 5m] [-shutdown-timeout 30s]
 //
 // Endpoints:
 //
@@ -14,10 +15,17 @@
 //	GET  /stats
 //	GET  /healthz
 //
+// Every request runs under a context derived from its HTTP connection:
+// client disconnects cancel the search, -request-timeout bounds searches
+// that carry no explicit timeout_ms, and the listener carries hardened
+// read/header/idle timeouts so a slowloris client cannot pin the daemon.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// complete (bounded by -shutdown-timeout) and, when -costdb is set, the
-// warmed cost database is saved so the next start skips cost-model
-// warmup. See DESIGN.md for where the service sits in the system.
+// complete (bounded by -shutdown-timeout; on overrun their contexts are
+// cancelled so searches abort instead of being killed mid-write) and,
+// when -costdb is set, the warmed cost database is saved so the next
+// start skips cost-model warmup. See DESIGN.md for where the service
+// sits in the system.
 package main
 
 import (
@@ -25,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -39,6 +48,19 @@ import (
 
 func main() { os.Exit(realMain()) }
 
+// writeTimeout derives the server write timeout from the request
+// timeout: enough headroom that a search running right up to its
+// deadline still gets its response flushed. With no request deadline
+// (-request-timeout 0) the write timeout is disabled too — searches are
+// deliberately unbounded then, and a connection deadline would cut a
+// legitimate long search off mid-response.
+func writeTimeout(reqTimeout time.Duration) time.Duration {
+	if reqTimeout <= 0 {
+		return 0
+	}
+	return reqTimeout + 30*time.Second
+}
+
 func realMain() int {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -46,7 +68,8 @@ func realMain() int {
 		seed        = flag.Int64("seed", 1, "search seed")
 		workers     = flag.Int("workers", 0, "per-search worker bound (0 = all cores)")
 		costdbPath  = flag.String("costdb", "", "cost-database snapshot: loaded at start if present, saved on shutdown")
-		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline")
+		reqTimeout  = flag.Duration("request-timeout", 5*time.Minute, "default search deadline for requests without timeout_ms (0 = none)")
+		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline; overrunning requests are cancelled, not killed")
 	)
 	flag.Parse()
 
@@ -69,11 +92,29 @@ func realMain() int {
 		}
 	}
 	svc := serve.NewWithDB(db, opts)
+	svc.SetRequestTimeout(*reqTimeout)
 
-	server := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	// baseCtx parents every request context: cancelling it is the lever
+	// that aborts in-flight searches when graceful shutdown overruns.
+	baseCtx, baseCancel := context.WithCancel(context.Background())
+	defer baseCancel()
+	server := &http.Server{
+		Addr:    *addr,
+		Handler: svc.Handler(),
+		// Slowloris hardening: a client must finish its headers and
+		// body promptly and cannot hold an idle connection forever. The
+		// write timeout stays above the request timeout so a legitimate
+		// long search is never cut off mid-response.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      writeTimeout(*reqTimeout),
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d)\n", *addr, *fast, *seed, *workers)
+		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d request-timeout=%v)\n",
+			*addr, *fast, *seed, *workers, *reqTimeout)
 		errc <- server.ListenAndServe()
 	}()
 
@@ -89,11 +130,21 @@ func realMain() int {
 	}
 
 	fmt.Println("scarserve: shutting down")
+	exit := 0
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
-		fmt.Fprintf(os.Stderr, "scarserve: shutdown: %v\n", err)
-		return 1
+		// The grace period expired with requests still in flight:
+		// cancel their contexts — the scheduler returns anytime results
+		// promptly — then close whatever remains. The exit code stays
+		// nonzero so supervisors see the non-graceful shutdown, but the
+		// cost database below is still saved.
+		fmt.Fprintf(os.Stderr, "scarserve: shutdown grace expired (%v); cancelling in-flight requests\n", err)
+		exit = 1
+		baseCancel()
+		if cerr := server.Close(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "scarserve: close: %v\n", cerr)
+		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
@@ -110,5 +161,5 @@ func realMain() int {
 	st := svc.Stats()
 	fmt.Printf("scarserve: served %d schedule requests (%d searches, %d cache hits), %d simulations\n",
 		st.Requests, st.ScheduleCalls, st.CacheHits, st.Simulations)
-	return 0
+	return exit
 }

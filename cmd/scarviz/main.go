@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -76,8 +77,13 @@ func main() {
 		if pkg.NumChiplets() > 16 {
 			opts.Search = scar.SearchEvolutionary
 		}
-		sched := scar.NewScheduler(opts)
-		res, err := sched.Schedule(&sc, pkg, obj)
+		// One session per (scenario, package): the schedule search and
+		// the timeline below share its compiled evaluation state.
+		ses, err := scar.NewScheduler(opts).NewSession(&sc, pkg)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := ses.Schedule(context.Background(), obj)
 		if err != nil {
 			fatal(err)
 		}
@@ -87,7 +93,7 @@ func main() {
 		for _, win := range res.Schedule.Windows {
 			fmt.Print(scar.RenderOccupancy(&sc, pkg, win))
 		}
-		tl := sched.Timeline(&sc, pkg, res.Schedule)
+		tl := ses.Timeline(res.Schedule)
 		if *gantt > 0 {
 			fmt.Println()
 			fmt.Print(tl.Gantt(*gantt))

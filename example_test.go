@@ -1,6 +1,7 @@
 package scar_test
 
 import (
+	"context"
 	"fmt"
 
 	scar "example.com/scar"
@@ -15,12 +16,33 @@ func ExampleScheduler_Schedule() {
 
 	pkg, _ := scar.MCMByName("het-cb", 3, 3, scar.DatacenterChiplet())
 	sched := scar.NewScheduler(scar.FastOptions())
-	res, err := sched.Schedule(&scenario, pkg, scar.EDPObjective())
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&scenario, pkg, scar.EDPObjective()))
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println(res.Metrics.EDP > 0, len(res.Schedule.Windows) >= 1)
 	// Output: true true
+}
+
+// A Session compiles one (scenario, MCM) pair once and unifies the
+// per-pair surface: scheduling, scoring, baselines, timelines.
+func ExampleScheduler_NewSession() {
+	sc, _ := scar.ScenarioByNumber(1)
+	pkg, _ := scar.MCMByName("het-cb", 3, 3, scar.DatacenterChiplet())
+	sched := scar.NewScheduler(scar.FastOptions())
+	ses, err := sched.NewSession(&sc, pkg)
+	if err != nil {
+		panic(err)
+	}
+	res, err := ses.Schedule(context.Background(), scar.EDPObjective())
+	if err != nil {
+		panic(err)
+	}
+	again, _ := ses.Evaluate(res.Schedule) // same compiled state
+	_, standalone, _ := ses.Standalone()   // same compiled state
+	tl := ses.Timeline(res.Schedule)       // same compiled state
+	fmt.Println(again.EDP == res.Metrics.EDP, standalone.EDP > 0, len(tl.Spans) > 0)
+	// Output: true true true
 }
 
 // Package organizations follow Figure 6 of the paper.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -35,13 +36,19 @@ func main() {
 	fmt.Print(scar.RenderPackage(pkg))
 	fmt.Println()
 
-	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	// One session: every search below reuses the same compiled
+	// evaluation state for this (scenario, package) pair.
+	session, err := scar.NewScheduler(scar.DefaultOptions()).NewSession(&scenario, pkg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "search objective\tlatency(s)\tenergy(J)\tEDP(J.s)")
 	for _, obj := range []scar.Objective{
 		scar.LatencyObjective(), scar.EnergyObjective(), scar.EDPObjective(),
 	} {
-		res, err := scheduler.Schedule(&scenario, pkg, obj)
+		res, err := session.Schedule(ctx, obj)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,10 +59,10 @@ func main() {
 
 	// The Section VI latency-bounded EDP variant: tighten the latency
 	// budget and re-run the EDP search.
-	latRes, _ := scheduler.Schedule(&scenario, pkg, scar.LatencyObjective())
+	latRes, _ := session.Schedule(ctx, scar.LatencyObjective())
 	bound := latRes.Metrics.LatencySec * 1.10
 	bounded := scar.CustomObjective("edp<=1.1xlat", scar.LatencyBoundedEDP(bound))
-	res, err := scheduler.Schedule(&scenario, pkg, bounded)
+	res, err := session.Schedule(ctx, bounded)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,11 +72,11 @@ func main() {
 	// Per-model targets (Section VI): gaze estimation (model 0) is
 	// latency-critical in a real headset — bound its completion while
 	// the rest of the scenario optimizes EDP.
-	edpRes, _ := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+	edpRes, _ := session.Schedule(ctx, scar.EDPObjective())
 	gazeBound := edpRes.Metrics.ModelLatency[0] * 0.9
 	perModel := scar.CustomObjective("edp|gaze-bound",
 		scar.PerModelLatencyBoundedEDP(map[int]float64{0: gazeBound}))
-	res, err = scheduler.Schedule(&scenario, pkg, perModel)
+	res, err = session.Schedule(ctx, perModel)
 	if err != nil {
 		log.Fatal(err)
 	}

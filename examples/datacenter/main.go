@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -26,6 +27,7 @@ func main() {
 		scenario.NumModels(), scenario.TotalLayers())
 
 	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	ctx := context.Background()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "strategy\tlatency(s)\tenergy(J)\tEDP(J.s)")
 
@@ -35,7 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		res, err := scheduler.Schedule(ctx, scar.NewRequest(&scenario, pkg, scar.EDPObjective()))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +56,7 @@ func main() {
 
 	// Show the winning heterogeneous schedule in detail.
 	pkg, _ := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
-	res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+	res, err := scheduler.Schedule(ctx, scar.NewRequest(&scenario, pkg, scar.EDPObjective()))
 	if err != nil {
 		log.Fatal(err)
 	}

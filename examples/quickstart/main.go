@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	scar "example.com/scar"
 )
@@ -43,11 +45,26 @@ func main() {
 	fmt.Print(scar.RenderPackage(pkg))
 	fmt.Println()
 
-	// Run the EDP search (the paper's default objective).
+	// A Session compiles the evaluation state for this (scenario,
+	// package) pair once; the search, timeline and baseline below all
+	// share it.
 	scheduler := scar.NewScheduler(scar.DefaultOptions())
-	res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+	session, err := scheduler.NewSession(&scenario, pkg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Run the EDP search (the paper's default objective) under a
+	// deadline: if the search cannot finish in time, the best schedule
+	// found so far comes back with res.Partial set instead of nothing.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	res, err := session.Schedule(ctx, scar.EDPObjective())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Partial {
+		fmt.Println("(deadline expired: showing the best schedule found in time)")
 	}
 	fmt.Print(scar.RenderSchedule(&scenario, pkg, res.Schedule, res.Metrics))
 	fmt.Println()
@@ -55,10 +72,10 @@ func main() {
 		fmt.Print(scar.RenderOccupancy(&scenario, pkg, w))
 	}
 	fmt.Println()
-	fmt.Print(scheduler.Timeline(&scenario, pkg, res.Schedule).Gantt(64))
+	fmt.Print(session.Timeline(res.Schedule).Gantt(64))
 
 	// Compare against the paper's Standalone baseline.
-	_, standalone, err := scheduler.Standalone(&scenario, pkg)
+	_, standalone, err := session.Standalone()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -24,6 +25,7 @@ func main() {
 	}
 
 	scheduler := scar.NewScheduler(scar.DefaultOptions())
+	ctx := context.Background()
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "package\ttopology\tlatency(s)\tEDP(J.s)")
 	for _, pattern := range []string{"simba-nvd", "simba-t-nvd", "het-cb", "het-t"} {
@@ -31,7 +33,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := scheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		res, err := scheduler.Schedule(ctx, scar.NewRequest(&scenario, pkg, scar.EDPObjective()))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,10 +46,9 @@ func main() {
 	// would drown, so switch to the paper's evolutionary configuration
 	// (population 10, 4 generations).
 	fmt.Println("\nscaling to 6x6 with the evolutionary search:")
-	opts := scar.DefaultOptions()
-	opts.Search = scar.SearchEvolutionary
-	opts.NSplits = 2
-	evoScheduler := scar.NewScheduler(opts)
+	// Per-request overrides switch the search mode and split budget
+	// without building a second scheduler.
+	evoSearch, evoSplits := scar.SearchEvolutionary, 2
 	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "package\tlatency(s)\tEDP(J.s)")
 	for _, pattern := range []string{"simba-nvd", "het-cross"} {
@@ -55,7 +56,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := evoScheduler.Schedule(&scenario, pkg, scar.EDPObjective())
+		res, err := scheduler.Schedule(ctx, &scar.Request{
+			Scenario:  &scenario,
+			MCM:       pkg,
+			Objective: scar.EDPObjective(),
+			Search:    &evoSearch,
+			NSplits:   &evoSplits,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}

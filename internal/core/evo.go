@@ -172,7 +172,7 @@ func (s *Scheduler) searchWindowEvo(r *run, self int, w windowAssignment, seed i
 		weights = append(weights, r.obj.proxy(lat, eng))
 		layerCounts = append(layerCounts, rg.numLayers())
 	}
-	alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap)
+	alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), r.opts.NodeAllocCap)
 	if err != nil {
 		return nil, err
 	}
@@ -187,9 +187,16 @@ func (s *Scheduler) searchWindowEvo(r *run, self int, w windowAssignment, seed i
 		wm := r.window(self, eval.TimeWindow{Segments: segs})
 		return r.obj.windowScore(wm)
 	}
-	gaOpts := s.opts.Evo
+	gaOpts := r.opts.Evo
 	gaOpts.Seed = mixSeed(seed, 3)
-	res, err := search.Run(search.Problem{Bounds: genome.bounds, Fitness: fitness}, gaOpts)
+	res, err := search.Run(search.Problem{
+		Bounds:  genome.bounds,
+		Fitness: fitness,
+		Stop:    r.searchStop,
+	}, gaOpts)
+	if res.Stopped {
+		r.truncated.Store(true)
+	}
 	if err != nil || math.IsInf(res.BestFitness, 1) {
 		// GA found nothing feasible: fall back to the tree search.
 		return s.searchWindow(r, self, w, seed)

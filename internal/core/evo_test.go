@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"example.com/scar/internal/costdb"
@@ -17,7 +18,7 @@ func TestEvolutionarySchedule3x3(t *testing.T) {
 	opts.Search = SearchEvolutionary
 	opts.Evo = search.Options{Population: 10, Generations: 4, MutationRate: 0.2, Elite: 2, Seed: 1}
 	s := New(db, opts)
-	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatalf("evolutionary Schedule: %v", err)
 	}
@@ -36,7 +37,7 @@ func TestEvolutionarySchedule6x6(t *testing.T) {
 	opts := FastOptions()
 	opts.Search = SearchEvolutionary
 	s := New(db, opts)
-	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatalf("6x6 evolutionary Schedule: %v", err)
 	}
@@ -52,11 +53,11 @@ func TestEvolutionaryDeterministic(t *testing.T) {
 	opts := FastOptions()
 	opts.Search = SearchEvolutionary
 	s := New(db, opts)
-	a, err := s.Schedule(&sc, pkg, EDPObjective())
+	a, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Schedule(&sc, pkg, EDPObjective())
+	b, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -87,6 +87,12 @@ type Options struct {
 	Evo search.Options
 	// Eval configures the schedule evaluator's contention model.
 	Eval eval.Options
+	// Progress, when non-nil, receives anytime-progress snapshots while
+	// a search runs: candidates explored, window-evaluation counts,
+	// cache hit rate and the current incumbent score. Callbacks are
+	// serialized (never concurrent) and must return quickly — they run
+	// on search goroutines. Request.Progress overrides it per request.
+	Progress func(ProgressEvent)
 }
 
 // DefaultOptions returns the paper-default configuration.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -58,11 +59,11 @@ func TestParallelScheduleMatchesSerial(t *testing.T) {
 
 		serialOpts := FastOptions()
 		serialOpts.Workers = 1
-		serial, serialErr := New(db, serialOpts).Schedule(&sc, pkg, obj)
+		serial, serialErr := New(db, serialOpts).Schedule(context.Background(), NewRequest(&sc, pkg, obj))
 
 		parOpts := FastOptions()
 		parOpts.Workers = 8
-		parallel, parErr := New(db, parOpts).Schedule(&sc, pkg, obj)
+		parallel, parErr := New(db, parOpts).Schedule(context.Background(), NewRequest(&sc, pkg, obj))
 
 		if (serialErr == nil) != (parErr == nil) {
 			t.Fatalf("seed %d: serial err=%v, parallel err=%v", seed, serialErr, parErr)
@@ -88,12 +89,12 @@ func TestParallelEvolutionaryMatchesSerial(t *testing.T) {
 	opts.Evo = search.Options{Population: 8, Generations: 3, MutationRate: 0.2, Elite: 2, Seed: 1}
 
 	opts.Workers = 1
-	serial, err := New(db, opts).Schedule(&sc, pkg, EDPObjective())
+	serial, err := New(db, opts).Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Workers = 8
-	parallel, err := New(db, opts).Schedule(&sc, pkg, EDPObjective())
+	parallel, err := New(db, opts).Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,12 +109,12 @@ func TestParallelUniformPackingMatchesSerial(t *testing.T) {
 	sc := smallScenario()
 	opts := FastOptions()
 	opts.Workers = 1
-	serial, err := New(db, opts).ScheduleUniformPacking(&sc, pkg, EDPObjective())
+	serial, err := New(db, opts).ScheduleUniformPacking(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Workers = 8
-	parallel, err := New(db, opts).ScheduleUniformPacking(&sc, pkg, EDPObjective())
+	parallel, err := New(db, opts).ScheduleUniformPacking(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestSchedulerConcurrentUse(t *testing.T) {
 	opts.Workers = 4
 	s := New(db, opts)
 
-	want, err := s.Schedule(&sc, pkg, EDPObjective())
+	want, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +145,7 @@ func TestSchedulerConcurrentUse(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], errs[g] = s.Schedule(&sc, pkg, EDPObjective())
+			results[g], errs[g] = s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 		}(g)
 	}
 	wg.Wait()
@@ -167,7 +168,7 @@ func TestWindowCacheHits(t *testing.T) {
 	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
 	sc := smallScenario()
 
-	brute, err := New(db, FastOptions()).Schedule(&sc, pkg, EDPObjective())
+	brute, err := New(db, FastOptions()).Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestWindowCacheHits(t *testing.T) {
 
 	evoOpts := FastOptions()
 	evoOpts.Search = SearchEvolutionary
-	evo, err := New(db, evoOpts).Schedule(&sc, pkg, EDPObjective())
+	evo, err := New(db, evoOpts).Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestWindowCacheHits(t *testing.T) {
 	exOpts := FastOptions()
 	exOpts.Prov = ProvExhaustive
 	exOpts.MaxProvOptions = 8
-	ex, err := New(db, exOpts).Schedule(&sc, pkg, EDPObjective())
+	ex, err := New(db, exOpts).Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,12 +332,12 @@ func TestParallelScheduleMatchesSerialRealistic(t *testing.T) {
 	for _, obj := range []Objective{LatencyObjective(), EDPObjective()} {
 		opts := FastOptions()
 		opts.Workers = 1
-		serial, err := New(db, opts).Schedule(&sc, pkg, obj)
+		serial, err := New(db, opts).Schedule(context.Background(), NewRequest(&sc, pkg, obj))
 		if err != nil {
 			t.Fatal(err)
 		}
 		opts.Workers = 8
-		parallel, err := New(db, opts).Schedule(&sc, pkg, obj)
+		parallel, err := New(db, opts).Schedule(context.Background(), NewRequest(&sc, pkg, obj))
 		if err != nil {
 			t.Fatal(err)
 		}

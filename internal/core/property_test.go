@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -56,7 +57,7 @@ func TestQuickSchedulerAlwaysValid(t *testing.T) {
 		pkg := patterns[int(uint64(seed)%2)]
 		obj := objectives[int(uint64(seed)%3)]
 		s := New(db, FastOptions())
-		res, err := s.Schedule(&sc, pkg, obj)
+		res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, obj))
 		if err != nil {
 			return false
 		}
@@ -79,11 +80,11 @@ func TestQuickObjectiveConsistency(t *testing.T) {
 	f := func(seed int64) bool {
 		sc := randomScenario(seed)
 		s := New(db, FastOptions())
-		lat, err := s.Schedule(&sc, pkg, LatencyObjective())
+		lat, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, LatencyObjective()))
 		if err != nil {
 			return false
 		}
-		eng, err := s.Schedule(&sc, pkg, EnergyObjective())
+		eng, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EnergyObjective()))
 		if err != nil {
 			return false
 		}

@@ -49,6 +49,9 @@ type treeResult struct {
 	score    float64
 	evals    int
 	found    bool
+	// aborted marks a search cut short by its stop check with work
+	// remaining; segments (when found) is the incumbent at that point.
+	aborted bool
 }
 
 // treeSearch explores up to maxTrees scheduling trees with a total
@@ -64,9 +67,18 @@ type treeResult struct {
 // mutates while backtracking), adj/chiplets carry the package shape, rng
 // is the task's private stream — which is what lets the scheduler fan
 // many treeSearch calls out across workers.
+//
+// stop (optional) is polled after every leaf evaluation: once it reports
+// true the search unwinds and returns its incumbent with aborted set.
+// The first reachable leaf is always evaluated before stop is honored,
+// so a cancelled search still yields a feasible mapping whenever its
+// first DFS descent finds one — the anytime floor the scheduler's
+// partial results build on. A nil or never-true stop leaves the search
+// byte-for-byte identical to the unstoppable version.
 func treeSearch(
 	evalWin func(segs []eval.Segment) eval.WindowMetrics, adj [][]bool, chiplets int,
 	plans []modelPlan, obj Objective, maxTrees, budget int, rng *rand.Rand, freePlacement bool,
+	stop func() bool,
 ) treeResult {
 	ordered := make([]modelPlan, len(plans))
 	copy(ordered, plans)
@@ -88,13 +100,13 @@ func treeSearch(
 	segs := make([]eval.Segment, 0, 16)
 
 	for _, roots := range tuples {
-		if res.evals >= budget {
+		if res.evals >= budget || res.aborted {
 			break
 		}
 		left := perTree
 		var assign func(k int)
 		assign = func(k int) {
-			if left <= 0 || res.evals >= budget {
+			if left <= 0 || res.evals >= budget || res.aborted {
 				return
 			}
 			if k == len(ordered) {
@@ -110,6 +122,9 @@ func treeSearch(
 					res.segments = append([]eval.Segment(nil), segs...)
 					res.found = true
 				}
+				if stop != nil && stop() {
+					res.aborted = true
+				}
 				return
 			}
 			plan := ordered[k]
@@ -120,7 +135,7 @@ func treeSearch(
 			path := make([]int, 0, plan.numSegments())
 			var dfs func(cur int)
 			dfs = func(cur int) {
-				if left <= 0 {
+				if left <= 0 || res.aborted {
 					return
 				}
 				used[cur] = true

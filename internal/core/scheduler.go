@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"example.com/scar/internal/costdb"
@@ -34,7 +36,8 @@ func (s *Scheduler) Options() Options { return s.opts }
 
 // Result is the scheduler's output: the optimized schedule, its evaluated
 // metrics, and search statistics. Every field is deterministic for a given
-// (scenario, MCM, objective, Options.Seed) regardless of Options.Workers.
+// (scenario, MCM, objective, Options.Seed) regardless of Options.Workers,
+// provided the run was not interrupted (Partial is false).
 type Result struct {
 	// Schedule is the best schedule instance found.
 	Schedule *eval.Schedule
@@ -43,6 +46,13 @@ type Result struct {
 	// Splits is the number of time-window splits of the winning
 	// MCM-Reconfig candidate.
 	Splits int
+	// Partial marks an anytime result: the request's context was
+	// cancelled (or its deadline expired) before the search completed,
+	// and Schedule is the best incumbent found up to that point — a
+	// valid, fully evaluated schedule, but not necessarily the one an
+	// uninterrupted search would return. Partial results depend on
+	// cancellation timing and are therefore not deterministic.
+	Partial bool
 	// WindowEvals counts logical window-schedule evaluations requested
 	// by the search (memoization hits included).
 	WindowEvals int
@@ -50,7 +60,8 @@ type Result struct {
 	// evaluated; WindowEvals - UniqueWindows evaluations were served
 	// from the shared window cache.
 	UniqueWindows int
-	// Candidates counts MCM-Reconfig partitioning candidates explored.
+	// Candidates counts MCM-Reconfig partitioning candidates planned by
+	// the search (on a Partial result, some may have been skipped).
 	Candidates int
 	// Explored holds the metrics of every feasible partitioning
 	// candidate (the per-candidate cloud behind the paper's Pareto
@@ -84,12 +95,14 @@ type workerState struct {
 }
 
 // run bundles one scheduling invocation's state. All of it is either
-// read-only after construction (compiled session, expectations,
-// adjacency) or concurrency-safe (pool, window cache, atomic eval
-// counter, per-worker scratch state); search tasks carry their own
-// derived RNG seeds.
+// read-only after construction (context, effective options, compiled
+// session, expectations, adjacency) or concurrency-safe (pool, window
+// cache, atomics, mutex-guarded progress state, per-worker scratch
+// state); search tasks carry their own derived RNG seeds.
 type run struct {
 	s       *Scheduler
+	ctx     context.Context
+	opts    Options // scheduler Options with the Request's overrides applied
 	sc      *workload.Scenario
 	m       *mcm.MCM
 	comp    *eval.Compiled
@@ -101,26 +114,47 @@ type run struct {
 	workers []workerState
 	cache   *windowCache
 	evals   atomic.Int64
+
+	// stopped latches the first observation of ctx cancellation so the
+	// per-leaf stop checks are one atomic load; truncated records that
+	// the stop actually cut work short (the Result.Partial bit).
+	stopped   atomic.Bool
+	truncated atomic.Bool
+
+	// Progress state, guarded by progMu so callbacks are serialized.
+	progMu     sync.Mutex
+	candsDone  int
+	candsTotal int
+	bestScore  float64
+	hasBest    bool
 }
 
 // newRun prepares one invocation's shared state: the compiled evaluation
-// session (dense cost tables, built once per (scenario, MCM) pair) and
-// one Scratch per pool worker, so the search's window evaluations are
+// session (dense cost tables, built once per (scenario, MCM) pair —
+// reused from Request.Compiled when the caller holds a session) and one
+// Scratch per pool worker, so the search's window evaluations are
 // lock-free and allocation-free.
-func (s *Scheduler) newRun(sc *workload.Scenario, m *mcm.MCM, obj Objective) *run {
+func (s *Scheduler) newRun(ctx context.Context, req *Request, opts Options) *run {
+	comp := req.Compiled
+	if comp == nil {
+		comp = eval.Compile(s.db, req.MCM, req.Scenario, opts.Eval)
+	}
 	r := &run{
 		s:      s,
-		sc:     sc,
-		m:      m,
-		comp:   eval.Compile(s.db, m, sc, s.opts.Eval),
-		obj:    obj,
-		expLat: expectedLatencies(s.db, sc, m),
-		expE:   expectedEnergies(s.db, sc, m),
+		ctx:    ctx,
+		opts:   opts,
+		sc:     req.Scenario,
+		m:      req.MCM,
+		comp:   comp,
+		obj:    req.Objective,
+		expLat: expectedLatencies(s.db, req.Scenario, req.MCM),
+		expE:   expectedEnergies(s.db, req.Scenario, req.MCM),
 		// Hoisting the adjacency also forces the package's lazy network
 		// build before workers fan out.
-		adj:   m.AdjacencyMatrix(),
-		pool:  newPool(s.opts.Workers),
-		cache: newWindowCache(),
+		adj:       req.MCM.AdjacencyMatrix(),
+		pool:      newPool(opts.Workers),
+		cache:     newWindowCache(),
+		bestScore: math.Inf(1),
 	}
 	r.workers = make([]workerState, r.pool.NWorkers())
 	for i := range r.workers {
@@ -129,12 +163,36 @@ func (s *Scheduler) newRun(sc *workload.Scenario, m *mcm.MCM, obj Objective) *ru
 	return r
 }
 
+// stop reports whether the run's context is cancelled, latching the
+// answer so later checks are a single atomic load.
+func (r *run) stop() bool {
+	if r.stopped.Load() {
+		return true
+	}
+	if r.ctx.Err() != nil {
+		r.stopped.Store(true)
+		return true
+	}
+	return false
+}
+
+// searchStop is the per-leaf stop check handed to the tree and
+// evolutionary searches: it only reads the latch (the latch itself is
+// refreshed by the throttled context poll in window), so checking it
+// between every two evaluations costs one atomic load.
+func (r *run) searchStop() bool { return r.stopped.Load() }
+
 // window evaluates one time window through the run's memoization layer
 // with the given worker's scratch state, counting the logical evaluation.
 // Cache probes reuse the worker's key buffer; only a miss materializes
-// the metrics and the stored key.
+// the metrics and the stored key. Every 32nd evaluation polls the run
+// context so cancellation is observed within tens of microseconds of
+// search work without putting ctx.Err on every evaluation.
 func (r *run) window(worker int, w eval.TimeWindow) eval.WindowMetrics {
-	r.evals.Add(1)
+	n := r.evals.Add(1)
+	if n&31 == 0 && !r.stopped.Load() && r.ctx.Err() != nil {
+		r.stopped.Store(true)
+	}
 	ws := &r.workers[worker]
 	ws.key = appendWindowKey(ws.key[:0], w.Segments)
 	if wm, ok := r.cache.get(ws.key); ok {
@@ -145,41 +203,82 @@ func (r *run) window(worker int, w eval.TimeWindow) eval.WindowMetrics {
 	return wm
 }
 
-// Schedule runs the full two-level search of Figure 3 for the scenario on
-// the MCM under the objective, returning the optimized schedule. The
-// search fans out across Options.Workers goroutines; results are
-// bit-identical for every worker count (see Options.Workers).
-func (s *Scheduler) Schedule(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
-	if err := sc.Validate(); err != nil {
+// noteCandidate records one finished (or skipped) candidate for progress
+// reporting and, when a Progress callback is configured, emits a
+// serialized snapshot. Incumbent tracking here follows completion order —
+// it feeds the observational progress stream only; the authoritative
+// winner is still reduced in candidate order by searchPartitionings.
+func (r *run) noteCandidate(out *candOutcome) {
+	p := r.opts.Progress
+	if p == nil {
+		return
+	}
+	r.progMu.Lock()
+	defer r.progMu.Unlock()
+	r.candsDone++
+	if out != nil && out.err == nil && !out.skipped {
+		if score := r.obj.Score(out.metrics); score < r.bestScore {
+			r.bestScore = score
+			r.hasBest = true
+		}
+	}
+	ev := ProgressEvent{
+		CandidatesDone:  r.candsDone,
+		CandidatesTotal: r.candsTotal,
+		WindowEvals:     int(r.evals.Load()),
+		UniqueWindows:   r.cache.Len(),
+		BestScore:       r.bestScore,
+		HasIncumbent:    r.hasBest,
+	}
+	if ev.WindowEvals > 0 {
+		ev.CacheHitRate = 1 - float64(ev.UniqueWindows)/float64(ev.WindowEvals)
+	}
+	p(ev)
+}
+
+// Schedule runs the full two-level search of Figure 3 for the request,
+// returning the optimized schedule. The search fans out across the
+// effective Options.Workers goroutines; results are bit-identical for
+// every worker count (see Options.Workers) as long as ctx stays alive.
+//
+// Cancellation follows anytime semantics: when ctx is cancelled or its
+// deadline expires mid-search, the search stops at candidate/window/
+// evaluation granularity and returns the best incumbent found so far
+// with Result.Partial set — a valid schedule of possibly lower quality —
+// or ctx's error when no feasible schedule had been found yet.
+func (s *Scheduler) Schedule(ctx context.Context, req *Request) (*Result, error) {
+	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: schedule request not started: %w", err)
 	}
-	r := s.newRun(sc, m, obj)
-	cands := candidatePartitionings(r.expLat, s.opts.NSplits, s.opts.ExactSplits)
+	opts := req.apply(s.opts)
+	r := s.newRun(ctx, req, opts)
+	cands := candidatePartitionings(r.expLat, opts.NSplits, opts.ExactSplits)
 	return s.searchPartitionings(r, cands)
 }
 
 // ScheduleUniformPacking is the Section V-E packing-ablation entry point:
 // identical to Schedule but with count-uniform layer-to-window packing in
 // place of Algorithm 1.
-func (s *Scheduler) ScheduleUniformPacking(sc *workload.Scenario, m *mcm.MCM, obj Objective) (*Result, error) {
-	if err := sc.Validate(); err != nil {
+func (s *Scheduler) ScheduleUniformPacking(ctx context.Context, req *Request) (*Result, error) {
+	if err := req.validate(); err != nil {
 		return nil, err
 	}
-	if err := m.Validate(); err != nil {
-		return nil, err
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: schedule request not started: %w", err)
 	}
-	r := s.newRun(sc, m, obj)
+	opts := req.apply(s.opts)
+	r := s.newRun(ctx, req, opts)
 	lo := 0
-	if s.opts.ExactSplits {
-		lo = s.opts.NSplits
+	if opts.ExactSplits {
+		lo = opts.NSplits
 	}
 	var cands []partitioning
 	seen := map[string]bool{}
-	for j := lo; j <= s.opts.NSplits; j++ {
-		p := uniformPack(sc, j)
+	for j := lo; j <= opts.NSplits; j++ {
+		p := uniformPack(req.Scenario, j)
 		k := fingerprint(p)
 		if !seen[k] {
 			seen[k] = true
@@ -194,6 +293,9 @@ type candOutcome struct {
 	sched   *eval.Schedule
 	metrics eval.Metrics
 	err     error
+	// skipped marks candidates abandoned because the run was cancelled
+	// before they started; they are neither errors nor results.
+	skipped bool
 	// internal marks evaluator rejections of schedules that should be
 	// valid by construction; these abort the whole search.
 	internal bool
@@ -203,13 +305,23 @@ type candOutcome struct {
 // in parallel across candidates — and returns the best schedule under the
 // objective. The reduction runs in candidate order with a strict
 // comparison, so score ties break toward the lowest candidate index
-// exactly as the serial loop always did.
+// exactly as the serial loop always did. On cancellation, candidates not
+// yet started are skipped and in-flight ones finish on their truncated
+// incumbents; the reduction then covers whatever completed.
 func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, error) {
 	outcomes := make([]candOutcome, len(cands))
+	r.candsTotal = len(cands)
 	r.pool.forEach(0, len(cands), func(worker, ci int) {
+		if r.stop() {
+			outcomes[ci].skipped = true
+			r.truncated.Store(true)
+			r.noteCandidate(&outcomes[ci])
+			return
+		}
 		sched, err := s.buildSchedule(r, worker, cands[ci])
 		if err != nil {
 			outcomes[ci].err = err
+			r.noteCandidate(&outcomes[ci])
 			return
 		}
 		metrics, err := r.comp.Evaluate(r.workers[worker].scratch, sched)
@@ -218,9 +330,11 @@ func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, 
 				err:      fmt.Errorf("core: internal error, produced invalid schedule: %w", err),
 				internal: true,
 			}
+			r.noteCandidate(&outcomes[ci])
 			return
 		}
 		outcomes[ci] = candOutcome{sched: sched, metrics: metrics}
+		r.noteCandidate(&outcomes[ci])
 	})
 
 	var best *Result
@@ -230,6 +344,9 @@ func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, 
 	for ci, out := range outcomes {
 		if out.internal {
 			return nil, out.err
+		}
+		if out.skipped {
+			continue
 		}
 		if out.err != nil {
 			lastErr = out.err
@@ -251,11 +368,15 @@ func (s *Scheduler) searchPartitionings(r *run, cands []partitioning) (*Result, 
 		}
 	}
 	if best == nil {
+		if r.stopped.Load() && r.ctx.Err() != nil {
+			return nil, fmt.Errorf("core: search cancelled before any feasible schedule: %w", r.ctx.Err())
+		}
 		if lastErr != nil {
 			return nil, fmt.Errorf("core: no feasible schedule: %w", lastErr)
 		}
 		return nil, fmt.Errorf("core: no feasible schedule found")
 	}
+	best.Partial = r.truncated.Load()
 	best.WindowEvals = int(r.evals.Load())
 	best.UniqueWindows = r.cache.Len()
 	best.Candidates = len(cands)
@@ -284,8 +405,8 @@ func (s *Scheduler) buildSchedule(r *run, self int, p partitioning) (*eval.Sched
 	segs := make([][]eval.Segment, len(p.windows))
 	errs := make([]error, len(p.windows))
 	r.pool.forEach(self, len(p.windows), func(worker, wi int) {
-		seed := mixSeed(s.opts.Seed, assignmentSeed(p.windows[wi]))
-		if s.opts.Search == SearchEvolutionary {
+		seed := mixSeed(r.opts.Seed, assignmentSeed(p.windows[wi]))
+		if r.opts.Search == SearchEvolutionary {
 			segs[wi], errs[wi] = s.searchWindowEvo(r, worker, p.windows[wi], seed)
 		} else {
 			segs[wi], errs[wi] = s.searchWindow(r, worker, p.windows[wi], seed)
@@ -314,7 +435,9 @@ type comboTask struct {
 // best segment mapping found. The segmentation-combo tree searches fan
 // out in parallel; the reduction keeps the lowest-index winner on ties.
 // self is the calling task's worker id; seed is the window's
-// deterministic RNG root (see mixSeed).
+// deterministic RNG root (see mixSeed). Under cancellation every combo
+// task still evaluates its first reachable leaf (the anytime floor: a
+// feasible, if unoptimized, mapping) before aborting.
 func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int64) ([]eval.Segment, error) {
 	// Active models and their objective-proxy weights E(P_i).
 	var active []int
@@ -339,15 +462,15 @@ func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int6
 
 	// PROV: node allocations.
 	var allocOptions [][]int
-	switch s.opts.Prov {
+	switch r.opts.Prov {
 	case ProvExhaustive:
-		opts, err := provisionExhaustive(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap, s.opts.MaxProvOptions)
+		opts, err := provisionExhaustive(weights, layerCounts, r.m.NumChiplets(), r.opts.NodeAllocCap, r.opts.MaxProvOptions)
 		if err != nil {
 			return nil, err
 		}
 		allocOptions = opts
 	default:
-		alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), s.opts.NodeAllocCap)
+		alloc, err := provisionRule(weights, layerCounts, r.m.NumChiplets(), r.opts.NodeAllocCap)
 		if err != nil {
 			return nil, err
 		}
@@ -366,9 +489,9 @@ func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int6
 			cands := segmentCandidates(
 				r.sc.Models[mi], rg, alloc[i],
 				r.expLat[mi], r.expE[mi],
-				r.m, r.obj, s.opts, segRng,
+				r.m, r.obj, r.opts, segRng,
 			)
-			k := s.opts.TopKSeg
+			k := r.opts.TopKSeg
 			if k > len(cands) {
 				k = len(cands)
 			}
@@ -377,11 +500,11 @@ func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int6
 
 		// SCHED: rank segmentation combinations by independent-score
 		// sum, explore the best MaxCombos with the window budget.
-		combos := rankedCombos(topk, s.opts.MaxCombos)
+		combos := rankedCombos(topk, r.opts.MaxCombos)
 		if len(combos) == 0 {
 			continue
 		}
-		budget := s.opts.WindowEvalBudget / (len(allocOptions) * len(combos))
+		budget := r.opts.WindowEvalBudget / (len(allocOptions) * len(combos))
 		if budget < 8 {
 			budget = 8
 		}
@@ -407,11 +530,15 @@ func (s *Scheduler) searchWindow(r *run, self int, w windowAssignment, seed int6
 		}
 		results[ti] = treeSearch(
 			evalWin, r.adj, r.m.NumChiplets(),
-			t.plans, r.obj, s.opts.MaxTrees, t.budget, rng, s.opts.FreePlacement,
+			t.plans, r.obj, r.opts.MaxTrees, t.budget, rng, r.opts.FreePlacement,
+			r.searchStop,
 		)
 	})
 	best := treeResult{score: math.Inf(1)}
 	for _, res := range results {
+		if res.aborted {
+			r.truncated.Store(true)
+		}
 		if res.found && res.score < best.score {
 			best = res
 		}

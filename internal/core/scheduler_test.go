@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"example.com/scar/internal/costdb"
@@ -39,7 +40,7 @@ func TestScheduleEndToEnd(t *testing.T) {
 	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
 	sc := smallScenario()
 	s := New(db, FastOptions())
-	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -62,11 +63,11 @@ func TestScheduleDeterministic(t *testing.T) {
 	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
 	sc := smallScenario()
 	s := New(db, FastOptions())
-	a, err := s.Schedule(&sc, pkg, EDPObjective())
+	a, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Schedule(&sc, pkg, EDPObjective())
+	b, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,11 +84,11 @@ func TestScheduleObjectivesDiffer(t *testing.T) {
 	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
 	sc := smallScenario()
 	s := New(db, FastOptions())
-	lat, err := s.Schedule(&sc, pkg, LatencyObjective())
+	lat, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, LatencyObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	edp, err := s.Schedule(&sc, pkg, EDPObjective())
+	edp, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestScheduleMotivational2x2(t *testing.T) {
 	pkg := mcm.Motivational2x2(maestro.DefaultDatacenterChiplet())
 	sc := models.MotivationalWorkload()
 	s := New(db, FastOptions())
-	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -119,11 +120,11 @@ func TestScheduleUniformPackingWorseOrEqual(t *testing.T) {
 	pkg := mcm.HetSides(3, 3, maestro.DefaultDatacenterChiplet())
 	sc := smallScenario()
 	s := New(db, FastOptions())
-	greedy, err := s.Schedule(&sc, pkg, EDPObjective())
+	greedy, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	uniform, err := s.ScheduleUniformPacking(&sc, pkg, EDPObjective())
+	uniform, err := s.ScheduleUniformPacking(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,14 +146,14 @@ func TestScheduleExhaustiveProvNotWorse(t *testing.T) {
 
 	opts := FastOptions()
 	rule := New(db, opts)
-	rres, err := rule.Schedule(&sc, pkg, EDPObjective())
+	rres, err := rule.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.Prov = ProvExhaustive
 	opts.MaxProvOptions = 16
 	ex := New(db, opts)
-	xres, err := ex.Schedule(&sc, pkg, EDPObjective())
+	xres, err := ex.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestScheduleRejectsInvalidInputs(t *testing.T) {
 	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
 	s := New(db, FastOptions())
 	empty := workload.NewScenario("empty")
-	if _, err := s.Schedule(&empty, pkg, EDPObjective()); err == nil {
+	if _, err := s.Schedule(context.Background(), NewRequest(&empty, pkg, EDPObjective())); err == nil {
 		t.Error("empty scenario accepted")
 	}
 }
@@ -188,7 +189,7 @@ func TestScheduleTooManyModels(t *testing.T) {
 		workload.NewModel("m5", 1, layer("e")),
 	)
 	s := New(db, FastOptions())
-	if _, err := s.Schedule(&sc, pkg, EDPObjective()); err == nil {
+	if _, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective())); err == nil {
 		t.Error("5 concurrent models on 4 chiplets accepted")
 	}
 }
@@ -202,7 +203,7 @@ func TestFreePlacementStillValid(t *testing.T) {
 	opts := FastOptions()
 	opts.FreePlacement = true
 	s := New(db, opts)
-	res, err := s.Schedule(&sc, pkg, EDPObjective())
+	res, err := s.Schedule(context.Background(), NewRequest(&sc, pkg, EDPObjective()))
 	if err != nil {
 		t.Fatalf("free-placement Schedule: %v", err)
 	}

@@ -33,7 +33,7 @@ func (s *Suite) Nsplits() (*NsplitsResult, error) {
 		opts := s.Opts
 		opts.NSplits = n
 		opts.ExactSplits = true
-		r, err := core.New(s.DB, opts).Schedule(&sc, m, core.EDPObjective())
+		r, err := fullResult(core.New(s.DB, opts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
@@ -81,14 +81,14 @@ func (s *Suite) ProvAblation() (*ProvAblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rule, err := core.New(s.DB, s.Opts).Schedule(&sc, m, core.EDPObjective())
+		rule, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
 		exOpts := s.Opts
 		exOpts.Prov = core.ProvExhaustive
 		exOpts.MaxProvOptions = 16
-		ex, err := core.New(s.DB, exOpts).Schedule(&sc, m, core.EDPObjective())
+		ex, err := fullResult(core.New(s.DB, exOpts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
@@ -132,11 +132,11 @@ func (s *Suite) Packing() (*PackingResult, error) {
 	// End-to-end policy comparison: each packing algorithm picks its
 	// best window count up to the default nsplits.
 	sched := core.New(s.DB, s.Opts)
-	greedy, err := sched.Schedule(&sc, m, core.EDPObjective())
+	greedy, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
-	uniform, err := sched.ScheduleUniformPacking(&sc, m, core.EDPObjective())
+	uniform, err := fullResult(sched.ScheduleUniformPacking(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

@@ -267,7 +267,7 @@ func (s *Suite) TopSchedule() (*TopScheduleResult, error) {
 		return nil, err
 	}
 	sched := core.New(s.DB, s.Opts)
-	res, err := sched.Schedule(&sc, m, core.EDPObjective())
+	res, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

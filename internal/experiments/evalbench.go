@@ -66,7 +66,7 @@ func (s *Suite) EvalBench() (*EvalBenchResult, error) {
 
 	// Warm-up search: populates the cost database and yields the
 	// measurement windows.
-	warm, err := core.New(s.DB, s.Opts).Schedule(&sc, pkg, obj)
+	warm, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: evalbench warm-up: %w", err)
 	}
@@ -96,7 +96,7 @@ func (s *Suite) EvalBench() (*EvalBenchResult, error) {
 
 	// Search throughput on the compiled session.
 	start = time.Now()
-	res, err := core.New(s.DB, s.Opts).Schedule(&sc, pkg, obj)
+	res, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
 	scheduleSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: evalbench schedule: %w", err)

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -82,6 +83,12 @@ func Scale6x6Strategies() []Strategy {
 type Suite struct {
 	DB   *costdb.DB
 	Opts core.Options
+	// Ctx, when set, bounds every schedule search the suite runs (the
+	// scarbench -timeout flag); nil means no deadline. Cancellation
+	// surfaces as cell/experiment errors — experiments never keep
+	// partial searches, so a timed-out run fails loudly rather than
+	// reporting silently degraded numbers.
+	Ctx context.Context
 	// Workers bounds parallel cells (0 = GOMAXPROCS). Cell-level and
 	// search-level parallelism compose multiplicatively, so exactly one
 	// of the two should fan out: the suite parallelizes across cells
@@ -118,6 +125,28 @@ type Cell struct {
 	Err    error
 }
 
+// context returns the suite's search context (Background when unset).
+func (s *Suite) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// fullResult guards every suite search against anytime truncation:
+// a deadline expiring mid-search yields Result.Partial with a nil
+// error, and an experiment must fail loudly on it rather than record
+// the truncated schedule's numbers as if the search had completed.
+func fullResult(res *core.Result, err error) (*core.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	if res.Partial {
+		return nil, fmt.Errorf("experiments: search truncated by deadline; partial result discarded")
+	}
+	return res, nil
+}
+
 // buildMCM constructs a strategy's package.
 func buildMCM(strat Strategy, w, h int, spec maestro.Chiplet) (*mcm.MCM, error) {
 	return mcm.ByName(strat.Pattern, w, h, spec)
@@ -140,7 +169,7 @@ func (s *Suite) runCell(sc workload.Scenario, scNum int, strat Strategy, w, h in
 		cell.Metrics, cell.Err = metrics, err
 	case KindSCAR:
 		sched := core.New(s.DB, s.Opts)
-		res, err := sched.Schedule(&sc, m, obj)
+		res, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, obj)))
 		if err != nil {
 			cell.Err = err
 			return cell

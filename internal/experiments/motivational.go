@@ -55,7 +55,7 @@ func (s *Suite) Motivational() (*MotivationalResult, error) {
 
 	// A3: SCAR's heterogeneous schedule for the single model.
 	sched := core.New(s.DB, s.Opts)
-	a3, err := sched.Schedule(&resnetOnly, pkg, core.EDPObjective())
+	a3, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&resnetOnly, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
@@ -71,14 +71,14 @@ func (s *Suite) Motivational() (*MotivationalResult, error) {
 	// B2: SCAR restricted to one window (pure spatial distribution).
 	spatialOpts := s.Opts
 	spatialOpts.NSplits = 0
-	b2, err := core.New(s.DB, spatialOpts).Schedule(&full, pkg, core.EDPObjective())
+	b2, err := fullResult(core.New(s.DB, spatialOpts).Schedule(s.context(), core.NewRequest(&full, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
 	res.EDP["B2"] = b2.Metrics.EDP
 
 	// B3: full SCAR spatio-temporal search.
-	b3, err := core.New(s.DB, s.Opts).Schedule(&full, pkg, core.EDPObjective())
+	b3, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&full, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

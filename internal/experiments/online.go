@@ -117,7 +117,7 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 			return nil, err
 		}
 		pkg := mcm.HetSides(4, 4, pkgSpec)
-		r, err := core.New(s.DB, s.Opts).Schedule(&sc, pkg, obj)
+		r, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: online: scenario %d: %w", spec.scenario, err)
 		}
@@ -158,7 +158,7 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 				Seed: s.Opts.Seed + int64(pi)*100 + int64(i),
 			}
 		}
-		rep, err := online.Simulate(online.Config{Classes: cfgClasses, HorizonSec: horizon})
+		rep, err := online.Simulate(s.context(), online.Config{Classes: cfgClasses, HorizonSec: horizon})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: online: load %.2f: %w", load, err)
 		}

@@ -63,14 +63,14 @@ func (s *Suite) Speedup() (*SpeedupResult, error) {
 
 	warm := s.Opts
 	warm.Workers = 0
-	if _, err := core.New(s.DB, warm).Schedule(&sc, pkg, obj); err != nil {
+	if _, err := fullResult(core.New(s.DB, warm).Schedule(s.context(), core.NewRequest(&sc, pkg, obj))); err != nil {
 		return nil, fmt.Errorf("experiments: speedup warm-up: %w", err)
 	}
 
 	serialOpts := s.Opts
 	serialOpts.Workers = 1
 	start := time.Now()
-	serial, err := core.New(s.DB, serialOpts).Schedule(&sc, pkg, obj)
+	serial, err := fullResult(core.New(s.DB, serialOpts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
 	serialSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: speedup serial run: %w", err)
@@ -79,7 +79,7 @@ func (s *Suite) Speedup() (*SpeedupResult, error) {
 	parOpts := s.Opts
 	parOpts.Workers = 0
 	start = time.Now()
-	parallel, err := core.New(s.DB, parOpts).Schedule(&sc, pkg, obj)
+	parallel, err := fullResult(core.New(s.DB, parOpts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
 	parallelSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: speedup parallel run: %w", err)

@@ -19,6 +19,7 @@
 package online
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -226,7 +227,15 @@ type pending struct {
 // Simulate runs the discrete-event loop: requests are served in arrival
 // order (FIFO, single package) with deterministic tie-breaking on
 // (time, class index, sequence).
-func Simulate(cfg Config) (*Report, error) {
+//
+// ctx bounds the simulation: long runs (large horizons, high rates)
+// poll it periodically and return ctx's error when it is cancelled — a
+// simulation is all-or-nothing, so no partial report is emitted. An
+// uncancelled ctx leaves results bit-identical to a context-free run.
+func Simulate(ctx context.Context, cfg Config) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("online: simulation not started: %w", err)
+	}
 	if len(cfg.Classes) == 0 {
 		return nil, fmt.Errorf("online: no request classes")
 	}
@@ -249,6 +258,9 @@ func Simulate(cfg Config) (*Report, error) {
 	// Generate and merge the per-class arrival streams.
 	var reqs []pending
 	for ci := range cfg.Classes {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("online: simulation cancelled: %w", err)
+		}
 		times := cfg.Classes[ci].Arrivals.Times(cfg.HorizonSec, cfg.MaxRequestsPerClass)
 		for seq, t := range times {
 			if seq > 0 && t < times[seq-1] {
@@ -292,7 +304,14 @@ func Simulate(cfg Config) (*Report, error) {
 	freeAt := 0.0
 	curClass := -1
 	var totalWait, totalSojourn float64
-	for _, rq := range reqs {
+	for ri, rq := range reqs {
+		// Poll cancellation every 256 requests: cheap against the event
+		// loop's per-request work, prompt against any realistic load.
+		if ri&255 == 255 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("online: simulation cancelled after %d of %d requests: %w", ri, len(reqs), err)
+			}
+		}
 		c := &cfg.Classes[rq.class]
 		start := rq.arrival
 		if freeAt > start {

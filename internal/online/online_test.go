@@ -1,9 +1,12 @@
 package online
 
 import (
+	"context"
+	"errors"
 	"math"
 	"reflect"
 	"testing"
+	"time"
 
 	"example.com/scar/internal/costdb"
 	"example.com/scar/internal/dataflow"
@@ -84,7 +87,7 @@ func TestSimulateDeterminism(t *testing.T) {
 			HorizonSec:   50,
 			EmitTimeline: true,
 		}
-		rep, err := Simulate(cfg)
+		rep, err := Simulate(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +109,7 @@ func TestSimulateLoadBehavior(t *testing.T) {
 	at := func(arr Arrivals) *Report {
 		cl := c
 		cl.Arrivals = arr
-		rep, err := Simulate(Config{Classes: []Class{cl}, MaxRequestsPerClass: 400, HorizonSec: 1e9})
+		rep, err := Simulate(context.Background(), Config{Classes: []Class{cl}, MaxRequestsPerClass: 400, HorizonSec: 1e9})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -156,7 +159,7 @@ func TestScheduleSwitching(t *testing.T) {
 	// pays the switch-in reconfiguration.
 	a := mustClass(t, "a", Periodic{PeriodSec: 1, OffsetSec: 0.0}, 2)
 	b := mustClass(t, "b", Periodic{PeriodSec: 1, OffsetSec: 0.5}, 2)
-	rep, err := Simulate(Config{Classes: []Class{a, b}, HorizonSec: 10})
+	rep, err := Simulate(context.Background(), Config{Classes: []Class{a, b}, HorizonSec: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +178,7 @@ func TestScheduleSwitching(t *testing.T) {
 	}
 
 	// The same total load from one class reconfigures nothing.
-	mono, err := Simulate(Config{Classes: []Class{a}, HorizonSec: 10})
+	mono, err := Simulate(context.Background(), Config{Classes: []Class{a}, HorizonSec: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +192,7 @@ func TestScheduleSwitching(t *testing.T) {
 
 func TestTimelineEmission(t *testing.T) {
 	c := mustClass(t, "c", Periodic{PeriodSec: 5}, 2)
-	rep, err := Simulate(Config{Classes: []Class{c}, HorizonSec: 20, EmitTimeline: true})
+	rep, err := Simulate(context.Background(), Config{Classes: []Class{c}, HorizonSec: 20, EmitTimeline: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +212,7 @@ func TestTimelineEmission(t *testing.T) {
 		}
 	}
 	// Span cap is honored and reported.
-	small, err := Simulate(Config{Classes: []Class{c}, HorizonSec: 20, EmitTimeline: true, MaxTimelineSpans: len(c.Spans.Spans)})
+	small, err := Simulate(context.Background(), Config{Classes: []Class{c}, HorizonSec: 20, EmitTimeline: true, MaxTimelineSpans: len(c.Spans.Spans)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,21 +225,21 @@ func TestTimelineEmission(t *testing.T) {
 }
 
 func TestSimulateValidation(t *testing.T) {
-	if _, err := Simulate(Config{}); err == nil {
+	if _, err := Simulate(context.Background(), Config{}); err == nil {
 		t.Error("empty config accepted")
 	}
 	c := mustClass(t, "c", Poisson{RatePerSec: 1, Seed: 1}, 2)
-	if _, err := Simulate(Config{Classes: []Class{c}}); err == nil {
+	if _, err := Simulate(context.Background(), Config{Classes: []Class{c}}); err == nil {
 		t.Error("unbounded simulation accepted")
 	}
 	bad := c
 	bad.Arrivals = Trace{TimesSec: []float64{3, 1}}
-	if _, err := Simulate(Config{Classes: []Class{bad}, HorizonSec: 10}); err == nil {
+	if _, err := Simulate(context.Background(), Config{Classes: []Class{bad}, HorizonSec: 10}); err == nil {
 		t.Error("descending trace accepted")
 	}
 	empty := c
 	empty.Arrivals = Trace{}
-	rep, err := Simulate(Config{Classes: []Class{empty}, HorizonSec: 10})
+	rep, err := Simulate(context.Background(), Config{Classes: []Class{empty}, HorizonSec: 10})
 	if err != nil || rep.Requests != 0 || rep.SLAAttainment != 1 {
 		t.Errorf("empty arrival stream: rep=%+v err=%v", rep, err)
 	}
@@ -301,7 +304,7 @@ func TestTimelineTruncationIsPrefix(t *testing.T) {
 	// is a complete prefix, never a trace with holes.
 	c := mustClass(t, "c", Periodic{PeriodSec: 5}, 2)
 	per := len(c.Spans.Spans)
-	rep, err := Simulate(Config{
+	rep, err := Simulate(context.Background(), Config{
 		Classes: []Class{c}, HorizonSec: 40,
 		EmitTimeline: true, MaxTimelineSpans: 2*per + 1,
 	})
@@ -316,5 +319,34 @@ func TestTimelineTruncationIsPrefix(t *testing.T) {
 	}
 	if len(rep.Timeline.Spans) != 2*per {
 		t.Fatalf("timeline spans = %d, want exactly the first two requests (%d)", len(rep.Timeline.Spans), 2*per)
+	}
+}
+
+// TestSimulateCancelled: a dead context aborts before and during the
+// event loop, with no partial report.
+func TestSimulateCancelled(t *testing.T) {
+	c := mustClass(t, "c", Poisson{RatePerSec: 5, Seed: 3}, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := Simulate(ctx, Config{Classes: []Class{c}, HorizonSec: 10})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep != nil {
+		t.Error("cancelled simulation returned a partial report")
+	}
+	// An uncancelled context with a deadline far away is inert.
+	live, liveCancel := context.WithTimeout(context.Background(), time.Hour)
+	defer liveCancel()
+	a, err := Simulate(live, Config{Classes: []Class{c}, HorizonSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(context.Background(), Config{Classes: []Class{c}, HorizonSec: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("live deadline context perturbed the simulation")
 	}
 }

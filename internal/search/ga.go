@@ -27,6 +27,12 @@ type Problem struct {
 	// Fitness scores a genome; lower is better. Return +Inf for
 	// infeasible genomes.
 	Fitness func(genes []int) float64
+	// Stop, when non-nil, is polled between fitness evaluations: once
+	// it reports true the run returns the best genome found so far with
+	// Result.Stopped set (at least one genome is always evaluated
+	// first). A nil or never-true Stop leaves the run bit-identical to
+	// one without it.
+	Stop func() bool
 }
 
 // Options are the GA hyperparameters. The paper's 6x6 experiment uses
@@ -52,6 +58,10 @@ type Result struct {
 	Best        []int
 	BestFitness float64
 	Evaluations int
+	// Stopped marks a run cut short by Problem.Stop; Best is the
+	// incumbent at that point (possibly nil when stopped before any
+	// feasible genome appeared).
+	Stopped bool
 }
 
 // Run executes the GA: seeded random initialization, tournament
@@ -85,13 +95,11 @@ func Run(p Problem, o Options) (Result, error) {
 		res.Evaluations++
 		return p.Fitness(genes)
 	}
-	pop := make([]indiv, o.Population)
-	for i := range pop {
-		g := make([]int, len(p.Bounds))
-		for j, b := range p.Bounds {
-			g[j] = b.Min + rng.Intn(b.span())
-		}
-		pop[i] = indiv{genes: g, fit: score(g)}
+	// stopped is polled between evaluations; the Evaluations guard
+	// ensures at least one genome is scored before a stop is honored,
+	// so cancelled runs still return a candidate whenever one exists.
+	stopped := func() bool {
+		return p.Stop != nil && res.Evaluations > 0 && p.Stop()
 	}
 	note := func(ind indiv) {
 		if ind.fit < res.BestFitness {
@@ -99,8 +107,19 @@ func Run(p Problem, o Options) (Result, error) {
 			res.Best = append([]int(nil), ind.genes...)
 		}
 	}
-	for _, ind := range pop {
+	pop := make([]indiv, 0, o.Population)
+	for i := 0; i < o.Population; i++ {
+		if stopped() {
+			res.Stopped = true
+			break
+		}
+		g := make([]int, len(p.Bounds))
+		for j, b := range p.Bounds {
+			g[j] = b.Min + rng.Intn(b.span())
+		}
+		ind := indiv{genes: g, fit: score(g)}
 		note(ind)
+		pop = append(pop, ind)
 	}
 
 	tournament := func() indiv {
@@ -111,7 +130,8 @@ func Run(p Problem, o Options) (Result, error) {
 		}
 		return b
 	}
-	for gen := 0; gen < o.Generations; gen++ {
+generations:
+	for gen := 0; gen < o.Generations && !res.Stopped; gen++ {
 		// Elites survive; sort by fitness first.
 		sort.SliceStable(pop, func(i, j int) bool { return pop[i].fit < pop[j].fit })
 		next := make([]indiv, 0, o.Population)
@@ -119,6 +139,10 @@ func Run(p Problem, o Options) (Result, error) {
 			next = append(next, pop[i])
 		}
 		for len(next) < o.Population {
+			if stopped() {
+				res.Stopped = true
+				break generations
+			}
 			pa, pb := tournament(), tournament()
 			child := make([]int, len(p.Bounds))
 			for j := range child {

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"example.com/scar/internal/core"
+)
+
+// blockingService builds a fast service whose searches pause inside the
+// first progress callback until release is closed — a deterministic way
+// to hold a leader search in flight while followers are exercised.
+// started is closed when the first search reaches its first candidate.
+func blockingService() (svc *Service, started chan struct{}, release chan struct{}) {
+	started = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	opts := core.FastOptions()
+	opts.Workers = 1
+	opts.Progress = func(core.ProgressEvent) {
+		once.Do(func() { close(started) })
+		<-release
+	}
+	return New(opts), started, release
+}
+
+// TestFollowerUnblocksOnOwnContext is the satellite contract: a follower
+// blocked on another caller's in-flight search must return the moment
+// its own context dies, while the shared search keeps running and still
+// lands in the cache.
+func TestFollowerUnblocksOnOwnContext(t *testing.T) {
+	svc, started, release := blockingService()
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequest())
+		leaderDone <- err
+	}()
+	<-started
+
+	// Follower with an already-expiring context: it must not wait for
+	// the leader.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := svc.Schedule(ctx, tinyRequest())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("follower took %v to abandon the wait", d)
+	}
+
+	// A follower's own timeout_ms must bound its wait too — the wire
+	// deadline applies to the whole resolution, not just an own search.
+	reqTO := tinyRequest()
+	reqTO.TimeoutMS = 10
+	t0 = time.Now()
+	_, err = svc.Schedule(context.Background(), reqTO)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout_ms follower err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("timeout_ms follower took %v to abandon the wait", d)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	// The shared search completed normally despite the follower's exit.
+	res, err := svc.Schedule(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached {
+		t.Error("completed leader search was not cached")
+	}
+	if st := svc.Stats(); st.ScheduleCalls != 1 {
+		t.Errorf("schedule calls = %d, want 1", st.ScheduleCalls)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonFollowers: when the leader's context
+// dies mid-search, waiting followers re-issue the search under their own
+// contexts and the cache never holds the leader's partial outcome.
+func TestCancelledLeaderDoesNotPoisonFollowers(t *testing.T) {
+	svc, started, release := blockingService()
+
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *ScheduleResult
+		err error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		res, err := svc.Schedule(leaderCtx, tinyRequest())
+		leaderDone <- outcome{res, err}
+	}()
+	<-started
+
+	followerDone := make(chan outcome, 1)
+	go func() {
+		res, err := svc.Schedule(context.Background(), tinyRequest())
+		followerDone <- outcome{res, err}
+	}()
+	// Give the follower time to park on the in-flight entry, then kill
+	// the leader's context and let the search observe it.
+	time.Sleep(20 * time.Millisecond)
+	leaderCancel()
+	close(release)
+
+	lead := <-leaderDone
+	if lead.err != nil {
+		if !errors.Is(lead.err, context.Canceled) {
+			t.Fatalf("leader err = %v, want context.Canceled", lead.err)
+		}
+	} else if !lead.res.Result.Partial {
+		// The cancel raced the search's end and it completed in full —
+		// then caching it is correct and there is nothing to poison.
+		t.Skip("leader completed before observing cancellation")
+	}
+
+	// The follower must still get a full, non-partial result.
+	fol := <-followerDone
+	if fol.err != nil {
+		t.Fatalf("follower: %v", fol.err)
+	}
+	if fol.res.Result.Partial {
+		t.Error("follower inherited a partial result")
+	}
+	// The leader's truncated search was not cached: the follower
+	// re-issued (2 searches total) and its full result is what the
+	// cache now serves.
+	if st := svc.Stats(); st.ScheduleCalls != 2 {
+		t.Errorf("schedule calls = %d, want 2 (leader + follower re-issue)", st.ScheduleCalls)
+	}
+	res, err := svc.Schedule(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Cached || res.Result.Partial {
+		t.Errorf("cache state after re-issue: cached=%v partial=%v", res.Cached, res.Result.Partial)
+	}
+}
+
+// slowService uses paper-default budgets (no -fast reduction) so a
+// built-in scenario search takes well over the 1 ms deadlines the
+// timeout tests hand out.
+func slowService() *Service {
+	opts := core.DefaultOptions()
+	opts.Workers = 1
+	return New(opts)
+}
+
+// slowRequest is a search that cannot finish in 1 ms: an AR/VR scenario
+// under full budgets on a cold cost database.
+func slowRequest() Request {
+	return Request{Scenario: 6, Profile: "edge"}
+}
+
+// TestTimeoutMSNeverCached: a timeout_ms request either times out or
+// returns a partial incumbent; in both cases nothing is cached and the
+// next unbounded request searches in full.
+func TestTimeoutMSNeverCached(t *testing.T) {
+	svc := slowService()
+	req := slowRequest()
+	req.TimeoutMS = 1
+	res, err := svc.Schedule(context.Background(), req)
+	if err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err = %v, want DeadlineExceeded", err)
+		}
+	} else if !res.Result.Partial {
+		t.Fatal("1ms deadline returned a full (non-partial) result")
+	}
+	if st := svc.Stats(); st.CachedSchedules != 0 {
+		t.Fatalf("timed-out request left %d cache entries", st.CachedSchedules)
+	}
+
+	full, err := svc.Schedule(context.Background(), slowRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Cached || full.Result.Partial {
+		t.Errorf("post-timeout request: cached=%v partial=%v, want a fresh full search", full.Cached, full.Result.Partial)
+	}
+}
+
+// TestTimeoutKeyIgnoresTimeoutMS: two requests differing only in
+// timeout_ms share one cache identity (partials are never cached, so
+// they cannot alias).
+func TestTimeoutKeyIgnoresTimeoutMS(t *testing.T) {
+	a := tinyRequest()
+	b := tinyRequest()
+	b.TimeoutMS = 50
+	if a.withDefaults().key() != b.withDefaults().key() {
+		t.Error("timeout_ms leaked into the cache key")
+	}
+}
+
+// TestServiceDefaultRequestTimeout: SetRequestTimeout bounds requests
+// that carry no timeout_ms.
+func TestServiceDefaultRequestTimeout(t *testing.T) {
+	opts := core.FastOptions()
+	opts.Workers = 1
+	svc := New(opts)
+	svc.SetRequestTimeout(time.Nanosecond)
+	_, err := svc.Schedule(context.Background(), tinyRequest())
+	if err == nil {
+		t.Skip("sub-nanosecond search completed (cache warm path)")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestHTTPScheduleTimeout: the wire contract of the acceptance criteria
+// — a timeout_ms request answers promptly with 408-style JSON (or a 200
+// carrying partial: true), and the daemon stays healthy for the next
+// request.
+func TestHTTPScheduleTimeout(t *testing.T) {
+	svc := slowService()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, data := postJSON(t, srv.URL+"/schedule", `{"scenario": 6, "profile": "edge", "timeout_ms": 1}`)
+	switch resp.StatusCode {
+	case http.StatusRequestTimeout:
+		var e httpError
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Fatalf("408 body not an error JSON: %s", data)
+		}
+	case http.StatusOK:
+		var sr ScheduleHTTPResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatalf("200 body not valid JSON: %v\n%s", err, data)
+		}
+		if !sr.Partial {
+			t.Fatal("1ms deadline answered with a full (non-partial) result")
+		}
+		if sr.Metrics.LatencySec <= 0 {
+			t.Errorf("partial response has implausible metrics: %+v", sr)
+		}
+	default:
+		t.Fatalf("status %d, want 408 or 200: %s", resp.StatusCode, data)
+	}
+
+	// Daemon healthy and fully functional afterwards.
+	r, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after timeout: %d", r.StatusCode)
+	}
+	resp, data = postJSON(t, srv.URL+"/schedule", `{"scenario": 6, "profile": "edge"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full request after timeout: status %d: %s", resp.StatusCode, data)
+	}
+	var sr ScheduleHTTPResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Partial || sr.Cached {
+		t.Errorf("full request after timeout: partial=%v cached=%v", sr.Partial, sr.Cached)
+	}
+}
+
+// TestSimulateHonorsContext: a dead context aborts simulation cleanly.
+func TestSimulateHonorsContext(t *testing.T) {
+	svc := fastService()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := svc.Simulate(ctx, SimRequest{
+		Classes:             []SimClass{{Request: tinyRequest(), RatePerSec: 5, Seed: 3}},
+		MaxRequestsPerClass: 50,
+		HorizonSec:          1e9,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,7 +1,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -9,10 +11,21 @@ import (
 	"example.com/scar/internal/eval"
 )
 
+// StatusClientClosedRequest is the nginx-convention 499 status reported
+// when a request's own context is cancelled (the client went away) —
+// distinct from 408, which reports an expired server-side deadline
+// (timeout_ms or the service default).
+const StatusClientClosedRequest = 499
+
 // ScheduleHTTPResponse is the JSON body of POST /schedule.
 type ScheduleHTTPResponse struct {
 	Key    string `json:"key"`
 	Cached bool   `json:"cached"`
+	// Partial marks an anytime result: the request deadline expired
+	// mid-search and Metrics/Schedule describe the best incumbent found
+	// by then, not the full search's answer. Partial results are never
+	// cached.
+	Partial bool `json:"partial,omitempty"`
 	// Splits / Windows describe the winning MCM-Reconfig candidate.
 	Splits  int `json:"splits"`
 	Windows int `json:"windows"`
@@ -65,6 +78,20 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, httpError{Error: err.Error()})
 }
 
+// errorStatus maps a scheduling error to its HTTP status: 408 for an
+// expired search deadline, 499 for a cancelled request context (best
+// effort — the client is usually gone), 400 for everything else.
+func errorStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	case errors.Is(err, context.Canceled) || r.Context().Err() != nil:
+		return StatusClientClosedRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 // decodePost guards method + body decoding for the POST endpoints.
 func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
@@ -94,14 +121,19 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	sr, err := s.Schedule(req.Request)
+	// r.Context() is cancelled when the client disconnects, so an
+	// abandoned request stops its search (unless followers re-issue it)
+	// instead of burning the daemon's CPU to produce an unreadable
+	// response.
+	sr, err := s.Schedule(r.Context(), req.Request)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorStatus(r, err), err)
 		return
 	}
 	resp := ScheduleHTTPResponse{
 		Key:          sr.Key,
 		Cached:       sr.Cached,
+		Partial:      sr.Result.Partial,
 		Splits:       sr.Result.Splits,
 		Windows:      len(sr.Result.Schedule.Windows),
 		Metrics:      sr.Result.Metrics,
@@ -120,9 +152,9 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	if !decodePost(w, r, &req) {
 		return
 	}
-	rep, err := s.Simulate(req)
+	rep, err := s.Simulate(r.Context(), req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, errorStatus(r, err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)

@@ -1,17 +1,26 @@
 // Package serve is the concurrent scheduling service behind the scarserve
-// daemon: it wraps core.Scheduler behind a request API with a
-// singleflight-deduplicated schedule cache keyed by (scenario, MCM,
+// daemon: it wraps core.Scheduler behind a context-first request API with
+// a singleflight-deduplicated schedule cache keyed by (scenario, MCM,
 // objective, options) over a shared warm cost database. N identical
 // concurrent requests trigger exactly one search — the waiters block on
-// the in-flight entry and share its result. PR 2's compiled evaluator
-// makes the underlying search tens of milliseconds, so a cache miss is an
+// the in-flight entry and share its result. The compiled evaluator makes
+// the underlying search tens of milliseconds, so a cache miss is an
 // acceptable online cost and a hit is effectively free.
+//
+// Cancellation is per caller: a follower abandons its wait the moment
+// its own context dies while the shared search continues; a leader whose
+// context dies returns an anytime partial result (or the context error),
+// which is never cached — followers that were waiting re-issue the
+// search under their own contexts. Requests may carry timeout_ms for a
+// server-side search deadline independent of the connection.
 package serve
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -48,6 +57,14 @@ type Request struct {
 	MCMJSON json.RawMessage `json:"mcm_json,omitempty"`
 	// Objective is "latency", "energy" or "edp" (default edp).
 	Objective string `json:"objective,omitempty"`
+	// TimeoutMS bounds this request's search in milliseconds. On
+	// expiry the caller receives the best incumbent found so far
+	// (Result.Partial set) or a deadline error when nothing feasible
+	// was found yet. Zero applies the service's default request
+	// timeout, if any. The timeout is not part of the cache key —
+	// partial results are never cached, so two timeouts of the same
+	// problem cannot alias.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
 // withDefaults resolves the request's implied fields.
@@ -128,14 +145,20 @@ func (r Request) build() (workload.Scenario, *mcm.MCM, core.Objective, error) {
 	return sc, pkg, obj, nil
 }
 
-// entry is one cache slot. The creator closes done after filling res/err;
-// waiters block on done and then read the immutable fields.
+// entry is one cache slot. The creator closes done after filling
+// res/err/transient; waiters block on done (or their own context) and
+// then read the immutable fields.
 type entry struct {
 	done chan struct{}
 	sc   workload.Scenario
 	pkg  *mcm.MCM
 	res  *core.Result
 	err  error
+	// transient marks an entry whose leader was cancelled (or returned
+	// a partial result): nothing cacheable was produced and the outcome
+	// is specific to the leader's context, so waiting followers re-issue
+	// the search under their own contexts instead of inheriting it.
+	transient bool
 }
 
 // DefaultMaxCachedSchedules bounds the schedule cache: keys are partly
@@ -149,6 +172,11 @@ type Service struct {
 	db      *costdb.DB
 	opts    core.Options
 	optsKey string
+
+	// requestTimeout is the default per-request search deadline applied
+	// when a request carries no TimeoutMS (0 = none). Set it before the
+	// service starts answering requests.
+	requestTimeout time.Duration
 
 	mu         sync.Mutex
 	entries    map[string]*entry
@@ -184,6 +212,12 @@ func NewWithDB(db *costdb.DB, opts core.Options) *Service {
 	}
 }
 
+// SetRequestTimeout installs a default per-request search deadline for
+// requests that carry no explicit TimeoutMS. Call it once, before the
+// service starts answering requests (it is not synchronized against
+// in-flight Schedule calls).
+func (s *Service) SetRequestTimeout(d time.Duration) { s.requestTimeout = d }
+
 // DB exposes the shared cost database (persistence, diagnostics).
 func (s *Service) DB() *costdb.DB { return s.db }
 
@@ -206,46 +240,95 @@ type ScheduleResult struct {
 
 // Schedule resolves a request through the cache, running at most one
 // underlying search per key regardless of concurrency.
-func (s *Service) Schedule(req Request) (*ScheduleResult, error) {
+//
+// ctx governs this caller only. A follower blocked on another caller's
+// in-flight search unblocks the moment its own ctx is cancelled — the
+// shared search keeps running for everyone else. A leader whose ctx is
+// cancelled mid-search returns its anytime result (Result.Partial) or
+// ctx's error; neither is cached, and any followers that were waiting on
+// it re-issue the search under their own contexts, so one impatient
+// client can never poison the cache or abort its neighbors.
+func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, error) {
 	s.requests.Add(1)
 	req = req.withDefaults()
 	key := req.key() + "|" + s.optsKey
 
-	s.mu.Lock()
-	if e, ok := s.entries[key]; ok {
+	// The request deadline (TimeoutMS, or the service default) bounds
+	// the whole resolution: waiting on another caller's in-flight
+	// search counts against it exactly like searching does, so a
+	// deduplicated follower still honors its own timeout_ms.
+	ctx, cancel := s.searchContext(ctx, req)
+	defer cancel()
+
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("serve: request abandoned while awaiting in-flight search: %w", ctx.Err())
+			}
+			if e.transient {
+				continue // leader cancelled; re-issue under our own ctx
+			}
+			if e.err != nil {
+				return nil, e.err
+			}
+			s.cacheHits.Add(1)
+			return &ScheduleResult{Key: key, Cached: true, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
+		}
+		e := &entry{done: make(chan struct{})}
+		s.entries[key] = e
+		s.order = append(s.order, key)
+		s.evictLocked()
 		s.mu.Unlock()
-		<-e.done
+
+		e.sc, e.pkg, e.err = s.fill(ctx, e, req)
+		partial := e.err == nil && e.res != nil && e.res.Partial
+		if e.err != nil || partial {
+			// Neither failed nor truncated searches are cached: a failed
+			// key may succeed later (e.g. a transiently invalid custom
+			// description) and a partial result is an artifact of this
+			// caller's deadline, not the problem's answer.
+			e.transient = partial || isCancellation(e.err)
+			s.mu.Lock()
+			delete(s.entries, key)
+			for i, k := range s.order {
+				if k == key {
+					s.order = append(s.order[:i], s.order[i+1:]...)
+					break
+				}
+			}
+			s.mu.Unlock()
+		}
+		close(e.done)
 		if e.err != nil {
 			return nil, e.err
 		}
-		s.cacheHits.Add(1)
-		return &ScheduleResult{Key: key, Cached: true, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
+		return &ScheduleResult{Key: key, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
 	}
-	e := &entry{done: make(chan struct{})}
-	s.entries[key] = e
-	s.order = append(s.order, key)
-	s.evictLocked()
-	s.mu.Unlock()
+}
 
-	e.sc, e.pkg, e.err = s.fill(e, req)
-	if e.err != nil {
-		// Failed searches are not cached: the key may succeed later
-		// (e.g. a transiently invalid custom description).
-		s.mu.Lock()
-		delete(s.entries, key)
-		for i, k := range s.order {
-			if k == key {
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				break
-			}
-		}
-		s.mu.Unlock()
+// searchContext derives the context a request resolves under: the
+// caller's ctx bounded by the request's TimeoutMS (or the service
+// default when the request carries none). It governs both an own
+// search and any wait on another caller's in-flight one.
+func (s *Service) searchContext(ctx context.Context, req Request) (context.Context, context.CancelFunc) {
+	timeout := time.Duration(req.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = s.requestTimeout
 	}
-	close(e.done)
-	if e.err != nil {
-		return nil, e.err
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
 	}
-	return &ScheduleResult{Key: key, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
+	return context.WithCancel(ctx)
+}
+
+// isCancellation reports whether err stems from context cancellation or
+// deadline expiry — the error class followers must not inherit.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // evictLocked drops the oldest *completed* cache entries until the
@@ -281,13 +364,13 @@ func (s *Service) evictLocked() {
 }
 
 // fill runs the cache-miss path: materialize inputs, search.
-func (s *Service) fill(e *entry, req Request) (workload.Scenario, *mcm.MCM, error) {
+func (s *Service) fill(ctx context.Context, e *entry, req Request) (workload.Scenario, *mcm.MCM, error) {
 	sc, pkg, obj, err := req.build()
 	if err != nil {
 		return sc, pkg, err
 	}
 	s.scheduleCalls.Add(1)
-	res, err := core.New(s.db, s.opts).Schedule(&sc, pkg, obj)
+	res, err := core.New(s.db, s.opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj))
 	if err != nil {
 		return sc, pkg, err
 	}
@@ -328,8 +411,10 @@ type SimRequest struct {
 }
 
 // Simulate schedules every class (through the cache) and runs the
-// discrete-event simulator on the results.
-func (s *Service) Simulate(req SimRequest) (*online.Report, error) {
+// discrete-event simulator on the results. ctx bounds both phases:
+// class scheduling inherits it per class, and the event loop polls it,
+// so an abandoned simulation request stops burning the daemon's CPU.
+func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report, error) {
 	if len(req.Classes) == 0 {
 		return nil, fmt.Errorf("serve: simulation needs at least one class")
 	}
@@ -344,7 +429,7 @@ func (s *Service) Simulate(req SimRequest) (*online.Report, error) {
 
 	classes := make([]online.Class, len(req.Classes))
 	for i, sc := range req.Classes {
-		sr, err := s.Schedule(sc.Request)
+		sr, err := s.Schedule(ctx, sc.Request)
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %d: %w", i, err)
 		}
@@ -373,7 +458,7 @@ func (s *Service) Simulate(req SimRequest) (*online.Report, error) {
 		}
 		classes[i] = cl
 	}
-	return online.Simulate(online.Config{
+	return online.Simulate(ctx, online.Config{
 		Classes:             classes,
 		HorizonSec:          req.HorizonSec,
 		MaxRequestsPerClass: req.MaxRequestsPerClass,

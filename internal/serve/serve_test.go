@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -47,7 +48,7 @@ func TestSingleflightDedup(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.Schedule(tinyRequest())
+			results[i], errs[i] = s.Schedule(context.Background(), tinyRequest())
 		}(i)
 	}
 	wg.Wait()
@@ -92,13 +93,13 @@ func TestSingleflightDedup(t *testing.T) {
 
 func TestDistinctKeysSearchSeparately(t *testing.T) {
 	s := fastService()
-	a, err := s.Schedule(tinyRequest())
+	a, err := s.Schedule(context.Background(), tinyRequest())
 	if err != nil {
 		t.Fatal(err)
 	}
 	req := tinyRequest()
 	req.Objective = "latency"
-	b, err := s.Schedule(req)
+	b, err := s.Schedule(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestBadRequestsNotCached(t *testing.T) {
 	s := fastService()
 	bad := Request{Scenario: 99}
 	for i := 0; i < 2; i++ {
-		if _, err := s.Schedule(bad); err == nil {
+		if _, err := s.Schedule(context.Background(), bad); err == nil {
 			t.Fatal("scenario 99 accepted")
 		}
 	}
@@ -130,13 +131,13 @@ func TestBadRequestsNotCached(t *testing.T) {
 	if st.ScheduleCalls != 0 {
 		t.Errorf("failed request ran %d searches", st.ScheduleCalls)
 	}
-	if _, err := s.Schedule(Request{Scenario: 1, Profile: "tpu"}); err == nil {
+	if _, err := s.Schedule(context.Background(), Request{Scenario: 1, Profile: "tpu"}); err == nil {
 		t.Error("unknown profile accepted")
 	}
-	if _, err := s.Schedule(Request{Scenario: 1, Objective: "carbon"}); err == nil {
+	if _, err := s.Schedule(context.Background(), Request{Scenario: 1, Objective: "carbon"}); err == nil {
 		t.Error("unknown objective accepted")
 	}
-	if _, err := s.Schedule(Request{WorkloadJSON: []byte(`{"models": []}`)}); err == nil {
+	if _, err := s.Schedule(context.Background(), Request{WorkloadJSON: []byte(`{"models": []}`)}); err == nil {
 		t.Error("empty workload accepted")
 	}
 }
@@ -150,11 +151,11 @@ func TestSimulateDeterministicAndCached(t *testing.T) {
 		MaxRequestsPerClass: 50,
 		HorizonSec:          1e9,
 	}
-	r1, err := s.Simulate(req)
+	r1, err := s.Simulate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.Simulate(req)
+	r2, err := s.Simulate(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,14 +179,14 @@ func TestSimulateDeterministicAndCached(t *testing.T) {
 
 func TestSimulateValidation(t *testing.T) {
 	s := fastService()
-	if _, err := s.Simulate(SimRequest{}); err == nil {
+	if _, err := s.Simulate(context.Background(), SimRequest{}); err == nil {
 		t.Error("empty simulation accepted")
 	}
-	if _, err := s.Simulate(SimRequest{Classes: []SimClass{{Request: tinyRequest()}}}); err == nil {
+	if _, err := s.Simulate(context.Background(), SimRequest{Classes: []SimClass{{Request: tinyRequest()}}}); err == nil {
 		t.Error("class without arrivals accepted")
 	}
 	both := SimClass{Request: tinyRequest(), RatePerSec: 1, ArrivalTimes: []float64{1}}
-	if _, err := s.Simulate(SimRequest{Classes: []SimClass{both}}); err == nil {
+	if _, err := s.Simulate(context.Background(), SimRequest{Classes: []SimClass{both}}); err == nil {
 		t.Error("class with both rate and trace accepted")
 	}
 }
@@ -225,7 +226,7 @@ func TestCacheEvictionBound(t *testing.T) {
 		reqs = append(reqs, r)
 	}
 	for _, r := range reqs {
-		if _, err := s.Schedule(r); err != nil {
+		if _, err := s.Schedule(context.Background(), r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -235,14 +236,14 @@ func TestCacheEvictionBound(t *testing.T) {
 	// The oldest key (edp) was evicted FIFO: requesting it searches
 	// again; the newest (energy) is still cached.
 	before := s.Stats().ScheduleCalls
-	res, err := s.Schedule(reqs[2])
+	res, err := s.Schedule(context.Background(), reqs[2])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !res.Cached || s.Stats().ScheduleCalls != before {
 		t.Error("newest entry should still be cached")
 	}
-	res, err = s.Schedule(reqs[0])
+	res, err = s.Schedule(context.Background(), reqs[0])
 	if err != nil {
 		t.Fatal(err)
 	}

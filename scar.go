@@ -7,13 +7,22 @@
 // model zoo covering the paper's MLPerf and XRBench scenarios, the
 // Standalone and NN-baton baselines, and the full experiment harness.
 //
-// Quick start:
+// Quick start — the context-first Request/Session surface:
 //
 //	sched := scar.NewScheduler(scar.DefaultOptions())
 //	sc, _ := scar.ScenarioByNumber(4)               // Table III Scenario 4
 //	pkg, _ := scar.MCMByName("het-sides", 3, 3, scar.DatacenterChiplet())
-//	res, _ := sched.Schedule(&sc, pkg, scar.EDPObjective())
+//	res, _ := sched.Schedule(ctx, &scar.Request{
+//		Scenario: &sc, MCM: pkg, Objective: scar.EDPObjective(),
+//	})
 //	fmt.Println(scar.RenderSchedule(&sc, pkg, res.Schedule, res.Metrics))
+//
+// Schedule honors ctx cancellation and deadlines with anytime semantics:
+// an interrupted search returns the best incumbent found so far with
+// Result.Partial set. For repeated work on one (scenario, MCM) pair,
+// NewSession compiles the evaluation state once and unifies evaluation,
+// tracing, link-load inspection and the paper baselines behind a single
+// handle (see Session).
 //
 // Beyond the paper's one-shot search, the package serves schedules
 // online: Service (cmd/scarserve) answers concurrent scheduling requests
@@ -27,6 +36,8 @@
 package scar
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"example.com/scar/internal/baselines"
@@ -79,7 +90,17 @@ type (
 	Options = core.Options
 	// Objective is an optimization metric (Definition 10).
 	Objective = core.Objective
-	// Result is the scheduler output.
+	// Request bundles one scheduling invocation — scenario, MCM,
+	// objective and per-request option overrides (workers, nsplits,
+	// seed, search mode, progress callback) — the single argument of
+	// Scheduler.Schedule.
+	Request = core.Request
+	// ProgressEvent is one anytime-progress snapshot of a running
+	// search (candidates explored, cache hit rate, incumbent score),
+	// delivered through Options.Progress or Request.Progress.
+	ProgressEvent = core.ProgressEvent
+	// Result is the scheduler output. Result.Partial marks an anytime
+	// result cut short by context cancellation.
 	Result = core.Result
 	// CostModelParams are the analytical cost model's calibration
 	// constants.
@@ -273,29 +294,164 @@ func NewSchedulerWithCostModel(opts Options, params CostModelParams) *Scheduler 
 	return &Scheduler{db: db, inner: core.New(db, opts), opts: opts}
 }
 
-// Schedule runs the full SCAR search and returns the optimized schedule
-// with its evaluated metrics.
-func (s *Scheduler) Schedule(sc *Scenario, m *MCM, obj Objective) (*Result, error) {
-	return s.inner.Schedule(sc, m, obj)
+// NewRequest builds the positional form of a Request: schedule sc on m
+// under obj with no per-request overrides.
+var NewRequest = core.NewRequest
+
+// Schedule runs the full SCAR search for the request and returns the
+// optimized schedule with its evaluated metrics.
+//
+// ctx carries cancellation and deadlines into every layer of the search
+// with anytime semantics: on expiry the best incumbent found so far is
+// returned with Result.Partial set, or ctx's error when nothing feasible
+// was found yet. An uncancelled ctx leaves results bit-identical to the
+// pre-context API.
+func (s *Scheduler) Schedule(ctx context.Context, req *Request) (*Result, error) {
+	return s.inner.Schedule(ctx, req)
+}
+
+// ScheduleScenario runs the EDP-era positional form of Schedule with no
+// cancellation.
+//
+// Deprecated: build a Request and call Schedule(ctx, req) — it adds
+// cancellation, deadlines, per-request overrides and progress reporting.
+// ScheduleScenario remains as a thin wrapper for one migration cycle.
+func (s *Scheduler) ScheduleScenario(sc *Scenario, m *MCM, obj Objective) (*Result, error) {
+	return s.inner.Schedule(context.Background(), NewRequest(sc, m, obj))
 }
 
 // ScheduleUniformPacking is the packing-ablation variant (uniform
-// layer-to-window distribution instead of Algorithm 1).
-func (s *Scheduler) ScheduleUniformPacking(sc *Scenario, m *MCM, obj Objective) (*Result, error) {
-	return s.inner.ScheduleUniformPacking(sc, m, obj)
+// layer-to-window distribution instead of Algorithm 1), with the same
+// context contract as Schedule.
+func (s *Scheduler) ScheduleUniformPacking(ctx context.Context, req *Request) (*Result, error) {
+	return s.inner.ScheduleUniformPacking(ctx, req)
+}
+
+// Session is a compiled handle for one (scenario, MCM) pair: it builds
+// the evaluation session once and serves every per-pair operation —
+// searching, scoring external schedules, timelines, link loads, the
+// paper baselines and simulator-class assembly — without recompiling per
+// call the way the deprecated positional Scheduler methods do.
+//
+// A Session is immutable after NewSession and safe for concurrent use.
+type Session struct {
+	sched *Scheduler
+	sc    *Scenario
+	m     *MCM
+	ev    *Evaluator
+}
+
+// NewSession validates the pair once and returns its compiled handle.
+// The heavy state (dense cost tables) is still built lazily on first
+// use, then shared by every method and Schedule call on the session.
+func (s *Scheduler) NewSession(sc *Scenario, m *MCM) (*Session, error) {
+	if sc == nil || m == nil {
+		return nil, fmt.Errorf("scar: session needs a scenario and an MCM")
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &Session{sched: s, sc: sc, m: m, ev: eval.New(s.db, m, sc, s.opts.Eval)}, nil
+}
+
+// Scenario returns the session's workload.
+func (ses *Session) Scenario() *Scenario { return ses.sc }
+
+// MCM returns the session's package model.
+func (ses *Session) MCM() *MCM { return ses.m }
+
+// Evaluator exposes the session's shared evaluator — the input
+// NewSimClass needs to assemble simulator request classes.
+func (ses *Session) Evaluator() *Evaluator { return ses.ev }
+
+// Schedule runs the SCAR search for the session's pair under obj, on the
+// session's compiled evaluation state. Context semantics match
+// Scheduler.Schedule.
+func (ses *Session) Schedule(ctx context.Context, obj Objective) (*Result, error) {
+	return ses.ScheduleRequest(ctx, &Request{Objective: obj})
+}
+
+// ScheduleRequest is Schedule with per-request overrides: req.Scenario
+// and req.MCM are filled from the session (it is an error to point them
+// elsewhere), and req.Compiled is bound to the session's compiled state.
+func (ses *Session) ScheduleRequest(ctx context.Context, req *Request) (*Result, error) {
+	if req == nil {
+		return nil, fmt.Errorf("scar: nil request")
+	}
+	r := *req
+	if r.Scenario == nil {
+		r.Scenario = ses.sc
+	} else if r.Scenario != ses.sc {
+		return nil, fmt.Errorf("scar: request scenario differs from the session's")
+	}
+	if r.MCM == nil {
+		r.MCM = ses.m
+	} else if r.MCM != ses.m {
+		return nil, fmt.Errorf("scar: request MCM differs from the session's")
+	}
+	r.Compiled = ses.ev.Compile()
+	return ses.sched.inner.Schedule(ctx, &r)
+}
+
+// Evaluate scores an externally built schedule on the session.
+func (ses *Session) Evaluate(sched *Schedule) (Metrics, error) {
+	return ses.ev.Evaluate(sched)
+}
+
+// Timeline builds the execution trace of a schedule: per-chiplet spans
+// consistent with the evaluator's pipeline model. Render it with
+// Timeline.Gantt or export it with Timeline.ChromeTrace.
+func (ses *Session) Timeline(sched *Schedule) *Timeline {
+	return trace.Build(ses.ev, ses.sc, ses.m, sched)
+}
+
+// LinkLoads maps one window's inter-chiplet traffic onto the NoP links
+// (bytes per directed link) — the diagnostic behind the contention model.
+func (ses *Session) LinkLoads(w TimeWindow) map[Link]int64 {
+	return ses.ev.LinkLoads(w)
+}
+
+// Standalone runs the paper's Standalone baseline: one chiplet per model.
+func (ses *Session) Standalone() (*Schedule, Metrics, error) {
+	return baselines.StandaloneOn(ses.ev)
+}
+
+// NNBaton runs the NN-baton-style single-model baseline.
+func (ses *Session) NNBaton() (*Schedule, Metrics, error) {
+	return baselines.NNBatonOn(ses.ev)
+}
+
+// SimClass assembles a request class for the discrete-event simulator
+// from a schedule of this session's pair (see NewSimClass).
+func (ses *Session) SimClass(name string, sched *Schedule, arr Arrivals, slackFactor float64) (SimClass, error) {
+	return online.NewClass(name, ses.ev, sched, arr, slackFactor)
+}
+
+// session builds a throwaway Session for the deprecated positional
+// wrappers below; errors surface lazily through the delegated call.
+func (s *Scheduler) session(sc *Scenario, m *MCM) *Session {
+	return &Session{sched: s, sc: sc, m: m, ev: eval.New(s.db, m, sc, s.opts.Eval)}
 }
 
 // Evaluate scores an externally built schedule on this scheduler's cost
 // database.
+//
+// Deprecated: use NewSession(sc, m).Evaluate(sched) — a Session compiles
+// the evaluation state once across calls instead of once per call.
 func (s *Scheduler) Evaluate(sc *Scenario, m *MCM, sched *Schedule) (Metrics, error) {
-	return eval.New(s.db, m, sc, s.opts.Eval).Evaluate(sched)
+	return s.session(sc, m).Evaluate(sched)
 }
 
 // Evaluator builds a reusable schedule evaluator for one (scenario, MCM)
-// pair on this scheduler's cost database — the input NewSimClass needs
-// to assemble simulator request classes.
+// pair on this scheduler's cost database.
+//
+// Deprecated: use NewSession(sc, m).Evaluator() — the session shares the
+// compiled state with every other per-pair operation.
 func (s *Scheduler) Evaluator(sc *Scenario, m *MCM) *Evaluator {
-	return eval.New(s.db, m, sc, s.opts.Eval)
+	return s.session(sc, m).Evaluator()
 }
 
 // SaveCostDB writes the scheduler's warmed layer-cost database as a gob
@@ -307,26 +463,32 @@ func (s *Scheduler) SaveCostDB(w io.Writer) error { return s.db.Save(w) }
 func (s *Scheduler) LoadCostDB(r io.Reader) error { return s.db.Load(r) }
 
 // Standalone runs the paper's Standalone baseline: one chiplet per model.
+//
+// Deprecated: use NewSession(sc, m).Standalone().
 func (s *Scheduler) Standalone(sc *Scenario, m *MCM) (*Schedule, Metrics, error) {
-	return baselines.Standalone(s.db, sc, m, s.opts.Eval)
+	return s.session(sc, m).Standalone()
 }
 
 // NNBaton runs the NN-baton-style single-model baseline.
+//
+// Deprecated: use NewSession(sc, m).NNBaton().
 func (s *Scheduler) NNBaton(sc *Scenario, m *MCM) (*Schedule, Metrics, error) {
-	return baselines.NNBaton(s.db, sc, m, s.opts.Eval)
+	return s.session(sc, m).NNBaton()
 }
 
-// LinkLoads maps one window's inter-chiplet traffic onto the NoP links
-// (bytes per directed link) — the diagnostic behind the contention model.
+// LinkLoads maps one window's inter-chiplet traffic onto the NoP links.
+//
+// Deprecated: use NewSession(sc, m).LinkLoads(w) — per-window calls on a
+// session share one compiled evaluation state.
 func (s *Scheduler) LinkLoads(sc *Scenario, m *MCM, w TimeWindow) map[Link]int64 {
-	return eval.New(s.db, m, sc, s.opts.Eval).LinkLoads(w)
+	return s.session(sc, m).LinkLoads(w)
 }
 
-// Timeline builds the execution trace of a schedule: per-chiplet spans
-// consistent with the evaluator's pipeline model. Render it with
-// Timeline.Gantt or export it with Timeline.ChromeTrace.
+// Timeline builds the execution trace of a schedule.
+//
+// Deprecated: use NewSession(sc, m).Timeline(sched).
 func (s *Scheduler) Timeline(sc *Scenario, m *MCM, sched *Schedule) *Timeline {
-	return trace.Build(eval.New(s.db, m, sc, s.opts.Eval), sc, m, sched)
+	return s.session(sc, m).Timeline(sched)
 }
 
 // DefaultCostModelParams returns the calibrated cost-model constants.

@@ -1,6 +1,7 @@
 package scar_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := sched.Schedule(&sc, pkg, scar.EDPObjective())
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.EDPObjective()))
 	if err != nil {
 		t.Fatalf("Schedule: %v", err)
 	}
@@ -95,7 +96,7 @@ func TestRenderScheduleAndOccupancy(t *testing.T) {
 	sched := scar.NewScheduler(scar.FastOptions())
 	sc, _ := scar.ScenarioByNumber(1)
 	pkg, _ := scar.MCMByName("het-cb", 3, 3, scar.DatacenterChiplet())
-	res, err := sched.Schedule(&sc, pkg, scar.EDPObjective())
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +122,7 @@ func TestConfigRoundTripThroughFacade(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched := scar.NewScheduler(scar.FastOptions())
-	res, err := sched.Schedule(&sc, pkg, scar.LatencyObjective())
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.LatencyObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestPerModelBoundThroughFacade(t *testing.T) {
 	sched := scar.NewScheduler(scar.FastOptions())
 	sc, _ := scar.ScenarioByNumber(10)
 	pkg, _ := scar.MCMByName("het-cb", 3, 3, scar.EdgeChiplet())
-	base, err := sched.Schedule(&sc, pkg, scar.EDPObjective())
+	base, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.EDPObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,13 +149,13 @@ func TestPerModelBoundThroughFacade(t *testing.T) {
 	// Impossible bound -> no feasible schedule.
 	impossible := scar.CustomObjective("edp|bound",
 		scar.PerModelLatencyBoundedEDP(map[int]float64{0: base.Metrics.ModelLatency[0] * 1e-6}))
-	if _, err := sched.Schedule(&sc, pkg, impossible); err == nil {
+	if _, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, impossible)); err == nil {
 		t.Error("impossible per-model bound produced a schedule")
 	}
 	// Loose bound -> same result as unconstrained.
 	loose := scar.CustomObjective("edp|loose",
 		scar.PerModelLatencyBoundedEDP(map[int]float64{0: base.Metrics.ModelLatency[0] * 10}))
-	res, err := sched.Schedule(&sc, pkg, loose)
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, loose))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +168,7 @@ func TestLinkLoadsThroughFacade(t *testing.T) {
 	sched := scar.NewScheduler(scar.FastOptions())
 	sc, _ := scar.ScenarioByNumber(1)
 	pkg, _ := scar.MCMByName("simba-nvd", 3, 3, scar.DatacenterChiplet())
-	res, err := sched.Schedule(&sc, pkg, scar.LatencyObjective())
+	res, err := sched.Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.LatencyObjective()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestScheduleOnCustomTopology(t *testing.T) {
 			scar.GEMM("g1", 64, 2048, 512),
 		}),
 	)
-	res, err := scar.NewScheduler(scar.FastOptions()).Schedule(&sc, pkg, scar.EDPObjective())
+	res, err := scar.NewScheduler(scar.FastOptions()).Schedule(context.Background(), scar.NewRequest(&sc, pkg, scar.EDPObjective()))
 	if err != nil {
 		t.Fatalf("Schedule on custom topology: %v", err)
 	}
