@@ -11,6 +11,7 @@
 //	scarbench -exp speedup          # serial-vs-parallel search engine
 //	scarbench -exp evalbench -benchjson BENCH_eval.json
 //	scarbench -exp online -benchjson BENCH_online.json
+//	scarbench -exp policies -benchjson BENCH_policies.json
 //	scarbench -workers 4 -exp all   # bound cell-level parallelism
 //	scarbench -cpuprofile cpu.pprof -exp table4
 //	scarbench -costdb scar.costdb -exp table4  # warm-start the cost model
@@ -35,7 +36,7 @@ import (
 var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
-	"sensitivity", "speedup", "evalbench", "online",
+	"sensitivity", "speedup", "evalbench", "online", "policies",
 }
 
 var benchJSON string
@@ -232,6 +233,18 @@ func run(s *experiments.Suite, name string) error {
 		}
 	case "online":
 		res, err := s.Online()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if benchJSON != "" {
+			if err := writeSnapshot(benchJSON, res.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
+		}
+	case "policies":
+		res, err := s.Policies()
 		if err != nil {
 			return err
 		}

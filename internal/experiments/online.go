@@ -97,6 +97,37 @@ func (s *Suite) Online() (*OnlineResult, error) {
 // onlineSweep is Online with a configurable per-point request budget
 // (tests use a smaller one).
 func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
+	mix, err := s.scheduleOnlineMix()
+	if err != nil {
+		return nil, err
+	}
+	res := &OnlineResult{
+		Strategy:       mix.strategy,
+		Classes:        mix.infos,
+		CapacityPerSec: mix.capacityPerSec,
+		Seed:           s.Opts.Seed,
+		ScheduleMs:     mix.scheduleMs,
+	}
+	res.Points, err = s.sweepPoints(mix, 1, online.FIFO{}, targetRequests)
+	return res, err
+}
+
+// onlineMix is the scheduled sc6+sc7 class mix both the online and the
+// policies sweeps run over: schedules are built once, every operating
+// point (and every policy) reuses them, exactly like the serving cache
+// would.
+type onlineMix struct {
+	strategy       string
+	shares         []float64
+	classes        []online.Class
+	infos          []OnlineClassInfo
+	capacityPerSec float64
+	scheduleMs     float64
+}
+
+// scheduleOnlineMix schedules scenarios 6 and 7 (70/30) on the
+// Het-Sides 4x4 edge package under the latency objective.
+func (s *Suite) scheduleOnlineMix() (*onlineMix, error) {
 	type classSpec struct {
 		scenario int
 		share    float64
@@ -105,12 +136,9 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 	pkgSpec := maestro.DefaultEdgeChiplet()
 	obj := core.LatencyObjective()
 
-	res := &OnlineResult{Strategy: "Het-Sides 4x4", Seed: s.Opts.Seed}
-
-	// Schedule each class once; the sweep reuses the schedules at every
-	// operating point, exactly like the serving cache would.
+	mix := &onlineMix{strategy: "Het-Sides 4x4"}
 	start := time.Now()
-	classes := make([]online.Class, len(specs))
+	mix.classes = make([]online.Class, len(specs))
 	for i, spec := range specs {
 		sc, err := models.ScenarioByNumber(spec.scenario)
 		if err != nil {
@@ -126,8 +154,9 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		classes[i] = cl
-		res.Classes = append(res.Classes, OnlineClassInfo{
+		mix.classes[i] = cl
+		mix.shares = append(mix.shares, spec.share)
+		mix.infos = append(mix.infos, OnlineClassInfo{
 			Scenario:    spec.scenario,
 			Share:       spec.share,
 			ServiceSec:  cl.Metrics.LatencySec,
@@ -135,30 +164,47 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 			EnergyJ:     cl.Metrics.EnergyJ,
 		})
 	}
-	res.ScheduleMs = float64(time.Since(start).Microseconds()) / 1e3
+	mix.scheduleMs = float64(time.Since(start).Microseconds()) / 1e3
 
-	// Mix-weighted mean service time -> package capacity.
+	// Mix-weighted mean service time -> single-package capacity.
 	var meanSvc float64
-	for i, spec := range specs {
-		meanSvc += spec.share * classes[i].Metrics.LatencySec
+	for i, share := range mix.shares {
+		meanSvc += share * mix.classes[i].Metrics.LatencySec
 	}
-	res.CapacityPerSec = 1 / meanSvc
+	mix.capacityPerSec = 1 / meanSvc
+	return mix, nil
+}
 
+// sweepPoints runs the arrival-rate sweep over the scheduled mix for
+// one (packages, policy) configuration. The Poisson seeds depend only
+// on (suite seed, point, class), so at a given replica count every
+// policy faces the identical arrival streams and the curves are
+// directly comparable. (Across replica counts the streams differ: the
+// offered rate scales with the fleet so rho stays the per-package
+// load.)
+func (s *Suite) sweepPoints(mix *onlineMix, packages int, policy online.Policy, targetRequests int) ([]OnlinePoint, error) {
+	var points []OnlinePoint
 	for pi, load := range onlineSweepLoads {
-		totalRate := load * res.CapacityPerSec
+		// Offered load is normalized to the fleet: rho = rate / (P * mu).
+		totalRate := load * float64(packages) * mix.capacityPerSec
 		// Horizon that yields about targetRequests arrivals in
 		// expectation at this rate.
 		horizon := float64(targetRequests) / totalRate
-		cfgClasses := make([]online.Class, len(classes))
-		for i, spec := range specs {
-			cfgClasses[i] = classes[i]
+		cfgClasses := make([]online.Class, len(mix.classes))
+		for i, share := range mix.shares {
+			cfgClasses[i] = mix.classes[i]
 			cfgClasses[i].Arrivals = online.Poisson{
-				RatePerSec: spec.share * totalRate,
+				RatePerSec: share * totalRate,
 				// Independent deterministic stream per (point, class).
 				Seed: s.Opts.Seed + int64(pi)*100 + int64(i),
 			}
 		}
-		rep, err := online.Simulate(s.context(), online.Config{Classes: cfgClasses, HorizonSec: horizon})
+		rep, err := online.Simulate(s.context(), online.Config{
+			Classes:    cfgClasses,
+			Packages:   packages,
+			Policy:     policy,
+			HorizonSec: horizon,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: online: load %.2f: %w", load, err)
 		}
@@ -178,9 +224,9 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 		if rep.Requests > 0 {
 			pt.EnergyPerReqJ = rep.EnergyJ / float64(rep.Requests)
 		}
-		res.Points = append(res.Points, pt)
+		points = append(points, pt)
 	}
-	return res, nil
+	return points, nil
 }
 
 // Print renders the sweep as a table.

@@ -1,6 +1,9 @@
 package online
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Arrivals generates the deterministic arrival-time sequence of one
 // request class. Implementations must return ascending times and must be
@@ -55,6 +58,28 @@ type Trace struct {
 	TimesSec []float64
 }
 
+// NewTrace builds a trace process, rejecting non-ascending timestamps
+// up front — at construction, before any scheduling or simulation work
+// runs on the bad input. A Trace built as a plain literal is checked by
+// the simulator's config validation instead (see Validate).
+func NewTrace(timesSec []float64) (Trace, error) {
+	tr := Trace{TimesSec: timesSec}
+	return tr, tr.Validate()
+}
+
+// Validate reports the first ordering violation of the trace. The
+// simulator calls it during config validation, so a descending trace
+// fails before arrival generation.
+func (tr Trace) Validate() error {
+	for i := 1; i < len(tr.TimesSec); i++ {
+		if tr.TimesSec[i] < tr.TimesSec[i-1] {
+			return fmt.Errorf("online: trace times not ascending at index %d (%v after %v)",
+				i, tr.TimesSec[i], tr.TimesSec[i-1])
+		}
+	}
+	return nil
+}
+
 // Times returns the trace clipped to the horizon and entry bounds.
 func (tr Trace) Times(horizonSec float64, max int) []float64 {
 	out := make([]float64, 0, len(tr.TimesSec))
@@ -83,6 +108,11 @@ func (p Periodic) Times(horizonSec float64, max int) []float64 {
 	if p.PeriodSec <= 0 {
 		return nil
 	}
+	if horizonSec <= 0 && max <= 0 {
+		// No bound at all would loop forever; return nothing, matching
+		// Poisson's unbounded guard.
+		return nil
+	}
 	var out []float64
 	for i := 0; ; i++ {
 		t := p.OffsetSec + float64(i)*p.PeriodSec
@@ -93,9 +123,6 @@ func (p Periodic) Times(horizonSec float64, max int) []float64 {
 			break
 		}
 		out = append(out, t)
-		if horizonSec <= 0 && max <= 0 {
-			break
-		}
 	}
 	return out
 }

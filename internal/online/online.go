@@ -1,21 +1,27 @@
 // Package online is a deterministic discrete-event simulator that drives
-// an MCM package through time under request load. Where the SCAR paper
-// schedules a fixed multi-model scenario once, this package models the
-// serving problem around it: scenario requests arrive over time (Poisson
-// or trace-driven), queue for the package, execute under the schedule's
-// evaluated window latencies, and are scored against per-model deadlines
-// derived from XRBench frame rates (workload.Model.DeadlineSec). The
+// a fleet of MCM packages through time under request load. Where the
+// SCAR paper schedules a fixed multi-model scenario once, this package
+// models the serving problem around it: scenario requests arrive over
+// time (Poisson, periodic or trace-driven), queue for Config.Packages
+// identical package replicas, execute under the schedule's evaluated
+// window latencies, and are scored against per-model deadlines derived
+// from XRBench frame rates (workload.Model.DeadlineSec). A pluggable
+// Policy picks which waiting request a freed package serves next — FIFO
+// (the default), EDF (earliest effective deadline first) or SwitchAware
+// (amortize reconfigurations by serving same-class runs) — and the
 // simulator reports SLA attainment, latency percentiles, queue depth,
-// utilization and energy, and charges a schedule-switch cost whenever the
-// in-flight scenario mix changes — the MCM-Reconfig window-entry weight
-// reload that cannot overlap a drained pipeline.
+// utilization and energy, charging a schedule-switch cost whenever a
+// package's in-flight scenario class changes — the MCM-Reconfig
+// window-entry weight reload that cannot overlap a drained pipeline.
 //
 // Simulations are bit-identical for a fixed configuration: arrival
 // processes own seeded private RNGs, the event loop is single-goroutine,
-// ties in the arrival merge break on (time, class index, sequence), and
-// every aggregate accumulates in request order. Running many simulations
-// concurrently (the arrival-rate sweep, the serving daemon) cannot
-// perturb any individual result.
+// policies are deterministic pure functions, and every tie is broken by
+// a documented rule — arrivals merge on (time, class index, sequence),
+// dispatches break on (time, package index), and every aggregate
+// accumulates in dispatch order. Running many simulations concurrently
+// (the arrival-rate sweep, the serving daemon) cannot perturb any
+// individual result.
 package online
 
 import (
@@ -29,7 +35,7 @@ import (
 	"example.com/scar/internal/workload"
 )
 
-// Class is one request type the package serves: a scenario with its
+// Class is one request type the fleet serves: a scenario with its
 // optimized schedule, evaluated metrics, deadlines, reconfiguration cost
 // and arrival process.
 type Class struct {
@@ -41,12 +47,15 @@ type Class struct {
 	// (window latencies, per-model latencies, energy).
 	Schedule *eval.Schedule
 	Metrics  eval.Metrics
-	// SwitchInSec is the reconfiguration cost charged when the package
+	// SwitchInSec is the reconfiguration cost charged when a package
 	// switches to this class from a different one (see SwitchCost).
 	SwitchInSec float64
 	// Deadlines maps model index -> seconds after request arrival by
 	// which the model must complete (see DeriveDeadlines). Models absent
-	// from the map are unconstrained.
+	// from the map are unconstrained. Keys outside the scenario's model
+	// range are ignored by every consumer (SLA accounting, EDF ordering)
+	// under one membership rule: only indices < len(Scenario.Models)
+	// count.
 	Deadlines map[int]float64
 	// Spans is the optional per-execution span template (trace.Build of
 	// the schedule); when set and Config.EmitTimeline is on, every
@@ -100,7 +109,7 @@ func DeriveDeadlines(sc *workload.Scenario, metrics eval.Metrics, slackFactor fl
 	return out
 }
 
-// SwitchCost models the price of reconfiguring the package to a new
+// SwitchCost models the price of reconfiguring a package to a new
 // schedule: the first MCM-Reconfig window's largest weight prefetch. In
 // steady state the evaluator overlaps a stage's weight load with the
 // upstream pipeline fill, but when the scenario mix changes the pipeline
@@ -123,6 +132,13 @@ func SwitchCost(ev *eval.Evaluator, sched *eval.Schedule) float64 {
 type Config struct {
 	// Classes are the request types; at least one is required.
 	Classes []Class
+	// Packages is the number of identical package replicas sharing the
+	// queue (0 = 1). Every replica can run every class's schedule; each
+	// tracks its own configured class and pays its own switch costs.
+	Packages int
+	// Policy picks which waiting request a freed package serves next
+	// (nil = FIFO{}, the single-queue arrival-order discipline).
+	Policy Policy
 	// HorizonSec bounds arrival generation (exclusive). Requests in
 	// flight at the horizon still run to completion.
 	HorizonSec float64
@@ -130,7 +146,8 @@ type Config struct {
 	// one of HorizonSec and MaxRequestsPerClass must be positive.
 	MaxRequestsPerClass int
 	// EmitTimeline attaches a merged trace.Timeline of every executed
-	// request to the report (classes need span templates).
+	// request to the report (classes need span templates). Spans of all
+	// packages share one timeline, shifted to their service start.
 	EmitTimeline bool
 	// MaxTimelineSpans caps the emitted span count (0 = 100000). The cap
 	// is reported via Report.TimelineTruncated, never silent.
@@ -143,16 +160,24 @@ type RequestOutcome struct {
 	// sequence number).
 	Class int `json:"class"`
 	Seq   int `json:"seq"`
-	// ArrivalSec / StartSec / FinishSec are absolute times; StartSec
-	// includes the schedule-switch reconfiguration when one was charged.
-	ArrivalSec float64 `json:"arrival_sec"`
-	StartSec   float64 `json:"start_sec"`
-	FinishSec  float64 `json:"finish_sec"`
+	// Package is the replica that served the request.
+	Package int `json:"package"`
+	// ArrivalSec / BusyStartSec / StartSec / FinishSec are absolute
+	// times. BusyStartSec is when the package began working on the
+	// request — the moment it left the waiting queue; any schedule-switch
+	// reconfiguration runs in [BusyStartSec, StartSec) and service proper
+	// in [StartSec, FinishSec). Without a switch BusyStartSec equals
+	// StartSec. Queue-depth accounting pops at BusyStartSec: a request
+	// being reconfigured-for occupies its package, it is not waiting.
+	ArrivalSec   float64 `json:"arrival_sec"`
+	BusyStartSec float64 `json:"busy_start_sec"`
+	StartSec     float64 `json:"start_sec"`
+	FinishSec    float64 `json:"finish_sec"`
 	// WaitSec is queueing delay (service start minus arrival, switch
 	// included); SojournSec the end-to-end request latency.
 	WaitSec    float64 `json:"wait_sec"`
 	SojournSec float64 `json:"sojourn_sec"`
-	// Switched marks that serving this request reconfigured the package.
+	// Switched marks that serving this request reconfigured its package.
 	Switched bool `json:"switched,omitempty"`
 	// MissedModels lists the model indices that blew their deadline.
 	MissedModels []int `json:"missed_models,omitempty"`
@@ -160,18 +185,41 @@ type RequestOutcome struct {
 
 // ClassReport aggregates one class's outcomes.
 type ClassReport struct {
-	Name          string  `json:"name"`
-	Requests      int     `json:"requests"`
-	SLAAttainment float64 `json:"sla_attainment"`
-	MeanSojourn   float64 `json:"mean_sojourn_sec"`
-	P99Sojourn    float64 `json:"p99_sojourn_sec"`
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// DeadlineChecks / DeadlineMisses count this class's share of the
+	// global deadline accounting, under the same membership rule (only
+	// deadline keys within the scenario's model range count), so the
+	// per-class attainments always reconcile with Report.SLAAttainment.
+	DeadlineChecks int     `json:"deadline_checks"`
+	DeadlineMisses int     `json:"deadline_misses"`
+	SLAAttainment  float64 `json:"sla_attainment"`
+	MeanSojourn    float64 `json:"mean_sojourn_sec"`
+	P99Sojourn     float64 `json:"p99_sojourn_sec"`
+}
+
+// PackageReport aggregates one replica's activity.
+type PackageReport struct {
+	Package  int `json:"package"`
+	Requests int `json:"requests"`
+	// BusySec is the package's working time (service plus
+	// reconfiguration); Utilization its busy fraction of the makespan.
+	BusySec     float64 `json:"busy_sec"`
+	Utilization float64 `json:"utilization"`
+	// ScheduleSwitches / SwitchSec count this package's
+	// reconfigurations and their total cost.
+	ScheduleSwitches int     `json:"schedule_switches"`
+	SwitchSec        float64 `json:"switch_sec"`
 }
 
 // Report is the simulation output.
 type Report struct {
 	// Requests is the number simulated (all run to completion);
-	// MakespanSec the completion time of the last one.
+	// MakespanSec the completion time of the last one. Packages and
+	// Policy echo the engine configuration that produced the report.
 	Requests    int     `json:"requests"`
+	Packages    int     `json:"packages"`
+	Policy      string  `json:"policy"`
 	MakespanSec float64 `json:"makespan_sec"`
 
 	// DeadlineChecks counts (request, deadline-bounded model) pairs;
@@ -192,14 +240,21 @@ type Report struct {
 	MeanWaitSec    float64 `json:"mean_wait_sec"`
 
 	// MeanQueueDepth is the time-averaged number of waiting requests
-	// (total waiting time over the makespan, per Little's law);
-	// MaxQueueDepth the instantaneous peak.
+	// (total queue-waiting time over the makespan, per Little's law);
+	// MaxQueueDepth the instantaneous peak of the waiting queue. Both
+	// use one definition of waiting: a request waits from ArrivalSec to
+	// BusyStartSec — it stops waiting when a package starts
+	// reconfiguring for it, not at StartSec when service proper begins
+	// (WaitSec/MeanWaitSec, by contrast, are latency metrics and keep
+	// the switch time).
 	MeanQueueDepth float64 `json:"mean_queue_depth"`
 	MaxQueueDepth  int     `json:"max_queue_depth"`
 
-	// Utilization is the busy fraction of the makespan (service plus
-	// reconfiguration); ScheduleSwitches counts reconfigurations and
-	// SwitchSec their total cost.
+	// Utilization is the busy fraction of the fleet's total package-time
+	// (BusySec over Packages times the makespan; service plus
+	// reconfiguration count as busy); ScheduleSwitches counts
+	// reconfigurations across all packages and SwitchSec their total
+	// cost.
 	Utilization      float64 `json:"utilization"`
 	BusySec          float64 `json:"busy_sec"`
 	SwitchSec        float64 `json:"switch_sec"`
@@ -208,9 +263,10 @@ type Report struct {
 	// EnergyJ is the summed schedule energy of every executed request.
 	EnergyJ float64 `json:"energy_j"`
 
-	PerClass []ClassReport `json:"per_class"`
+	PerClass   []ClassReport   `json:"per_class"`
+	PerPackage []PackageReport `json:"per_package"`
 
-	// Outcomes holds every request's life cycle, in service order.
+	// Outcomes holds every request's life cycle, in dispatch order.
 	Outcomes []RequestOutcome `json:"-"`
 
 	// Timeline is the merged execution trace (EmitTimeline only).
@@ -224,9 +280,25 @@ type pending struct {
 	arrival    float64
 }
 
-// Simulate runs the discrete-event loop: requests are served in arrival
-// order (FIFO, single package) with deterministic tie-breaking on
-// (time, class index, sequence).
+// pkgState is one replica's engine state.
+type pkgState struct {
+	// freeAt is when the package finishes its current request.
+	freeAt float64
+	// class is the package's configured class (-1 before the first
+	// request); run its consecutive same-class service count.
+	class, run int
+}
+
+// validator lets arrival processes verify themselves before any
+// simulation work runs (Trace implements it; see NewTrace).
+type validator interface{ Validate() error }
+
+// Simulate runs the discrete-event loop over Config.Packages replicas.
+// Whenever a package is free and requests wait, the dispatcher hands
+// the queue to the policy; determinism comes from documented
+// tie-breaks — the queue is kept in arrival-merge order (time, class
+// index, sequence), and among packages free at the same dispatch time
+// the lowest index serves first.
 //
 // ctx bounds the simulation: long runs (large horizons, high rates)
 // poll it periodically and return ctx's error when it is cancelled — a
@@ -242,6 +314,17 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 	if cfg.HorizonSec <= 0 && cfg.MaxRequestsPerClass <= 0 {
 		return nil, fmt.Errorf("online: unbounded simulation: set HorizonSec or MaxRequestsPerClass")
 	}
+	if cfg.Packages < 0 {
+		return nil, fmt.Errorf("online: negative package count %d", cfg.Packages)
+	}
+	nPkgs := cfg.Packages
+	if nPkgs == 0 {
+		nPkgs = 1
+	}
+	pol := cfg.Policy
+	if pol == nil {
+		pol = FIFO{}
+	}
 	for ci := range cfg.Classes {
 		c := &cfg.Classes[ci]
 		if c.Schedule == nil || len(c.Schedule.Windows) == 0 {
@@ -253,9 +336,16 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		if c.Arrivals == nil {
 			return nil, fmt.Errorf("online: class %d (%s) has no arrival process", ci, c.Name)
 		}
+		if v, ok := c.Arrivals.(validator); ok {
+			if err := v.Validate(); err != nil {
+				return nil, fmt.Errorf("online: class %d (%s): %w", ci, c.Name, err)
+			}
+		}
 	}
 
-	// Generate and merge the per-class arrival streams.
+	// Generate and merge the per-class arrival streams. The ascending
+	// check is a cross-generator invariant (custom Arrivals included);
+	// the built-in Trace already fails faster through Validate above.
 	var reqs []pending
 	for ci := range cfg.Classes {
 		if err := ctx.Err(); err != nil {
@@ -279,9 +369,13 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		return reqs[i].seq < reqs[j].seq
 	})
 
-	rep := &Report{Requests: len(reqs)}
+	rep := &Report{Requests: len(reqs), Packages: nPkgs, Policy: pol.Name()}
 	if len(reqs) == 0 {
 		rep.SLAAttainment = 1
+		rep.PerPackage = make([]PackageReport, nPkgs)
+		for p := range rep.PerPackage {
+			rep.PerPackage[p].Package = p
+		}
 		return rep, nil
 	}
 
@@ -299,63 +393,146 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
-	// Serve the merged stream.
+	// Per-class tightest relative deadline, for the queued requests'
+	// effective deadlines (EDF's ordering key).
+	minDL := make([]float64, len(cfg.Classes))
+	for ci := range cfg.Classes {
+		minDL[ci] = cfg.Classes[ci].minDeadlineOffset()
+	}
+
+	// Dispatch loop: pick the earliest-free package (ties: lowest
+	// index), advance to the next arrival if nothing waits, admit every
+	// arrival up to the dispatch time, let the policy pick.
 	rep.Outcomes = make([]RequestOutcome, 0, len(reqs))
-	freeAt := 0.0
-	curClass := -1
-	var totalWait, totalSojourn float64
-	for ri, rq := range reqs {
-		// Poll cancellation every 256 requests: cheap against the event
-		// loop's per-request work, prompt against any realistic load.
-		if ri&255 == 255 {
+	pkgs := make([]pkgState, nPkgs)
+	for p := range pkgs {
+		pkgs[p].class = -1
+	}
+	rep.PerPackage = make([]PackageReport, nPkgs)
+	for p := range rep.PerPackage {
+		rep.PerPackage[p].Package = p
+	}
+	perChecks := make([]int, len(cfg.Classes))
+	perMisses := make([]int, len(cfg.Classes))
+	var queue []Queued
+	next := 0 // next merged arrival to admit
+	var totalWait, totalQueueWait, totalSojourn float64
+	for done := 0; done < len(reqs); done++ {
+		// Poll cancellation every 256 dispatches: cheap against the
+		// event loop's per-request work, prompt against any realistic
+		// load.
+		if done&255 == 255 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("online: simulation cancelled after %d of %d requests: %w", ri, len(reqs), err)
+				return nil, fmt.Errorf("online: simulation cancelled after %d of %d requests: %w", done, len(reqs), err)
 			}
 		}
-		c := &cfg.Classes[rq.class]
-		start := rq.arrival
-		if freeAt > start {
-			start = freeAt
+		// Earliest dispatch time over the fleet...
+		t := pkgs[0].freeAt
+		for p := 1; p < nPkgs; p++ {
+			if pkgs[p].freeAt < t {
+				t = pkgs[p].freeAt
+			}
 		}
+		// ...advanced to the earliest available work: the queue head's
+		// arrival when requests wait (a replica that has been idle since
+		// before the head arrived must not serve it in the past), the
+		// next arrival otherwise.
+		avail := 0.0
+		if len(queue) > 0 {
+			avail = queue[0].ArrivalSec
+		} else {
+			avail = reqs[next].arrival
+		}
+		if avail > t {
+			t = avail
+		}
+		// ...served by the lowest-indexed package free at that time.
+		pi := 0
+		for pkgs[pi].freeAt > t {
+			pi++
+		}
+		// Admit every arrival up to the dispatch time, in merge order.
+		for next < len(reqs) && reqs[next].arrival <= t {
+			rq := reqs[next]
+			dl := math.Inf(1)
+			if !math.IsInf(minDL[rq.class], 1) {
+				dl = rq.arrival + minDL[rq.class]
+			}
+			queue = append(queue, Queued{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival, DeadlineSec: dl})
+			next++
+		}
+
+		st := &pkgs[pi]
+		k := pol.Pick(queue, PackageView{Index: pi, Class: st.class, Run: st.run, NowSec: t})
+		if k < 0 || k >= len(queue) {
+			return nil, fmt.Errorf("online: policy %s picked index %d of a %d-request queue", pol.Name(), k, len(queue))
+		}
+		rq := queue[k]
+		if rq.ArrivalSec > t {
+			// Cannot happen: every admitted request arrived by the
+			// dispatch time (the queue is in arrival order and t covers
+			// its head). Guarded so a future engine change that breaks
+			// the invariant fails loudly instead of serving a request
+			// before it exists.
+			return nil, fmt.Errorf("online: internal: dispatch at %v precedes arrival %v (class %d seq %d)",
+				t, rq.ArrivalSec, rq.Class, rq.Seq)
+		}
+		queue = append(queue[:k], queue[k+1:]...)
+		c := &cfg.Classes[rq.Class]
+
 		out := RequestOutcome{
-			Class:      rq.class,
-			Seq:        rq.seq,
-			ArrivalSec: rq.arrival,
+			Class:      rq.Class,
+			Seq:        rq.Seq,
+			Package:    pi,
+			ArrivalSec: rq.ArrivalSec,
 		}
 		// busyStart is when the package starts working on the request
-		// (reconfiguration included); start is when service proper
-		// begins.
-		busyStart := start
-		if rq.class != curClass {
-			if curClass >= 0 {
+		// (it stops waiting here — queue-depth accounting pops at this
+		// instant); start is when service proper begins, after any
+		// reconfiguration.
+		busyStart := t
+		start := t
+		if rq.Class != st.class {
+			if st.class >= 0 {
 				rep.ScheduleSwitches++
 				rep.SwitchSec += c.SwitchInSec
+				rep.PerPackage[pi].ScheduleSwitches++
+				rep.PerPackage[pi].SwitchSec += c.SwitchInSec
 				start += c.SwitchInSec
 				out.Switched = true
 			}
-			curClass = rq.class
+			st.class = rq.Class
+			st.run = 1
+		} else {
+			st.run++
 		}
 		finish := start + c.Metrics.LatencySec
+		st.freeAt = finish
+		out.BusyStartSec = busyStart
 		out.StartSec = start
 		out.FinishSec = finish
-		out.WaitSec = start - rq.arrival
-		out.SojournSec = finish - rq.arrival
-		freeAt = finish
+		out.WaitSec = start - rq.ArrivalSec
+		out.SojournSec = finish - rq.ArrivalSec
 
 		// Deadline scoring: model m completes at start + its pipeline
-		// latency; the deadline counts from request arrival.
+		// latency; the deadline counts from request arrival. Per-class
+		// counters accumulate here, under the same membership rule as
+		// the globals, so the two accountings cannot diverge (stray
+		// out-of-range Deadlines keys count in neither).
 		for mi := 0; mi < len(c.Scenario.Models); mi++ {
 			d, ok := c.Deadlines[mi]
 			if !ok {
 				continue
 			}
 			rep.DeadlineChecks++
+			perChecks[rq.Class]++
 			mLat, ok := c.Metrics.ModelLatency[mi]
 			if !ok {
 				mLat = c.Metrics.LatencySec
 			}
-			if start+mLat-rq.arrival > d {
+			if start+mLat-rq.ArrivalSec > d {
 				rep.DeadlineMisses++
+				perMisses[rq.Class]++
 				out.MissedModels = append(out.MissedModels, mi)
 			}
 		}
@@ -364,8 +541,11 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		}
 
 		totalWait += out.WaitSec
+		totalQueueWait += busyStart - rq.ArrivalSec
 		totalSojourn += out.SojournSec
 		rep.BusySec += finish - busyStart
+		rep.PerPackage[pi].Requests++
+		rep.PerPackage[pi].BusySec += finish - busyStart
 		rep.EnergyJ += c.Metrics.EnergyJ
 		if finish > rep.MakespanSec {
 			rep.MakespanSec = finish
@@ -388,12 +568,16 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Outcomes = append(rep.Outcomes, out)
 	}
 
-	rep.finish(cfg, totalWait, totalSojourn, tl)
+	rep.finish(cfg, totalWait, totalQueueWait, totalSojourn, perChecks, perMisses, tl)
 	return rep, nil
 }
 
 // finish derives the report's aggregates from the raw outcomes.
-func (rep *Report) finish(cfg Config, totalWait, totalSojourn float64, tl *trace.Timeline) {
+// totalWait sums switch-inclusive waits (StartSec - ArrivalSec);
+// totalQueueWait sums time actually spent in the waiting queue
+// (BusyStartSec - ArrivalSec), the quantity both queue-depth metrics
+// are defined over.
+func (rep *Report) finish(cfg Config, totalWait, totalQueueWait, totalSojourn float64, perChecks, perMisses []int, tl *trace.Timeline) {
 	n := len(rep.Outcomes)
 	rep.MeanWaitSec = totalWait / float64(n)
 	rep.MeanLatencySec = totalSojourn / float64(n)
@@ -403,8 +587,11 @@ func (rep *Report) finish(cfg Config, totalWait, totalSojourn float64, tl *trace
 		rep.SLAAttainment = 1
 	}
 	if rep.MakespanSec > 0 {
-		rep.Utilization = rep.BusySec / rep.MakespanSec
-		rep.MeanQueueDepth = totalWait / rep.MakespanSec
+		rep.Utilization = rep.BusySec / (float64(rep.Packages) * rep.MakespanSec)
+		rep.MeanQueueDepth = totalQueueWait / rep.MakespanSec
+		for p := range rep.PerPackage {
+			rep.PerPackage[p].Utilization = rep.PerPackage[p].BusySec / rep.MakespanSec
+		}
 	}
 
 	sojourns := make([]float64, n)
@@ -418,12 +605,16 @@ func (rep *Report) finish(cfg Config, totalWait, totalSojourn float64, tl *trace
 	rep.MaxLatencySec = sojourns[n-1]
 	rep.MaxQueueDepth = maxQueueDepth(rep.Outcomes)
 
-	// Per-class aggregates, in class order.
+	// Per-class aggregates, in class order. Deadline counters were
+	// accumulated in the dispatch loop under the global membership rule.
 	for ci := range cfg.Classes {
-		cr := ClassReport{Name: cfg.Classes[ci].Name}
+		cr := ClassReport{
+			Name:           cfg.Classes[ci].Name,
+			DeadlineChecks: perChecks[ci],
+			DeadlineMisses: perMisses[ci],
+		}
 		var sum float64
 		var cls []float64
-		checks, misses := 0, 0
 		for _, o := range rep.Outcomes {
 			if o.Class != ci {
 				continue
@@ -431,12 +622,10 @@ func (rep *Report) finish(cfg Config, totalWait, totalSojourn float64, tl *trace
 			cr.Requests++
 			sum += o.SojournSec
 			cls = append(cls, o.SojournSec)
-			checks += len(cfg.Classes[ci].Deadlines)
-			misses += len(o.MissedModels)
 		}
 		cr.SLAAttainment = 1
-		if checks > 0 {
-			cr.SLAAttainment = 1 - float64(misses)/float64(checks)
+		if cr.DeadlineChecks > 0 {
+			cr.SLAAttainment = 1 - float64(cr.DeadlineMisses)/float64(cr.DeadlineChecks)
 		}
 		if cr.Requests > 0 {
 			cr.MeanSojourn = sum / float64(cr.Requests)
@@ -473,19 +662,22 @@ func percentile(sorted []float64, q float64) float64 {
 	return sorted[rank]
 }
 
-// qEvent is one queue-depth change: arrivals push, service starts pop.
+// qEvent is one queue-depth change: arrivals push, busy starts pop.
 type qEvent struct {
 	t     float64
 	delta int
 }
 
-// maxQueueDepth sweeps arrival/start events for the instantaneous peak
-// of the waiting queue. Pops sort before pushes at equal times, so a
-// request starting the moment it arrives never counts as queued.
+// maxQueueDepth sweeps arrival/busy-start events for the instantaneous
+// peak of the waiting queue. A request waits from its arrival until a
+// package starts working on it (BusyStartSec) — reconfiguration time is
+// package-busy time, not queueing, so a request being reconfigured-for
+// does not count as queued. Pops sort before pushes at equal times, so
+// a request picked up the moment it arrives never counts as queued.
 func maxQueueDepth(outs []RequestOutcome) int {
 	evs := make([]qEvent, 0, 2*len(outs))
 	for _, o := range outs {
-		evs = append(evs, qEvent{t: o.ArrivalSec, delta: 1}, qEvent{t: o.StartSec, delta: -1})
+		evs = append(evs, qEvent{t: o.ArrivalSec, delta: 1}, qEvent{t: o.BusyStartSec, delta: -1})
 	}
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].t != evs[j].t {

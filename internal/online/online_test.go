@@ -291,11 +291,42 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
-func TestPoissonUnboundedGuard(t *testing.T) {
+func TestUnboundedArrivalGuards(t *testing.T) {
 	// Called directly (outside Simulate's validation) with no bounds,
-	// the process must not loop forever.
+	// no process may loop forever — and all of them agree on returning
+	// nil rather than a truncated prefix. (Periodic used to emit one
+	// element where Poisson returned nil.)
 	if got := (Poisson{RatePerSec: 10, Seed: 1}).Times(0, 0); got != nil {
 		t.Errorf("unbounded Poisson returned %d times, want nil", len(got))
+	}
+	if got := (Periodic{PeriodSec: 1}).Times(0, 0); got != nil {
+		t.Errorf("unbounded Periodic returned %d times, want nil", len(got))
+	}
+	if got := (Periodic{PeriodSec: 1, OffsetSec: 3}).Times(0, 0); got != nil {
+		t.Errorf("unbounded offset Periodic returned %d times, want nil", len(got))
+	}
+	// Bounded Periodic still emits.
+	if got := (Periodic{PeriodSec: 1}).Times(2.5, 0); len(got) != 3 {
+		t.Errorf("bounded Periodic = %v, want 3 times", got)
+	}
+	if got := (Periodic{PeriodSec: 1}).Times(0, 2); len(got) != 2 {
+		t.Errorf("max-bounded Periodic = %v, want 2 times", got)
+	}
+}
+
+func TestNewTraceValidatesAscending(t *testing.T) {
+	if _, err := NewTrace([]float64{1, 3, 2}); err == nil {
+		t.Error("descending trace accepted at construction")
+	}
+	tr, err := NewTrace([]float64{1, 2, 2, 3})
+	if err != nil {
+		t.Fatalf("ascending trace rejected: %v", err)
+	}
+	if got := tr.Times(0, 0); len(got) != 4 {
+		t.Errorf("trace times = %v", got)
+	}
+	if _, err := NewTrace(nil); err != nil {
+		t.Errorf("empty trace rejected: %v", err)
 	}
 }
 

@@ -1,0 +1,163 @@
+package online
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// referenceSimulate is the pre-refactor simulator: the single-package
+// FIFO loop that served the merged arrival stream in order, kept as an
+// executable specification for the multi-package engine. The three
+// accounting fixes that landed with the engine (per-class deadline
+// counters under the global membership rule, queue-depth pops at busy
+// start, package/busy-start outcome fields) are applied here too, so a
+// Simulate run at Packages=1 with the FIFO policy must reproduce it
+// bit-identically — the equivalence test below asserts reflect.DeepEqual
+// on the whole report.
+func referenceSimulate(t *testing.T, cfg Config) *Report {
+	t.Helper()
+	var reqs []pending
+	for ci := range cfg.Classes {
+		times := cfg.Classes[ci].Arrivals.Times(cfg.HorizonSec, cfg.MaxRequestsPerClass)
+		for seq, tm := range times {
+			reqs = append(reqs, pending{class: ci, seq: seq, arrival: tm})
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].arrival != reqs[j].arrival {
+			return reqs[i].arrival < reqs[j].arrival
+		}
+		if reqs[i].class != reqs[j].class {
+			return reqs[i].class < reqs[j].class
+		}
+		return reqs[i].seq < reqs[j].seq
+	})
+
+	rep := &Report{Requests: len(reqs), Packages: 1, Policy: "fifo"}
+	rep.PerPackage = []PackageReport{{}}
+	if len(reqs) == 0 {
+		rep.SLAAttainment = 1
+		return rep
+	}
+
+	rep.Outcomes = make([]RequestOutcome, 0, len(reqs))
+	perChecks := make([]int, len(cfg.Classes))
+	perMisses := make([]int, len(cfg.Classes))
+	freeAt := 0.0
+	curClass := -1
+	var totalWait, totalQueueWait, totalSojourn float64
+	for _, rq := range reqs {
+		c := &cfg.Classes[rq.class]
+		start := rq.arrival
+		if freeAt > start {
+			start = freeAt
+		}
+		out := RequestOutcome{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival}
+		busyStart := start
+		if rq.class != curClass {
+			if curClass >= 0 {
+				rep.ScheduleSwitches++
+				rep.SwitchSec += c.SwitchInSec
+				rep.PerPackage[0].ScheduleSwitches++
+				rep.PerPackage[0].SwitchSec += c.SwitchInSec
+				start += c.SwitchInSec
+				out.Switched = true
+			}
+			curClass = rq.class
+		}
+		finish := start + c.Metrics.LatencySec
+		out.BusyStartSec = busyStart
+		out.StartSec = start
+		out.FinishSec = finish
+		out.WaitSec = start - rq.arrival
+		out.SojournSec = finish - rq.arrival
+		freeAt = finish
+
+		for mi := 0; mi < len(c.Scenario.Models); mi++ {
+			d, ok := c.Deadlines[mi]
+			if !ok {
+				continue
+			}
+			rep.DeadlineChecks++
+			perChecks[rq.class]++
+			mLat, ok := c.Metrics.ModelLatency[mi]
+			if !ok {
+				mLat = c.Metrics.LatencySec
+			}
+			if start+mLat-rq.arrival > d {
+				rep.DeadlineMisses++
+				perMisses[rq.class]++
+				out.MissedModels = append(out.MissedModels, mi)
+			}
+		}
+		if len(out.MissedModels) == 0 {
+			rep.RequestsOnTime++
+		}
+
+		totalWait += out.WaitSec
+		totalQueueWait += busyStart - rq.arrival
+		totalSojourn += out.SojournSec
+		rep.BusySec += finish - busyStart
+		rep.PerPackage[0].Requests++
+		rep.PerPackage[0].BusySec += finish - busyStart
+		rep.EnergyJ += c.Metrics.EnergyJ
+		if finish > rep.MakespanSec {
+			rep.MakespanSec = finish
+		}
+		rep.Outcomes = append(rep.Outcomes, out)
+	}
+	rep.finish(cfg, totalWait, totalQueueWait, totalSojourn, perChecks, perMisses, nil)
+	return rep
+}
+
+// TestFIFOSinglePackageMatchesReference: the event-driven engine at
+// Packages=1 with the FIFO policy (explicitly and via the defaults)
+// reproduces the pre-refactor arrival-order loop bit-for-bit.
+func TestFIFOSinglePackageMatchesReference(t *testing.T) {
+	cfgs := map[string]Config{
+		"poisson-mix": {
+			Classes: []Class{
+				mustClass(t, "a", Poisson{RatePerSec: 3, Seed: 7}, 3),
+				mustClass(t, "b", Poisson{RatePerSec: 1, Seed: 11}, 3),
+			},
+			HorizonSec: 60,
+		},
+		"alternating-periodic": {
+			Classes: []Class{
+				mustClass(t, "a", Periodic{PeriodSec: 1}, 2),
+				mustClass(t, "b", Periodic{PeriodSec: 1, OffsetSec: 0.5}, 2),
+			},
+			HorizonSec: 25,
+		},
+		"trace-ties": {
+			Classes: []Class{
+				mustClass(t, "a", Trace{TimesSec: []float64{0, 0, 1, 1, 1, 4}}, 2),
+				mustClass(t, "b", Trace{TimesSec: []float64{0, 1, 4}}, 2),
+			},
+			HorizonSec: 100,
+		},
+	}
+	for name, cfg := range cfgs {
+		t.Run(name, func(t *testing.T) {
+			want := referenceSimulate(t, cfg)
+			for _, variant := range []struct {
+				label string
+				mod   func(Config) Config
+			}{
+				{"defaults", func(c Config) Config { return c }},
+				{"explicit", func(c Config) Config { c.Packages = 1; c.Policy = FIFO{}; return c }},
+			} {
+				got, err := Simulate(context.Background(), variant.mod(cfg))
+				if err != nil {
+					t.Fatalf("%s: %v", variant.label, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s: engine diverged from the pre-refactor FIFO reference\ngot:  %+v\nwant: %+v",
+						variant.label, got, want)
+				}
+			}
+		})
+	}
+}

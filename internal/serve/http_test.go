@@ -96,6 +96,31 @@ func TestHTTPSimulateAndStats(t *testing.T) {
 		t.Errorf("empty simulate: status %d, want 400 (%s)", resp.StatusCode, data)
 	}
 
+	// The packages/policy wire fields reach the engine and are echoed.
+	fleetBody := fmt.Sprintf(`{
+	  "classes": [{"workload_json": %s, "profile": "edge", "name": "tiny", "rate_per_sec": 5, "seed": 3}],
+	  "max_requests_per_class": 40,
+	  "horizon_sec": 1e9,
+	  "packages": 2,
+	  "policy": "switch-aware"
+	}`, tinyWorkload)
+	resp, data = postJSON(t, srv.URL+"/simulate", fleetBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet simulate: status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("fleet simulate response not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Packages != 2 || rep.Policy != "switch-aware" || len(rep.PerPackage) != 2 {
+		t.Errorf("fleet wire fields not honored: packages %d, policy %q, per_package %d",
+			rep.Packages, rep.Policy, len(rep.PerPackage))
+	}
+
+	resp, data = postJSON(t, srv.URL+"/simulate", `{"classes": [{"scenario": 8, "rate_per_sec": 1}], "policy": "lifo"}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown policy: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+
 	r, err := http.Get(srv.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -105,8 +130,11 @@ func TestHTTPSimulateAndStats(t *testing.T) {
 	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
-	if st.Simulations != 1 || st.ScheduleCalls != 1 {
-		t.Errorf("stats = %+v, want 1 simulation over 1 search (rejected requests are not counted)", st)
+	// Two accepted simulations over one underlying search (the fleet
+	// run reuses the cached schedule); the rejected requests (empty
+	// classes, unknown policy) count nowhere.
+	if st.Simulations != 2 || st.ScheduleCalls != 1 || st.CacheHits != 1 {
+		t.Errorf("stats = %+v, want 2 simulations over 1 search and 1 cache hit (rejected requests are not counted)", st)
 	}
 	if st.CostEntries <= 0 || st.CostMisses <= 0 {
 		t.Errorf("cost database stats empty: %+v", st)

@@ -401,6 +401,12 @@ type SimClass struct {
 // SimRequest drives one simulation over scheduled classes.
 type SimRequest struct {
 	Classes []SimClass `json:"classes"`
+	// Packages is the number of identical package replicas sharing the
+	// queue (0 = 1).
+	Packages int `json:"packages,omitempty"`
+	// Policy picks the next queued request: "fifo" (default), "edf" or
+	// "switch-aware" (see online.PolicyByName).
+	Policy string `json:"policy,omitempty"`
 	// HorizonSec / MaxRequestsPerClass bound the simulated load (at
 	// least one must be positive; defaults: 100 requests per class).
 	HorizonSec          float64 `json:"horizon_sec,omitempty"`
@@ -421,11 +427,44 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	if req.HorizonSec <= 0 && req.MaxRequestsPerClass <= 0 {
 		req.MaxRequestsPerClass = 100
 	}
+	if req.Packages < 0 {
+		return nil, fmt.Errorf("serve: negative package count %d", req.Packages)
+	}
+	// Resolve the policy name before scheduling any class, so a typo
+	// fails fast instead of after seconds of search work.
+	policy, err := online.PolicyByName(req.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	slack := req.SlackFactor
 	if slack == 0 {
 		slack = 3
 	}
-	s.simulations.Add(1)
+
+	// Resolve every class's arrival process before scheduling any: a
+	// malformed class must not cost seconds of search work (or populate
+	// the schedule cache) before its rejection.
+	arrivals := make([]online.Arrivals, len(req.Classes))
+	for i, sc := range req.Classes {
+		switch {
+		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
+			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
+		case len(sc.ArrivalTimes) > 0:
+			tr, err := online.NewTrace(sc.ArrivalTimes)
+			if err != nil {
+				return nil, fmt.Errorf("serve: class %d: %w", i, err)
+			}
+			arrivals[i] = tr
+		case sc.RatePerSec > 0:
+			seed := sc.Seed
+			if seed == 0 {
+				seed = int64(i) + 1
+			}
+			arrivals[i] = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
+		default:
+			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
+		}
+	}
 
 	classes := make([]online.Class, len(req.Classes))
 	for i, sc := range req.Classes {
@@ -433,33 +472,24 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %d: %w", i, err)
 		}
-		var arr online.Arrivals
-		switch {
-		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
-			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
-		case len(sc.ArrivalTimes) > 0:
-			arr = online.Trace{TimesSec: sc.ArrivalTimes}
-		case sc.RatePerSec > 0:
-			seed := sc.Seed
-			if seed == 0 {
-				seed = int64(i) + 1
-			}
-			arr = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
-		default:
-			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
-		}
 		name := sc.Name
 		if name == "" {
 			name = sr.Key
 		}
-		cl, err := online.NewClass(name, s.Evaluator(sr), sr.Result.Schedule, arr, slack)
+		cl, err := online.NewClass(name, s.Evaluator(sr), sr.Result.Schedule, arrivals[i], slack)
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %d: %w", i, err)
 		}
 		classes[i] = cl
 	}
+	// Count only requests that reach the simulator: rejected ones —
+	// malformed classes, unknown policies, failed searches — count
+	// nowhere.
+	s.simulations.Add(1)
 	return online.Simulate(ctx, online.Config{
 		Classes:             classes,
+		Packages:            req.Packages,
+		Policy:              policy,
 		HorizonSec:          req.HorizonSec,
 		MaxRequestsPerClass: req.MaxRequestsPerClass,
 	})

@@ -189,6 +189,90 @@ func TestSimulateValidation(t *testing.T) {
 	if _, err := s.Simulate(context.Background(), SimRequest{Classes: []SimClass{both}}); err == nil {
 		t.Error("class with both rate and trace accepted")
 	}
+	ok := SimClass{Request: tinyRequest(), RatePerSec: 1}
+	// An unknown policy or a negative replica count fails before any
+	// class is scheduled — the schedule cache must stay untouched.
+	if _, err := s.Simulate(context.Background(), SimRequest{Classes: []SimClass{ok}, Policy: "lifo"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := s.Simulate(context.Background(), SimRequest{Classes: []SimClass{ok}, Packages: -1}); err == nil {
+		t.Error("negative package count accepted")
+	}
+	if st := s.Stats(); st.ScheduleCalls != 0 {
+		t.Errorf("invalid simulations ran %d searches, want 0 (fail before scheduling)", st.ScheduleCalls)
+	}
+}
+
+// TestSimulatePoliciesAndPackages: the wire fields reach the engine —
+// the report echoes them, replicas split the load, and switch-aware
+// reconfigures less than FIFO on a two-class mix.
+func TestSimulatePoliciesAndPackages(t *testing.T) {
+	s := fastService()
+	// Strictly interleaved arrivals, nanoseconds apart: the whole load
+	// is backlogged from the start regardless of the searched schedules'
+	// service latencies, so dispatch policies actually have a queue to
+	// choose from and FIFO switches classes on every dispatch.
+	const perClass = 30
+	ta := make([]float64, perClass)
+	tb := make([]float64, perClass)
+	for i := 0; i < perClass; i++ {
+		ta[i] = float64(2*i) * 1e-9
+		tb[i] = float64(2*i+1) * 1e-9
+	}
+	mk := func(packages int, policy string) SimRequest {
+		return SimRequest{
+			Classes: []SimClass{
+				{Request: tinyRequest(), Name: "a", ArrivalTimes: ta},
+				{Request: func() Request {
+					r := tinyRequest()
+					r.Objective = "latency" // distinct cache key -> a second class
+					return r
+				}(), Name: "b", ArrivalTimes: tb},
+			},
+			HorizonSec: 1e9,
+			Packages:   packages,
+			Policy:     policy,
+		}
+	}
+	fifo1, err := s.Simulate(context.Background(), mk(1, ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo1.Packages != 1 || fifo1.Policy != "fifo" {
+		t.Errorf("defaults: packages %d policy %q", fifo1.Packages, fifo1.Policy)
+	}
+	// Alternating backlog on one package: FIFO switches on every
+	// dispatch, switch-aware batches.
+	if fifo1.ScheduleSwitches != fifo1.Requests-1 {
+		t.Errorf("1-package FIFO switched %d times on a strict alternation of %d requests",
+			fifo1.ScheduleSwitches, fifo1.Requests)
+	}
+	sw1, err := s.Simulate(context.Background(), mk(1, "switch-aware"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw1.Policy != "switch-aware" || sw1.ScheduleSwitches >= fifo1.ScheduleSwitches {
+		t.Errorf("switch-aware (%q) switched %d times, fifo %d — batching should reconfigure less",
+			sw1.Policy, sw1.ScheduleSwitches, fifo1.ScheduleSwitches)
+	}
+	// Replicas: the wire field reaches the engine and splits the load.
+	fifo2, err := s.Simulate(context.Background(), mk(2, "fifo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fifo2.Packages != 2 || len(fifo2.PerPackage) != 2 {
+		t.Errorf("wire fields not honored: %d packages, %d per-package entries", fifo2.Packages, len(fifo2.PerPackage))
+	}
+	if fifo2.MakespanSec >= fifo1.MakespanSec {
+		t.Errorf("2-package makespan %v not below 1-package %v", fifo2.MakespanSec, fifo1.MakespanSec)
+	}
+	edf2, err := s.Simulate(context.Background(), mk(2, "edf"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edf2.Policy != "edf" || edf2.Requests != fifo2.Requests {
+		t.Errorf("edf run: policy %q, %d requests (fifo served %d)", edf2.Policy, edf2.Requests, fifo2.Requests)
+	}
 }
 
 func TestRequestKeyCoversInputs(t *testing.T) {

@@ -26,10 +26,12 @@
 //
 // Beyond the paper's one-shot search, the package serves schedules
 // online: Service (cmd/scarserve) answers concurrent scheduling requests
-// through a singleflight-deduplicated cache, and Simulate drives a
-// package through time under Poisson or trace-driven request load,
-// scoring XRBench frame-rate deadlines (see the README's Serving
-// section).
+// through a singleflight-deduplicated cache, and Simulate drives a fleet
+// of package replicas (SimConfig.Packages) through time under Poisson or
+// trace-driven request load, scoring XRBench frame-rate deadlines under
+// a pluggable dispatch policy — FIFOPolicy, EDFPolicy or
+// SwitchAwarePolicy (see the README's Serving section and
+// examples/fleet).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-vs-measured mapping of every table and figure.
@@ -140,6 +142,24 @@ type (
 	// PeriodicArrivals emits one request per fixed period (the XRBench
 	// frame clock).
 	PeriodicArrivals = online.Periodic
+	// SimPolicy picks which waiting request a freed package serves next
+	// (SimConfig.Policy); implementations must be deterministic pure
+	// functions so simulations stay bit-identical under concurrency.
+	SimPolicy = online.Policy
+	// SimQueued is the policy-visible view of one waiting request.
+	SimQueued = online.Queued
+	// SimPackageView is the policy-visible state of the dispatching
+	// package replica (index, configured class, same-class run length).
+	SimPackageView = online.PackageView
+	// FIFOPolicy serves strictly in arrival order (the default).
+	FIFOPolicy = online.FIFO
+	// EDFPolicy serves the earliest effective deadline first.
+	EDFPolicy = online.EDF
+	// SwitchAwarePolicy amortizes schedule switches by serving
+	// same-class runs up to a hysteresis bound (MaxRun).
+	SwitchAwarePolicy = online.SwitchAware
+	// SimPackageReport is one replica's aggregate in a SimReport.
+	SimPackageReport = online.PackageReport
 	// Service is the concurrent scheduling service: a singleflight-
 	// deduplicated schedule cache over a shared warm cost database,
 	// with an http.Handler exposing /schedule, /simulate and /stats.
@@ -166,6 +186,14 @@ var (
 	// ScheduleSwitchCost is the reconfiguration price of switching the
 	// package to a new schedule (first-window weight reload).
 	ScheduleSwitchCost = online.SwitchCost
+	// NewTrace builds a validated trace-driven arrival process
+	// (non-ascending timestamps are rejected at construction).
+	NewTrace = online.NewTrace
+	// PolicyByName resolves the dispatch-policy wire vocabulary:
+	// "fifo", "edf", "switch-aware" (the /simulate policy field).
+	PolicyByName = online.PolicyByName
+	// PolicyNames lists the dispatch-policy wire vocabulary.
+	PolicyNames = online.PolicyNames
 	// NewService builds a scheduling service with a fresh cost
 	// database; see Service.
 	NewService = serve.New
@@ -425,7 +453,11 @@ func (ses *Session) NNBaton() (*Schedule, Metrics, error) {
 }
 
 // SimClass assembles a request class for the discrete-event simulator
-// from a schedule of this session's pair (see NewSimClass).
+// from a schedule of this session's pair (see NewSimClass). Classes from
+// several sessions combine into one SimConfig — with Packages replicas
+// and a dispatch Policy (FIFOPolicy, EDFPolicy, SwitchAwarePolicy) —
+// and run through Simulate; examples/fleet shows a two-package AR/VR
+// deployment built this way.
 func (ses *Session) SimClass(name string, sched *Schedule, arr Arrivals, slackFactor float64) (SimClass, error) {
 	return online.NewClass(name, ses.ev, sched, arr, slackFactor)
 }
