@@ -12,6 +12,8 @@
 //	scarbench -exp evalbench -benchjson BENCH_eval.json
 //	scarbench -exp online -benchjson BENCH_online.json
 //	scarbench -exp policies -benchjson BENCH_policies.json
+//	scarbench -exp serve -benchjson BENCH_serve.json   # serve-layer load generator
+//	scarbench -exp serve -serve-url http://localhost:8080  # drive a live daemon
 //	scarbench -workers 4 -exp all   # bound cell-level parallelism
 //	scarbench -cpuprofile cpu.pprof -exp table4
 //	scarbench -costdb scar.costdb -exp table4  # warm-start the cost model
@@ -37,9 +39,13 @@ var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
 	"sensitivity", "speedup", "evalbench", "online", "policies",
+	"serve",
 }
 
-var benchJSON string
+var (
+	benchJSON string
+	serveCfg  experiments.ServeLoadConfig
+)
 
 // main delegates so realMain's defers (CPU profile trailer, file close)
 // run before the process exits even when an experiment fails.
@@ -57,7 +63,24 @@ func realMain() int {
 		timeout    = flag.Duration("timeout", 0, "wall-clock bound over the whole run (0 = none); searches in flight at expiry abort and the run fails")
 	)
 	flag.StringVar(&benchJSON, "benchjson", "", "with -exp evalbench or online: also write the snapshot as JSON to this file (the BENCH_*.json format)")
+	flag.IntVar(&serveCfg.Keys, "serve-keys", 0, "with -exp serve: resident cache keys pre-populated per point (0 = 128, or 32 with -fast)")
+	flag.IntVar(&serveCfg.Goroutines, "serve-goroutines", 0, "with -exp serve: client concurrency (0 = 4x GOMAXPROCS)")
+	flag.DurationVar(&serveCfg.Duration, "serve-duration", 0, "with -exp serve: measured interval per point (0 = 2s, or 250ms with -fast)")
+	flag.Float64Var(&serveCfg.HitFraction, "serve-hit", 0, "with -exp serve: hit share of the mixed workload (0 = 0.95)")
+	flag.IntVar(&serveCfg.Shards, "serve-shards", 0, "with -exp serve: shard count of the sharded service (0 = serve default)")
+	flag.StringVar(&serveCfg.URL, "serve-url", "", "with -exp serve: drive a live scarserve daemon at this base URL instead of in-process services")
 	flag.Parse()
+
+	if *fast {
+		// Reduced load-generator budgets, mirroring -fast search budgets:
+		// enough to exercise every path, not enough to measure precisely.
+		if serveCfg.Keys == 0 {
+			serveCfg.Keys = 32
+		}
+		if serveCfg.Duration == 0 {
+			serveCfg.Duration = 250 * time.Millisecond
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -245,6 +268,18 @@ func run(s *experiments.Suite, name string) error {
 		}
 	case "policies":
 		res, err := s.Policies()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if benchJSON != "" {
+			if err := writeSnapshot(benchJSON, res.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
+		}
+	case "serve":
+		res, err := s.ServeLoad(serveCfg)
 		if err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	scarserve [-addr :8080] [-fast] [-seed 1] [-workers 0] [-costdb scar.costdb]
+//	          [-shards 0] [-max-cached-schedules 0]
 //	          [-request-timeout 5m] [-shutdown-timeout 30s]
 //
 // Endpoints:
@@ -68,6 +69,8 @@ func realMain() int {
 		seed        = flag.Int64("seed", 1, "search seed")
 		workers     = flag.Int("workers", 0, "per-search worker bound (0 = all cores)")
 		costdbPath  = flag.String("costdb", "", "cost-database snapshot: loaded at start if present, saved on shutdown")
+		shards      = flag.Int("shards", 0, "schedule-cache shard count, rounded up to a power of two (0 = derived from GOMAXPROCS)")
+		maxCached   = flag.Int("max-cached-schedules", 0, "bound on resident completed schedules across all shards (0 = default)")
 		reqTimeout  = flag.Duration("request-timeout", 5*time.Minute, "default search deadline for requests without timeout_ms (0 = none)")
 		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline; overrunning requests are cancelled, not killed")
 	)
@@ -91,7 +94,7 @@ func realMain() int {
 			fmt.Printf("scarserve: cost database loaded from %s (%d entries)\n", *costdbPath, db.Size())
 		}
 	}
-	svc := serve.NewWithDB(db, opts)
+	svc := serve.NewWithConfig(db, opts, serve.Config{Shards: *shards, MaxCachedSchedules: *maxCached})
 	svc.SetRequestTimeout(*reqTimeout)
 
 	// baseCtx parents every request context: cancelling it is the lever
@@ -113,8 +116,8 @@ func realMain() int {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d request-timeout=%v)\n",
-			*addr, *fast, *seed, *workers, *reqTimeout)
+		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d shards=%d request-timeout=%v)\n",
+			*addr, *fast, *seed, *workers, svc.Stats().Shards, *reqTimeout)
 		errc <- server.ListenAndServe()
 	}()
 

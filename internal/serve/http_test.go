@@ -182,3 +182,80 @@ func TestHTTPMethodAndBodyGuards(t *testing.T) {
 		t.Errorf("healthz: %d", r.StatusCode)
 	}
 }
+
+// TestHTTPValidationRejects pins the wire-boundary validation: garbage
+// dimensions and timeouts must answer a clean 400 with a JSON error
+// body, not reach the search machinery (previously a negative width
+// surfaced as an opaque pattern-construction failure, and a negative
+// timeout_ms silently disabled the caller's deadline).
+func TestHTTPValidationRejects(t *testing.T) {
+	svc := fastService()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name, body, want string
+	}{
+		{"negative width", `{"scenario": 1, "width": -3, "height": 3}`, "dimensions must be positive"},
+		{"negative height", `{"scenario": 1, "width": 3, "height": -1}`, "dimensions must be positive"},
+		{"excessive dims", `{"scenario": 1, "width": 4096, "height": 4096}`, "exceed"},
+		{"negative timeout", `{"scenario": 1, "timeout_ms": -100}`, "negative timeout_ms"},
+		{"negative scenario", `{"scenario": -7}`, "negative scenario"},
+	} {
+		resp, data := postJSON(t, srv.URL+"/schedule", tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, data)
+			continue
+		}
+		var he httpError
+		if err := json.Unmarshal(data, &he); err != nil {
+			t.Errorf("%s: error body not JSON: %v\n%s", tc.name, err, data)
+			continue
+		}
+		if !bytes.Contains([]byte(he.Error), []byte(tc.want)) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, he.Error, tc.want)
+		}
+	}
+
+	// /simulate inherits the same per-class validation.
+	resp, data := postJSON(t, srv.URL+"/simulate",
+		`{"classes": [{"scenario": 1, "width": -2, "rate_per_sec": 1}], "max_requests_per_class": 5}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("simulate with invalid class: status %d, want 400 (%s)", resp.StatusCode, data)
+	}
+
+	// None of the rejected requests may have touched the cache or
+	// started a search.
+	if st := svc.Stats(); st.ScheduleCalls != 0 || st.CachedSchedules != 0 || st.InflightSearches != 0 {
+		t.Errorf("invalid requests reached the cache: %+v", st)
+	}
+}
+
+// TestHTTPStatsExposesShardFields pins the new stats wire fields.
+func TestHTTPStatsExposesShardFields(t *testing.T) {
+	srv := httptest.NewServer(fastService().Handler())
+	defer srv.Close()
+	resp, data := postJSON(t, srv.URL+"/schedule", fmt.Sprintf(`{"workload_json": %s, "profile": "edge"}`, tinyWorkload))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %d %s", resp.StatusCode, data)
+	}
+	r, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	for field, want := range map[string]float64{
+		"cached_schedules": 1, "inflight_searches": 0, "shards": float64(defaultShardCount()),
+	} {
+		got, ok := st[field].(float64)
+		if !ok {
+			t.Errorf("stats JSON missing %q: %v", field, st)
+		} else if got != want {
+			t.Errorf("stats %s = %v, want %v", field, got, want)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package serve
+
+import "sync"
+
+// legacyCache is the pre-sharding schedule cache, retained verbatim in
+// behavior as the measurement baseline for `scarbench -exp serve` (the
+// way internal/eval keeps the uncompiled evaluator as its reference):
+// one global mutex over one map plus an insertion-order slice, FIFO
+// eviction of completed entries triggered at insert time, linear scans
+// for removal, and a single shared counter block. It preserves the
+// costs the sharded cache was built to remove — every removal scans
+// the order slice under the global lock (quadratic under failing-key
+// churn), and in-flight entries count against the bound, so transient
+// failing keys evict the resident working set. Do not use it outside
+// benchmarks and regression tests; Config.SingleMutex selects it.
+type legacyCache struct {
+	mu         sync.Mutex
+	entries    map[string]*entry
+	order      []string // insertion order, for FIFO eviction
+	inflight   int
+	maxEntries int
+
+	stats counterBlock // one shared block: every goroutine contends on it
+}
+
+func newLegacyCache(maxEntries int) *legacyCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxCachedSchedules
+	}
+	return &legacyCache{
+		entries:    make(map[string]*entry),
+		maxEntries: maxEntries,
+	}
+}
+
+func (c *legacyCache) counters(string) *counterBlock { return &c.stats }
+func (c *legacyCache) simCounter() *counterBlock     { return &c.stats }
+
+func (c *legacyCache) lookupOrStart(key string) (*entry, bool) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return e, false
+	}
+	e := &entry{done: make(chan struct{}), key: key}
+	c.entries[key] = e
+	c.order = append(c.order, key)
+	c.inflight++
+	c.evictLocked()
+	c.mu.Unlock()
+	return e, true
+}
+
+// evictLocked drops the oldest completed cache entries until the cache
+// fits the bound. In-flight entries are never evicted but do count
+// against the bound (the legacy accounting the sharded cache fixes).
+// Callers hold c.mu.
+func (c *legacyCache) evictLocked() {
+	for len(c.entries) > c.maxEntries {
+		evicted := false
+		for i, k := range c.order {
+			e, ok := c.entries[k]
+			if !ok {
+				// Key already removed (failed search); drop the stale
+				// order slot.
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+			if e.completed {
+				delete(c.entries, k)
+				c.order = append(c.order[:i], c.order[i+1:]...)
+				evicted = true
+				break
+			}
+			// In-flight: try the next-oldest.
+		}
+		if !evicted {
+			return // everything in flight; the bound yields temporarily
+		}
+	}
+}
+
+func (c *legacyCache) complete(key string, e *entry) {
+	c.mu.Lock()
+	e.completed = true
+	c.inflight--
+	c.mu.Unlock()
+}
+
+func (c *legacyCache) discard(key string, e *entry) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.inflight--
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.mu.Unlock()
+}
+
+func (c *legacyCache) sizes() (completed, inflight int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries) - c.inflight, c.inflight
+}
+
+func (c *legacyCache) totals() counterTotals {
+	return counterTotals{
+		requests:      c.stats.requests.Load(),
+		scheduleCalls: c.stats.scheduleCalls.Load(),
+		cacheHits:     c.stats.cacheHits.Load(),
+		simulations:   c.stats.simulations.Load(),
+	}
+}
+
+func (c *legacyCache) shardCount() int { return 1 }

@@ -7,6 +7,13 @@
 // the underlying search tens of milliseconds, so a cache miss is an
 // acceptable online cost and a hit is effectively free.
 //
+// The cache is sharded by key hash (shard.go): each power-of-two shard
+// carries its own mutex, its own singleflight slots and its own LRU
+// recency list, and the hot counters live in cache-line-padded
+// per-shard blocks merged on read, so the hit path of one key never
+// contends with another's. The pre-sharding single-mutex FIFO cache is
+// retained (legacy.go) as the scarbench -exp serve baseline.
+//
 // Cancellation is per caller: a follower abandons its wait the moment
 // its own context dies while the shared search continues; a leader whose
 // context dies returns an anytime partial result (or the context error),
@@ -22,8 +29,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"example.com/scar/internal/config"
@@ -67,6 +74,12 @@ type Request struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
+// MaxPackageDim bounds the wire-settable package grid: the search cost
+// grows steeply with the chiplet count, so an arbitrary width/height
+// from an untrusted client is a denial-of-service lever, not a
+// scheduling request. The paper's largest package is 6x6.
+const MaxPackageDim = 32
+
 // withDefaults resolves the request's implied fields.
 func (r Request) withDefaults() Request {
 	if r.Pattern == "" {
@@ -89,6 +102,28 @@ func (r Request) withDefaults() Request {
 		r.Objective = "edp"
 	}
 	return r
+}
+
+// validate rejects out-of-range wire fields at the boundary, before
+// the request touches the cache or any search machinery. Defaulting
+// alone is not enough: withDefaults only replaces zero values, so a
+// negative width or timeout_ms would previously flow into mcm.ByName
+// or the context machinery and surface as a confusing internal error
+// instead of a clean 400. Called on the defaulted request.
+func (r Request) validate() error {
+	if r.Width < 1 || r.Height < 1 {
+		return fmt.Errorf("serve: package dimensions must be positive, got %dx%d", r.Width, r.Height)
+	}
+	if r.Width > MaxPackageDim || r.Height > MaxPackageDim {
+		return fmt.Errorf("serve: package dimensions %dx%d exceed the %dx%d limit", r.Width, r.Height, MaxPackageDim, MaxPackageDim)
+	}
+	if r.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", r.TimeoutMS)
+	}
+	if r.WorkloadJSON == nil && r.Scenario < 0 {
+		return fmt.Errorf("serve: negative scenario %d (want 1-10 or workload_json)", r.Scenario)
+	}
+	return nil
 }
 
 // key canonicalizes the request into the cache key's request half.
@@ -145,9 +180,13 @@ func (r Request) build() (workload.Scenario, *mcm.MCM, core.Objective, error) {
 	return sc, pkg, obj, nil
 }
 
-// entry is one cache slot. The creator closes done after filling
-// res/err/transient; waiters block on done (or their own context) and
-// then read the immutable fields.
+// entry is one singleflight cache slot. The creator closes done after
+// filling res/err/transient; waiters block on done (or their own
+// context) and then read the immutable fields. The trailing fields are
+// cache bookkeeping owned by the entry's shard and guarded by its
+// mutex: the intrusive LRU links, the completion flag, and the key
+// (kept so an eviction found through the recency list can delete the
+// map slot without a reverse lookup).
 type entry struct {
 	done chan struct{}
 	sc   workload.Scenario
@@ -159,13 +198,35 @@ type entry struct {
 	// is specific to the leader's context, so waiting followers re-issue
 	// the search under their own contexts instead of inheriting it.
 	transient bool
+
+	key        string
+	completed  bool
+	prev, next *entry
 }
 
 // DefaultMaxCachedSchedules bounds the schedule cache: keys are partly
 // client-controlled (custom description hashes), so a long-running
-// daemon must not grow without limit. Eviction is FIFO over completed
-// entries.
+// daemon must not grow without limit. The bound covers completed
+// entries and is enforced by per-shard LRU eviction; in-flight entries
+// are unevictable and not counted.
 const DefaultMaxCachedSchedules = 1024
+
+// Config tunes the service's cache fabric. The zero value is the
+// production default.
+type Config struct {
+	// Shards is the cache/counter shard fan-out, rounded up to a power
+	// of two; 0 derives it from runtime.GOMAXPROCS (see
+	// defaultShardCount).
+	Shards int
+	// MaxCachedSchedules bounds resident completed schedules across all
+	// shards; 0 means DefaultMaxCachedSchedules.
+	MaxCachedSchedules int
+	// SingleMutex selects the retained pre-sharding cache (one global
+	// mutex, FIFO eviction, one shared counter block) instead of the
+	// sharded one. It exists as the baseline for scarbench -exp serve
+	// and regression tests; never enable it in production.
+	SingleMutex bool
+}
 
 // Service is the concurrent scheduling service. Safe for concurrent use.
 type Service struct {
@@ -178,16 +239,8 @@ type Service struct {
 	// service starts answering requests.
 	requestTimeout time.Duration
 
-	mu         sync.Mutex
-	entries    map[string]*entry
-	order      []string // insertion order, for FIFO eviction
-	maxEntries int
-
-	requests      atomic.Int64
-	scheduleCalls atomic.Int64
-	cacheHits     atomic.Int64
-	simulations   atomic.Int64
-	started       time.Time
+	cache   scheduleCache
+	started time.Time
 }
 
 // New builds a service with a fresh cost database.
@@ -196,19 +249,29 @@ func New(opts core.Options) *Service {
 }
 
 // NewWithDB builds a service over an existing (possibly pre-warmed or
-// Load-ed) cost database.
+// Load-ed) cost database, with the default cache configuration.
 func NewWithDB(db *costdb.DB, opts core.Options) *Service {
+	return NewWithConfig(db, opts, Config{})
+}
+
+// NewWithConfig builds a service with an explicit cache configuration.
+func NewWithConfig(db *costdb.DB, opts core.Options, cfg Config) *Service {
 	// The options are immutable after construction; fingerprint them
 	// once so cache keys honor the full (scenario, MCM, objective,
 	// options) tuple.
 	oh := sha256.Sum256([]byte(fmt.Sprintf("%+v", opts)))
+	var cache scheduleCache
+	if cfg.SingleMutex {
+		cache = newLegacyCache(cfg.MaxCachedSchedules)
+	} else {
+		cache = newShardedCache(cfg.Shards, cfg.MaxCachedSchedules)
+	}
 	return &Service{
-		db:         db,
-		opts:       opts,
-		optsKey:    "opts:" + hex.EncodeToString(oh[:8]),
-		entries:    make(map[string]*entry),
-		maxEntries: DefaultMaxCachedSchedules,
-		started:    time.Now(),
+		db:      db,
+		opts:    opts,
+		optsKey: "opts:" + hex.EncodeToString(oh[:8]),
+		cache:   cache,
+		started: time.Now(),
 	}
 }
 
@@ -249,9 +312,13 @@ type ScheduleResult struct {
 // it re-issue the search under their own contexts, so one impatient
 // client can never poison the cache or abort its neighbors.
 func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, error) {
-	s.requests.Add(1)
 	req = req.withDefaults()
 	key := req.key() + "|" + s.optsKey
+	c := s.cache.counters(key)
+	c.requests.Add(1)
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
 
 	// The request deadline (TimeoutMS, or the service default) bounds
 	// the whole resolution: waiting on another caller's in-flight
@@ -261,9 +328,8 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 	defer cancel()
 
 	for {
-		s.mu.Lock()
-		if e, ok := s.entries[key]; ok {
-			s.mu.Unlock()
+		e, leader := s.cache.lookupOrStart(key)
+		if !leader {
 			select {
 			case <-e.done:
 			case <-ctx.Done():
@@ -275,16 +341,11 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 			if e.err != nil {
 				return nil, e.err
 			}
-			s.cacheHits.Add(1)
+			c.cacheHits.Add(1)
 			return &ScheduleResult{Key: key, Cached: true, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
 		}
-		e := &entry{done: make(chan struct{})}
-		s.entries[key] = e
-		s.order = append(s.order, key)
-		s.evictLocked()
-		s.mu.Unlock()
 
-		e.sc, e.pkg, e.err = s.fill(ctx, e, req)
+		e.sc, e.pkg, e.err = s.fill(ctx, e, req, c)
 		partial := e.err == nil && e.res != nil && e.res.Partial
 		if e.err != nil || partial {
 			// Neither failed nor truncated searches are cached: a failed
@@ -292,15 +353,9 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 			// description) and a partial result is an artifact of this
 			// caller's deadline, not the problem's answer.
 			e.transient = partial || isCancellation(e.err)
-			s.mu.Lock()
-			delete(s.entries, key)
-			for i, k := range s.order {
-				if k == key {
-					s.order = append(s.order[:i], s.order[i+1:]...)
-					break
-				}
-			}
-			s.mu.Unlock()
+			s.cache.discard(key, e)
+		} else {
+			s.cache.complete(key, e)
 		}
 		close(e.done)
 		if e.err != nil {
@@ -331,45 +386,15 @@ func isCancellation(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// evictLocked drops the oldest *completed* cache entries until the
-// cache fits the bound. In-flight entries are never evicted (their
-// waiters hold the singleflight guarantee); evicted keys simply search
-// again on next request. Callers hold s.mu.
-func (s *Service) evictLocked() {
-	for len(s.entries) > s.maxEntries {
-		evicted := false
-		for i, k := range s.order {
-			e, ok := s.entries[k]
-			if !ok {
-				// Key already removed (failed search); drop the stale
-				// order slot.
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
-				break
-			}
-			select {
-			case <-e.done:
-				delete(s.entries, k)
-				s.order = append(s.order[:i], s.order[i+1:]...)
-				evicted = true
-			default:
-				continue // in-flight: try the next-oldest
-			}
-			break
-		}
-		if !evicted {
-			return // everything in flight; the bound yields temporarily
-		}
-	}
-}
-
-// fill runs the cache-miss path: materialize inputs, search.
-func (s *Service) fill(ctx context.Context, e *entry, req Request) (workload.Scenario, *mcm.MCM, error) {
+// fill runs the cache-miss path: materialize inputs, search. c is the
+// key's counter block (the search counter lives next to the key's
+// other hot counters).
+func (s *Service) fill(ctx context.Context, e *entry, req Request, c *counterBlock) (workload.Scenario, *mcm.MCM, error) {
 	sc, pkg, obj, err := req.build()
 	if err != nil {
 		return sc, pkg, err
 	}
-	s.scheduleCalls.Add(1)
+	c.scheduleCalls.Add(1)
 	res, err := core.New(s.db, s.opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj))
 	if err != nil {
 		return sc, pkg, err
@@ -466,17 +491,17 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 		}
 	}
 
+	srs, err := s.scheduleClasses(ctx, req.Classes)
+	if err != nil {
+		return nil, err
+	}
 	classes := make([]online.Class, len(req.Classes))
 	for i, sc := range req.Classes {
-		sr, err := s.Schedule(ctx, sc.Request)
-		if err != nil {
-			return nil, fmt.Errorf("serve: class %d: %w", i, err)
-		}
 		name := sc.Name
 		if name == "" {
-			name = sr.Key
+			name = srs[i].Key
 		}
-		cl, err := online.NewClass(name, s.Evaluator(sr), sr.Result.Schedule, arrivals[i], slack)
+		cl, err := online.NewClass(name, s.Evaluator(srs[i]), srs[i].Result.Schedule, arrivals[i], slack)
 		if err != nil {
 			return nil, fmt.Errorf("serve: class %d: %w", i, err)
 		}
@@ -485,7 +510,7 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	// Count only requests that reach the simulator: rejected ones —
 	// malformed classes, unknown policies, failed searches — count
 	// nowhere.
-	s.simulations.Add(1)
+	s.cache.simCounter().simulations.Add(1)
 	return online.Simulate(ctx, online.Config{
 		Classes:             classes,
 		Packages:            req.Packages,
@@ -495,17 +520,79 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	})
 }
 
-// Stats is a point-in-time service counter snapshot.
+// scheduleClasses resolves every class's scheduling request
+// concurrently (bounded at GOMAXPROCS — searches are CPU-bound), so a
+// k-class simulation overlaps its cold searches instead of paying them
+// back-to-back; identical classes still collapse into one search via
+// the per-shard singleflight. Searches are independent and
+// deterministic, so the resolved schedules are bit-identical to
+// scheduling the classes one at a time (asserted by
+// TestSimulateConcurrentMatchesSequential). The first failure cancels
+// the remaining classes' contexts.
+func (s *Service) scheduleClasses(ctx context.Context, classes []SimClass) ([]*ScheduleResult, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	srs := make([]*ScheduleResult, len(classes))
+	errs := make([]error, len(classes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range classes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			srs[i], errs[i] = s.Schedule(cctx, classes[i].Request)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Report the lowest-indexed real failure: sibling classes cancelled
+	// *because* of it would otherwise mask it with a context error (but
+	// when every class reports cancellation — the caller's own ctx died
+	// — the first of those is the answer).
+	var firstCancel error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !isCancellation(err) {
+			return nil, fmt.Errorf("serve: class %d: %w", i, err)
+		}
+		if firstCancel == nil {
+			firstCancel = fmt.Errorf("serve: class %d: %w", i, err)
+		}
+	}
+	if firstCancel != nil {
+		return nil, firstCancel
+	}
+	return srs, nil
+}
+
+// Stats is a point-in-time service counter snapshot. The hot counters
+// live in per-shard padded blocks; this merges them.
 type Stats struct {
 	// Requests counts Schedule calls; ScheduleCalls the underlying
 	// searches actually run; CacheHits the requests served without one.
 	Requests      int64 `json:"requests"`
 	ScheduleCalls int64 `json:"schedule_calls"`
 	CacheHits     int64 `json:"cache_hits"`
-	// Simulations counts Simulate calls; CachedSchedules the resident
-	// schedule-cache entries.
-	Simulations     int64 `json:"simulations"`
-	CachedSchedules int   `json:"cached_schedules"`
+	// Simulations counts Simulate calls. CachedSchedules counts
+	// resident *completed* schedule-cache entries; searches still in
+	// flight are reported separately as InflightSearches (they were
+	// previously folded into cached_schedules, overstating the cache
+	// under load).
+	Simulations      int64 `json:"simulations"`
+	CachedSchedules  int   `json:"cached_schedules"`
+	InflightSearches int   `json:"inflight_searches"`
+	// Shards is the cache/counter shard fan-out.
+	Shards int `json:"shards"`
 	// CostEntries / CostHits / CostMisses snapshot the shared cost
 	// database (misses = cost-model computations performed).
 	CostEntries int   `json:"cost_entries"`
@@ -517,19 +604,20 @@ type Stats struct {
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
-	s.mu.Lock()
-	n := len(s.entries)
-	s.mu.Unlock()
+	completed, inflight := s.cache.sizes()
+	t := s.cache.totals()
 	hits, misses := s.db.Stats()
 	return Stats{
-		Requests:        s.requests.Load(),
-		ScheduleCalls:   s.scheduleCalls.Load(),
-		CacheHits:       s.cacheHits.Load(),
-		Simulations:     s.simulations.Load(),
-		CachedSchedules: n,
-		CostEntries:     s.db.Size(),
-		CostHits:        hits,
-		CostMisses:      misses,
-		UptimeSec:       time.Since(s.started).Seconds(),
+		Requests:         t.requests,
+		ScheduleCalls:    t.scheduleCalls,
+		CacheHits:        t.cacheHits,
+		Simulations:      t.simulations,
+		CachedSchedules:  completed,
+		InflightSearches: inflight,
+		Shards:           s.cache.shardCount(),
+		CostEntries:      s.db.Size(),
+		CostHits:         hits,
+		CostMisses:       misses,
+		UptimeSec:        time.Since(s.started).Seconds(),
 	}
 }

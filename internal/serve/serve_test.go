@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"example.com/scar/internal/core"
+	"example.com/scar/internal/costdb"
+	"example.com/scar/internal/maestro"
 )
 
 // tinyWorkload is a two-model custom description small enough that a
@@ -26,9 +28,16 @@ const tinyWorkload = `{
 }`
 
 func fastService() *Service {
+	return fastServiceWith(Config{})
+}
+
+// fastServiceWith builds a reduced-budget service with an explicit
+// cache configuration (tests exercise both cache implementations and
+// tiny eviction bounds through it).
+func fastServiceWith(cfg Config) *Service {
 	opts := core.FastOptions()
 	opts.Workers = 1
-	return New(opts)
+	return NewWithConfig(costdb.New(maestro.DefaultParams()), opts, cfg)
 }
 
 func tinyRequest() Request {
@@ -301,37 +310,78 @@ func TestRequestKeyCoversInputs(t *testing.T) {
 }
 
 func TestCacheEvictionBound(t *testing.T) {
-	s := fastService()
-	s.maxEntries = 2
-	reqs := []Request{}
-	for _, obj := range []string{"edp", "latency", "energy"} {
+	// One shard so recency order is exact (multi-shard eviction is
+	// approximate global LRU); both cache implementations must respect
+	// the bound.
+	for _, cfg := range []Config{
+		{Shards: 1, MaxCachedSchedules: 2},
+		{SingleMutex: true, MaxCachedSchedules: 2},
+	} {
+		s := fastServiceWith(cfg)
+		reqs := []Request{}
+		for _, obj := range []string{"edp", "latency", "energy"} {
+			r := tinyRequest()
+			r.Objective = obj
+			reqs = append(reqs, r)
+		}
+		for _, r := range reqs {
+			if _, err := s.Schedule(context.Background(), r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if st := s.Stats(); st.CachedSchedules > 2 {
+			t.Fatalf("cache holds %d entries, bound is 2", st.CachedSchedules)
+		}
+		// The least recently used key (edp) was evicted: requesting it
+		// searches again; the newest (energy) is still cached.
+		before := s.Stats().ScheduleCalls
+		res, err := s.Schedule(context.Background(), reqs[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Cached || s.Stats().ScheduleCalls != before {
+			t.Error("newest entry should still be cached")
+		}
+		res, err = s.Schedule(context.Background(), reqs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cached || s.Stats().ScheduleCalls != before+1 {
+			t.Error("evicted entry should have searched again")
+		}
+	}
+}
+
+// TestLRUBeatsFIFO is the recency upgrade's contract: re-accessing an
+// old entry protects it from eviction (the FIFO cache would evict it
+// regardless of use).
+func TestLRUBeatsFIFO(t *testing.T) {
+	s := fastServiceWith(Config{Shards: 1, MaxCachedSchedules: 2})
+	mk := func(obj string) Request {
 		r := tinyRequest()
 		r.Objective = obj
-		reqs = append(reqs, r)
+		return r
 	}
-	for _, r := range reqs {
-		if _, err := s.Schedule(context.Background(), r); err != nil {
+	for _, obj := range []string{"edp", "latency"} {
+		if _, err := s.Schedule(context.Background(), mk(obj)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if st := s.Stats(); st.CachedSchedules > 2 {
-		t.Fatalf("cache holds %d entries, bound is 2", st.CachedSchedules)
+	// Touch edp (now MRU), then insert a third key: latency — not edp —
+	// must be the eviction victim.
+	if res, err := s.Schedule(context.Background(), mk("edp")); err != nil || !res.Cached {
+		t.Fatalf("touch edp: cached=%v err=%v", res != nil && res.Cached, err)
 	}
-	// The oldest key (edp) was evicted FIFO: requesting it searches
-	// again; the newest (energy) is still cached.
+	if _, err := s.Schedule(context.Background(), mk("energy")); err != nil {
+		t.Fatal(err)
+	}
 	before := s.Stats().ScheduleCalls
-	res, err := s.Schedule(context.Background(), reqs[2])
-	if err != nil {
+	if res, err := s.Schedule(context.Background(), mk("edp")); err != nil || !res.Cached {
+		t.Errorf("recently used entry was evicted: cached=%v err=%v", res != nil && res.Cached, err)
+	}
+	if res, err := s.Schedule(context.Background(), mk("latency")); err != nil {
 		t.Fatal(err)
-	}
-	if !res.Cached || s.Stats().ScheduleCalls != before {
-		t.Error("newest entry should still be cached")
-	}
-	res, err = s.Schedule(context.Background(), reqs[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Cached || s.Stats().ScheduleCalls != before+1 {
-		t.Error("evicted entry should have searched again")
+	} else if res.Cached || s.Stats().ScheduleCalls != before+1 {
+		t.Error("least recently used entry should have been the eviction victim")
 	}
 }
