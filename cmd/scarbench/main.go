@@ -12,6 +12,7 @@
 //	scarbench -exp evalbench -benchjson BENCH_eval.json
 //	scarbench -exp online -benchjson BENCH_online.json
 //	scarbench -exp policies -benchjson BENCH_policies.json
+//	scarbench -exp overload -benchjson BENCH_overload.json
 //	scarbench -exp serve -benchjson BENCH_serve.json   # serve-layer load generator
 //	scarbench -exp serve -serve-url http://localhost:8080  # drive a live daemon
 //	scarbench -workers 4 -exp all   # bound cell-level parallelism
@@ -39,7 +40,7 @@ var allExperiments = []string{
 	"fig2", "table4", "fig7", "fig8", "fig9", "table5", "fig11",
 	"fig12", "fig13", "nsplits", "prov", "packing", "complexity",
 	"sensitivity", "speedup", "evalbench", "online", "policies",
-	"serve",
+	"overload", "serve",
 }
 
 var (
@@ -50,6 +51,28 @@ var (
 // main delegates so realMain's defers (CPU profile trailer, file close)
 // run before the process exits even when an experiment fails.
 func main() { os.Exit(realMain()) }
+
+// validateFlags rejects nonsense flag values at startup with a clear
+// error instead of carrying them into a long experiment run.
+func validateFlags(workers int, timeout time.Duration, cfg experiments.ServeLoadConfig) error {
+	switch {
+	case workers < 0:
+		return fmt.Errorf("-workers must be >= 0, got %d (use 0 for all cores)", workers)
+	case timeout < 0:
+		return fmt.Errorf("-timeout must be >= 0, got %v (use 0 for no bound)", timeout)
+	case cfg.Keys < 0:
+		return fmt.Errorf("-serve-keys must be >= 0, got %d", cfg.Keys)
+	case cfg.Goroutines < 0:
+		return fmt.Errorf("-serve-goroutines must be >= 0, got %d", cfg.Goroutines)
+	case cfg.Duration < 0:
+		return fmt.Errorf("-serve-duration must be >= 0, got %v", cfg.Duration)
+	case cfg.HitFraction < 0 || cfg.HitFraction > 1:
+		return fmt.Errorf("-serve-hit must be within [0, 1], got %v", cfg.HitFraction)
+	case cfg.Shards < 0:
+		return fmt.Errorf("-serve-shards must be >= 0, got %d", cfg.Shards)
+	}
+	return nil
+}
 
 func realMain() int {
 	var (
@@ -70,6 +93,11 @@ func realMain() int {
 	flag.IntVar(&serveCfg.Shards, "serve-shards", 0, "with -exp serve: shard count of the sharded service (0 = serve default)")
 	flag.StringVar(&serveCfg.URL, "serve-url", "", "with -exp serve: drive a live scarserve daemon at this base URL instead of in-process services")
 	flag.Parse()
+
+	if err := validateFlags(*workers, *timeout, serveCfg); err != nil {
+		fmt.Fprintf(os.Stderr, "scarbench: %v\n", err)
+		return 2
+	}
 
 	if *fast {
 		// Reduced load-generator budgets, mirroring -fast search budgets:
@@ -268,6 +296,18 @@ func run(s *experiments.Suite, name string) error {
 		}
 	case "policies":
 		res, err := s.Policies()
+		if err != nil {
+			return err
+		}
+		res.Print(w)
+		if benchJSON != "" {
+			if err := writeSnapshot(benchJSON, res.WriteJSON); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
+		}
+	case "overload":
+		res, err := s.Overload()
 		if err != nil {
 			return err
 		}

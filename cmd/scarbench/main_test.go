@@ -1,0 +1,41 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"example.com/scar/internal/experiments"
+)
+
+func TestValidateFlags(t *testing.T) {
+	if err := validateFlags(0, 0, experiments.ServeLoadConfig{}); err != nil {
+		t.Errorf("default flags rejected: %v", err)
+	}
+	if err := validateFlags(4, time.Minute, experiments.ServeLoadConfig{
+		Keys: 32, Goroutines: 8, Duration: time.Second, HitFraction: 0.95, Shards: 4,
+	}); err != nil {
+		t.Errorf("valid flags rejected: %v", err)
+	}
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+		timeout time.Duration
+		cfg     experiments.ServeLoadConfig
+		wantSub string
+	}{
+		{"negative workers", -1, 0, experiments.ServeLoadConfig{}, "-workers"},
+		{"negative timeout", 0, -time.Second, experiments.ServeLoadConfig{}, "-timeout"},
+		{"negative serve keys", 0, 0, experiments.ServeLoadConfig{Keys: -1}, "-serve-keys"},
+		{"negative goroutines", 0, 0, experiments.ServeLoadConfig{Goroutines: -2}, "-serve-goroutines"},
+		{"negative duration", 0, 0, experiments.ServeLoadConfig{Duration: -time.Millisecond}, "-serve-duration"},
+		{"hit fraction above one", 0, 0, experiments.ServeLoadConfig{HitFraction: 1.5}, "-serve-hit"},
+		{"negative shards", 0, 0, experiments.ServeLoadConfig{Shards: -4}, "-serve-shards"},
+	} {
+		err := validateFlags(tc.workers, tc.timeout, tc.cfg)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	scarserve [-addr :8080] [-fast] [-seed 1] [-workers 0] [-costdb scar.costdb]
 //	          [-shards 0] [-max-cached-schedules 0]
 //	          [-request-timeout 5m] [-shutdown-timeout 30s]
+//	          [-max-concurrent-searches 0] [-admission-wait 250ms]
 //
 // Endpoints:
 //
@@ -21,9 +22,17 @@
 // that carry no explicit timeout_ms, and the listener carries hardened
 // read/header/idle timeouts so a slowloris client cannot pin the daemon.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// complete (bounded by -shutdown-timeout; on overrun their contexts are
-// cancelled so searches abort instead of being killed mid-write) and,
+// -max-concurrent-searches caps leader searches running at once; a
+// request that cannot get a slot within -admission-wait is answered
+// 429 + Retry-After (or a stale schedule marked degraded when one is
+// remembered) instead of queueing unboundedly.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it first enters
+// the drain state (new work answers 503 and /healthz flips to
+// "draining" so load balancers stop routing here), then in-flight
+// requests complete (bounded by -shutdown-timeout; on overrun their
+// contexts are cancelled so searches abort instead of being killed
+// mid-write) and,
 // when -costdb is set, the warmed cost database is saved so the next
 // start skips cost-model warmup. See DESIGN.md for where the service
 // sits in the system.
@@ -62,6 +71,30 @@ func writeTimeout(reqTimeout time.Duration) time.Duration {
 	return reqTimeout + 30*time.Second
 }
 
+// validateFlags rejects nonsense flag values at startup with a clear
+// error instead of letting them reach the serve layer as silent
+// defaults (a negative -request-timeout previously disabled the
+// deadline entirely, which is never what the operator meant).
+func validateFlags(shards, maxCached int, reqTimeout, shutTimeout time.Duration, maxSearches int, admitWait time.Duration) error {
+	switch {
+	case shards < 0:
+		return fmt.Errorf("-shards must be >= 0, got %d", shards)
+	case maxCached < 0:
+		return fmt.Errorf("-max-cached-schedules must be >= 0, got %d", maxCached)
+	case reqTimeout < 0:
+		return fmt.Errorf("-request-timeout must be >= 0, got %v (use 0 for no deadline)", reqTimeout)
+	case shutTimeout < 0:
+		return fmt.Errorf("-shutdown-timeout must be >= 0, got %v", shutTimeout)
+	case maxSearches < 0:
+		return fmt.Errorf("-max-concurrent-searches must be >= 0, got %d (use 0 for unlimited)", maxSearches)
+	case admitWait < 0:
+		return fmt.Errorf("-admission-wait must be >= 0, got %v (use 0 for the default)", admitWait)
+	case admitWait > 0 && maxSearches == 0:
+		return fmt.Errorf("-admission-wait %v has no effect without -max-concurrent-searches", admitWait)
+	}
+	return nil
+}
+
 func realMain() int {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -73,8 +106,15 @@ func realMain() int {
 		maxCached   = flag.Int("max-cached-schedules", 0, "bound on resident completed schedules across all shards (0 = default)")
 		reqTimeout  = flag.Duration("request-timeout", 5*time.Minute, "default search deadline for requests without timeout_ms (0 = none)")
 		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline; overrunning requests are cancelled, not killed")
+		maxSearches = flag.Int("max-concurrent-searches", 0, "cap on leader searches running at once; extra requests shed with 429 or answer degraded (0 = unlimited)")
+		admitWait   = flag.Duration("admission-wait", 0, "how long a request may wait for a search slot before shedding (0 = serve default)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(*shards, *maxCached, *reqTimeout, *shutTimeout, *maxSearches, *admitWait); err != nil {
+		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
+		return 2
+	}
 
 	opts := core.DefaultOptions()
 	if *fast {
@@ -94,7 +134,12 @@ func realMain() int {
 			fmt.Printf("scarserve: cost database loaded from %s (%d entries)\n", *costdbPath, db.Size())
 		}
 	}
-	svc := serve.NewWithConfig(db, opts, serve.Config{Shards: *shards, MaxCachedSchedules: *maxCached})
+	svc := serve.NewWithConfig(db, opts, serve.Config{
+		Shards:                *shards,
+		MaxCachedSchedules:    *maxCached,
+		MaxConcurrentSearches: *maxSearches,
+		AdmissionWait:         *admitWait,
+	})
 	svc.SetRequestTimeout(*reqTimeout)
 
 	// baseCtx parents every request context: cancelling it is the lever
@@ -132,7 +177,11 @@ func realMain() int {
 	case <-ctx.Done():
 	}
 
-	fmt.Println("scarserve: shutting down")
+	// Drain before Shutdown: new work answers 503 (and /healthz flips
+	// to "draining") for the whole grace period, while requests already
+	// in flight — which Shutdown waits for — run to completion.
+	svc.BeginDrain()
+	fmt.Println("scarserve: draining, then shutting down")
 	exit := 0
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 	defer cancel()

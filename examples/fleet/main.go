@@ -8,7 +8,10 @@
 // fleet that attains most deadlines, and the switch-aware dispatch
 // policy recovers a few more points of SLA attainment by batching
 // same-class runs so one schedule-switch weight reload is amortized
-// over many requests.
+// over many requests. When a second replica is not an option, admission
+// control (SimAdmission with the deadline-aware shedder) keeps the
+// single overloaded package honest instead: it rejects the arrivals the
+// queue would doom, and the accepted requests meet their deadlines.
 //
 // Everything is seeded and deterministic: rerunning prints identical
 // numbers.
@@ -73,12 +76,13 @@ func main() {
 	totalRate := 1.5 * capacity
 	fmt.Printf("\nper-package capacity %.2f req/s, offered load %.2f req/s\n\n", capacity, totalRate)
 
-	run := func(packages int, policy scar.SimPolicy) *scar.SimReport {
+	run := func(packages int, policy scar.SimPolicy, adm *scar.SimAdmission) *scar.SimReport {
 		cfg := scar.SimConfig{
 			Classes:    make([]scar.SimClass, len(classes)),
 			Packages:   packages,
 			Policy:     policy,
 			HorizonSec: 400,
+			Admission:  adm,
 		}
 		for i, spec := range specs {
 			cfg.Classes[i] = classes[i]
@@ -94,23 +98,42 @@ func main() {
 		return rep
 	}
 
+	// The shedding row keeps the overloaded single package honest: the
+	// deadline-aware shedder rejects the arrivals an unbounded queue
+	// would doom, so the requests it does accept still meet their frame
+	// budgets — overload protection when a second replica is not an
+	// option (see SimAdmission).
+	shed := &scar.SimAdmission{
+		MaxQueueDepth: 8,
+		Shedder:       scar.DeadlineAwareShedder{MarginSec: 0.02},
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "deployment\tSLA\tp50(s)\tp99(s)\tutil\tswitches")
+	fmt.Fprintln(tw, "deployment\tSLA\tshed\tp50(s)\tp99(s)\tutil\tswitches")
 	var fleetRep *scar.SimReport
 	for _, d := range []struct {
-		name     string
-		packages int
-		policy   scar.SimPolicy
+		name      string
+		packages  int
+		policy    scar.SimPolicy
+		admission *scar.SimAdmission
+		fleet     bool
 	}{
-		{"1 package, fifo", 1, scar.FIFOPolicy{}},
-		{"2 packages, fifo", 2, scar.FIFOPolicy{}},
-		{"2 packages, switch-aware", 2, scar.SwitchAwarePolicy{}},
+		{"1 package, fifo", 1, scar.FIFOPolicy{}, nil, false},
+		{"1 package, fifo, deadline-aware shed", 1, scar.FIFOPolicy{}, shed, false},
+		{"2 packages, fifo", 2, scar.FIFOPolicy{}, nil, false},
+		{"2 packages, switch-aware", 2, scar.SwitchAwarePolicy{}, nil, true},
 	} {
-		rep := run(d.packages, d.policy)
-		fmt.Fprintf(tw, "%s\t%.1f%%\t%.2f\t%.2f\t%.0f%%\t%d\n",
-			d.name, 100*rep.SLAAttainment, rep.P50LatencySec, rep.P99LatencySec,
+		rep := run(d.packages, d.policy, d.admission)
+		shedRate := 0.0
+		if rep.OfferedRequests > 0 {
+			shedRate = float64(rep.ShedRequests) / float64(rep.OfferedRequests)
+		}
+		fmt.Fprintf(tw, "%s\t%.1f%%\t%.0f%%\t%.2f\t%.2f\t%.0f%%\t%d\n",
+			d.name, 100*rep.SLAAttainment, 100*shedRate, rep.P50LatencySec, rep.P99LatencySec,
 			100*rep.Utilization, rep.ScheduleSwitches)
-		fleetRep = rep
+		if d.fleet {
+			fleetRep = rep
+		}
 	}
 	tw.Flush()
 

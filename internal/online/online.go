@@ -13,6 +13,11 @@
 // utilization and energy, charging a schedule-switch cost whenever a
 // package's in-flight scenario class changes — the MCM-Reconfig
 // window-entry weight reload that cannot overlap a drained pipeline.
+// Optional admission control (Config.Admission) bounds the waiting
+// queue and sheds load under overload — drop-tail behind watermark
+// backpressure, or deadline-aware screening that rejects arrivals whose
+// queue-implied start already busts their frame deadline — with
+// rejected arrivals accounted per class instead of silently queueing.
 //
 // Simulations are bit-identical for a fixed configuration: arrival
 // processes own seeded private RNGs, the event loop is single-goroutine,
@@ -152,6 +157,11 @@ type Config struct {
 	// MaxTimelineSpans caps the emitted span count (0 = 100000). The cap
 	// is reported via Report.TimelineTruncated, never silent.
 	MaxTimelineSpans int
+	// Admission configures admission control: a bounded waiting queue
+	// with watermark backpressure and a pluggable load shedder (see
+	// Admission). nil admits every arrival — the legacy fail-open
+	// behavior, where overload grows the queue without bound.
+	Admission *Admission
 }
 
 // RequestOutcome is one request's simulated life cycle.
@@ -187,6 +197,10 @@ type RequestOutcome struct {
 type ClassReport struct {
 	Name     string `json:"name"`
 	Requests int    `json:"requests"`
+	// Offered counts the class's arrivals (served plus shed); Shed the
+	// ones rejected at admission. Requests = Offered - Shed.
+	Offered int `json:"offered"`
+	Shed    int `json:"shed,omitempty"`
 	// DeadlineChecks / DeadlineMisses count this class's share of the
 	// global deadline accounting, under the same membership rule (only
 	// deadline keys within the scenario's model range count), so the
@@ -214,13 +228,26 @@ type PackageReport struct {
 
 // Report is the simulation output.
 type Report struct {
-	// Requests is the number simulated (all run to completion);
-	// MakespanSec the completion time of the last one. Packages and
-	// Policy echo the engine configuration that produced the report.
-	Requests    int     `json:"requests"`
-	Packages    int     `json:"packages"`
-	Policy      string  `json:"policy"`
-	MakespanSec float64 `json:"makespan_sec"`
+	// Requests is the number served to completion; OfferedRequests the
+	// number that arrived (served plus shed — they differ only under
+	// admission control). MakespanSec is the completion time of the last
+	// served request. Packages and Policy echo the engine configuration
+	// that produced the report.
+	Requests        int     `json:"requests"`
+	OfferedRequests int     `json:"offered_requests"`
+	Packages        int     `json:"packages"`
+	Policy          string  `json:"policy"`
+	MakespanSec     float64 `json:"makespan_sec"`
+
+	// ShedRequests counts arrivals rejected at admission; ShedByReason
+	// splits them by ShedOutcome.Reason (ReasonQueueFull or the
+	// shedder's name). BackpressureEngagements counts low→high watermark
+	// hysteresis engagements. All latency/SLA/queue aggregates below
+	// cover served requests only — shed requests exist in nothing but
+	// this accounting.
+	ShedRequests            int            `json:"shed_requests,omitempty"`
+	ShedByReason            map[string]int `json:"shed_by_reason,omitempty"`
+	BackpressureEngagements int            `json:"backpressure_engagements,omitempty"`
 
 	// DeadlineChecks counts (request, deadline-bounded model) pairs;
 	// DeadlineMisses those completing late. SLAAttainment is their
@@ -266,8 +293,10 @@ type Report struct {
 	PerClass   []ClassReport   `json:"per_class"`
 	PerPackage []PackageReport `json:"per_package"`
 
-	// Outcomes holds every request's life cycle, in dispatch order.
+	// Outcomes holds every served request's life cycle, in dispatch
+	// order; Shed every rejected arrival, in arrival-merge order.
 	Outcomes []RequestOutcome `json:"-"`
+	Shed     []ShedOutcome    `json:"-"`
 
 	// Timeline is the merged execution trace (EmitTimeline only).
 	Timeline          *trace.Timeline `json:"-"`
@@ -278,6 +307,16 @@ type Report struct {
 type pending struct {
 	class, seq int
 	arrival    float64
+}
+
+// effectiveDeadline is a queued request's absolute effective deadline
+// (EDF's ordering key): arrival plus the class's tightest relative
+// deadline, +Inf for unconstrained classes.
+func effectiveDeadline(rq pending, minDL []float64) float64 {
+	if math.IsInf(minDL[rq.class], 1) {
+		return math.Inf(1)
+	}
+	return rq.arrival + minDL[rq.class]
 }
 
 // pkgState is one replica's engine state.
@@ -324,6 +363,11 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 	pol := cfg.Policy
 	if pol == nil {
 		pol = FIFO{}
+	}
+	if cfg.Admission != nil {
+		if err := cfg.Admission.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	for ci := range cfg.Classes {
 		c := &cfg.Classes[ci]
@@ -400,9 +444,30 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		minDL[ci] = cfg.Classes[ci].minDeadlineOffset()
 	}
 
+	// Admission-control state: the resolved shedder, the per-class
+	// admission constants and the watermark hysteresis flag. All nil/zero
+	// when admission control is off.
+	adm := cfg.Admission
+	var shedder Shedder
+	var admClasses []ShedClassView
+	engaged := false
+	if adm != nil {
+		shedder = adm.shedder()
+		admClasses = make([]ShedClassView, len(cfg.Classes))
+		for ci := range cfg.Classes {
+			admClasses[ci] = ShedClassView{
+				ServiceSec: cfg.Classes[ci].Metrics.LatencySec,
+				MaxWaitSec: cfg.Classes[ci].maxWaitOffset(),
+			}
+		}
+	}
+
 	// Dispatch loop: pick the earliest-free package (ties: lowest
 	// index), advance to the next arrival if nothing waits, admit every
-	// arrival up to the dispatch time, let the policy pick.
+	// arrival up to the dispatch time — screening each one through
+	// admission control — then let the policy pick. The loop runs until
+	// arrivals and queue are both exhausted: with shedding, dispatches
+	// no longer map one-to-one onto arrivals.
 	rep.Outcomes = make([]RequestOutcome, 0, len(reqs))
 	pkgs := make([]pkgState, nPkgs)
 	for p := range pkgs {
@@ -417,13 +482,13 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 	var queue []Queued
 	next := 0 // next merged arrival to admit
 	var totalWait, totalQueueWait, totalSojourn float64
-	for done := 0; done < len(reqs); done++ {
-		// Poll cancellation every 256 dispatches: cheap against the
+	for iter := 0; next < len(reqs) || len(queue) > 0; iter++ {
+		// Poll cancellation every 256 iterations: cheap against the
 		// event loop's per-request work, prompt against any realistic
 		// load.
-		if done&255 == 255 {
+		if iter&255 == 255 {
 			if err := ctx.Err(); err != nil {
-				return nil, fmt.Errorf("online: simulation cancelled after %d of %d requests: %w", done, len(reqs), err)
+				return nil, fmt.Errorf("online: simulation cancelled after %d of %d requests: %w", len(rep.Outcomes), len(reqs), err)
 			}
 		}
 		// Earliest dispatch time over the fleet...
@@ -433,10 +498,12 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 				t = pkgs[p].freeAt
 			}
 		}
+		minFree := t // earliest package free time, for admission views
 		// ...advanced to the earliest available work: the queue head's
 		// arrival when requests wait (a replica that has been idle since
 		// before the head arrived must not serve it in the past), the
-		// next arrival otherwise.
+		// next arrival otherwise (the loop condition guarantees one
+		// exists when the queue is empty).
 		avail := 0.0
 		if len(queue) > 0 {
 			avail = queue[0].ArrivalSec
@@ -452,14 +519,48 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 			pi++
 		}
 		// Admit every arrival up to the dispatch time, in merge order.
+		// Screening happens per arrival against the then-current queue —
+		// an arrival at exactly the dispatch time is screened before the
+		// dispatch pops the queue, so the request about to be served
+		// still counts as waiting. Queue length only grows at arrivals,
+		// so evaluating the watermark hysteresis here is exact.
 		for next < len(reqs) && reqs[next].arrival <= t {
 			rq := reqs[next]
-			dl := math.Inf(1)
-			if !math.IsInf(minDL[rq.class], 1) {
-				dl = rq.arrival + minDL[rq.class]
-			}
-			queue = append(queue, Queued{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival, DeadlineSec: dl})
 			next++
+			if adm != nil {
+				if engaged && len(queue) <= adm.LowWatermark {
+					engaged = false
+				}
+				if !engaged && adm.HighWatermark > 0 && len(queue) >= adm.HighWatermark {
+					engaged = true
+					rep.BackpressureEngagements++
+				}
+				reason := ""
+				if adm.MaxQueueDepth > 0 && len(queue) >= adm.MaxQueueDepth {
+					reason = ReasonQueueFull
+				} else {
+					arr := Queued{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival, DeadlineSec: effectiveDeadline(rq, minDL)}
+					view := AdmissionView{
+						Packages:        nPkgs,
+						NowSec:          rq.arrival,
+						EarliestFreeSec: minFree,
+						Engaged:         engaged,
+						Classes:         admClasses,
+					}
+					if shedder.Shed(arr, queue, view) {
+						reason = shedder.Name()
+					}
+				}
+				if reason != "" {
+					rep.Shed = append(rep.Shed, ShedOutcome{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival, Reason: reason})
+					continue
+				}
+			}
+			queue = append(queue, Queued{Class: rq.class, Seq: rq.seq, ArrivalSec: rq.arrival, DeadlineSec: effectiveDeadline(rq, minDL)})
+		}
+		if len(queue) == 0 {
+			// Every admitted arrival was shed; nothing to dispatch.
+			continue
 		}
 
 		st := &pkgs[pi]
@@ -576,11 +677,24 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 // totalWait sums switch-inclusive waits (StartSec - ArrivalSec);
 // totalQueueWait sums time actually spent in the waiting queue
 // (BusyStartSec - ArrivalSec), the quantity both queue-depth metrics
-// are defined over.
+// are defined over. Latency/SLA aggregates cover served requests only;
+// shed arrivals surface through the shed accounting. n == 0 (every
+// arrival shed) leaves the latency aggregates at their zero values.
 func (rep *Report) finish(cfg Config, totalWait, totalQueueWait, totalSojourn float64, perChecks, perMisses []int, tl *trace.Timeline) {
 	n := len(rep.Outcomes)
-	rep.MeanWaitSec = totalWait / float64(n)
-	rep.MeanLatencySec = totalSojourn / float64(n)
+	rep.Requests = n
+	rep.OfferedRequests = n + len(rep.Shed)
+	if len(rep.Shed) > 0 {
+		rep.ShedRequests = len(rep.Shed)
+		rep.ShedByReason = make(map[string]int)
+		for _, s := range rep.Shed {
+			rep.ShedByReason[s.Reason]++
+		}
+	}
+	if n > 0 {
+		rep.MeanWaitSec = totalWait / float64(n)
+		rep.MeanLatencySec = totalSojourn / float64(n)
+	}
 	if rep.DeadlineChecks > 0 {
 		rep.SLAAttainment = 1 - float64(rep.DeadlineMisses)/float64(rep.DeadlineChecks)
 	} else {
@@ -602,14 +716,21 @@ func (rep *Report) finish(cfg Config, totalWait, totalQueueWait, totalSojourn fl
 	rep.P50LatencySec = percentile(sojourns, 0.50)
 	rep.P95LatencySec = percentile(sojourns, 0.95)
 	rep.P99LatencySec = percentile(sojourns, 0.99)
-	rep.MaxLatencySec = sojourns[n-1]
+	if n > 0 {
+		rep.MaxLatencySec = sojourns[n-1]
+	}
 	rep.MaxQueueDepth = maxQueueDepth(rep.Outcomes)
 
 	// Per-class aggregates, in class order. Deadline counters were
 	// accumulated in the dispatch loop under the global membership rule.
+	shedPer := make([]int, len(cfg.Classes))
+	for _, s := range rep.Shed {
+		shedPer[s.Class]++
+	}
 	for ci := range cfg.Classes {
 		cr := ClassReport{
 			Name:           cfg.Classes[ci].Name,
+			Shed:           shedPer[ci],
 			DeadlineChecks: perChecks[ci],
 			DeadlineMisses: perMisses[ci],
 		}
@@ -623,6 +744,7 @@ func (rep *Report) finish(cfg Config, totalWait, totalQueueWait, totalSojourn fl
 			sum += o.SojournSec
 			cls = append(cls, o.SojournSec)
 		}
+		cr.Offered = cr.Requests + cr.Shed
 		cr.SLAAttainment = 1
 		if cr.DeadlineChecks > 0 {
 			cr.SLAAttainment = 1 - float64(cr.DeadlineMisses)/float64(cr.DeadlineChecks)

@@ -1,0 +1,467 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// holdPoint builds a FailPoints hook that blocks searches of keys
+// containing marker (holding their admission slot) until release is
+// closed; other keys search normally. started is closed when the first
+// held search is in place.
+func holdPoint(marker string) (fp *FailPoints, started, release chan struct{}) {
+	started = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	fp = &FailPoints{BeforeSearch: func(ctx context.Context, key string) error {
+		if !strings.Contains(key, marker) {
+			return nil
+		}
+		once.Do(func() { close(started) })
+		select {
+		case <-release:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}}
+	return fp, started, release
+}
+
+// tinyRequestObj varies the objective for a distinct cache key over the
+// same tiny workload.
+func tinyRequestObj(objective string) Request {
+	r := tinyRequest()
+	r.Objective = objective
+	return r
+}
+
+func TestSaturationShedsWithErrSaturated(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	svc := fastServiceWith(Config{
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         20 * time.Millisecond,
+		FailPoints:            fp,
+	})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+
+	// A different key cannot get the slot and must shed within the
+	// admission wait — not queue behind the held search.
+	t0 := time.Now()
+	_, err := svc.Schedule(context.Background(), tinyRequestObj("latency"))
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	if d := time.Since(t0); d > 5*time.Second {
+		t.Fatalf("saturated request took %v to shed", d)
+	}
+	if st := svc.Stats(); st.SaturatedRejects != 1 || st.SearchSlots != 1 || st.SearchSlotsInUse != 1 {
+		t.Errorf("stats = rejects %d, slots %d/%d; want 1 reject and 1/1 slots",
+			st.SaturatedRejects, st.SearchSlotsInUse, st.SearchSlots)
+	}
+
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("held leader: %v", err)
+	}
+	// The daemon recovered: the same key now resolves normally.
+	if _, err := svc.Schedule(context.Background(), tinyRequestObj("latency")); err != nil {
+		t.Fatalf("post-saturation request: %v", err)
+	}
+	if st := svc.Stats(); st.SearchSlotsInUse != 0 {
+		t.Errorf("slots still held after completion: %d", st.SearchSlotsInUse)
+	}
+}
+
+func TestSaturationServesDegradedStale(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	// One shard with a one-entry cache bound, so warming a second key
+	// evicts the first from the LRU while its answer stays in the
+	// stale store.
+	svc := fastServiceWith(Config{
+		Shards:                1,
+		MaxCachedSchedules:    1,
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         20 * time.Millisecond,
+		FailPoints:            fp,
+	})
+	warm, err := svc.Schedule(context.Background(), tinyRequestObj("latency"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Schedule(context.Background(), tinyRequestObj("energy")); err != nil {
+		t.Fatal(err) // evicts the latency entry
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+
+	// The evicted key must answer from the stale store, degraded,
+	// instead of shedding.
+	sr, err := svc.Schedule(context.Background(), tinyRequestObj("latency"))
+	if err != nil {
+		t.Fatalf("degraded request: %v", err)
+	}
+	if !sr.Degraded || !sr.Cached {
+		t.Errorf("Degraded=%v Cached=%v, want both true", sr.Degraded, sr.Cached)
+	}
+	if sr.Result != warm.Result {
+		t.Error("degraded answer is not the remembered stale result")
+	}
+	st := svc.Stats()
+	if st.DegradedAnswers != 1 {
+		t.Errorf("DegradedAnswers = %d, want 1", st.DegradedAnswers)
+	}
+	if st.SaturatedRejects != 0 {
+		t.Errorf("SaturatedRejects = %d, want 0 (the stale answer absorbed it)", st.SaturatedRejects)
+	}
+	if st.StaleSchedules == 0 {
+		t.Error("stale store empty after completed searches")
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("held leader: %v", err)
+	}
+}
+
+func TestDrainRejectsNewWork(t *testing.T) {
+	svc := fastService()
+	if svc.Draining() {
+		t.Fatal("fresh service reports draining")
+	}
+	svc.BeginDrain()
+	if _, err := svc.Schedule(context.Background(), tinyRequest()); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Schedule err = %v, want ErrDraining", err)
+	}
+	if _, err := svc.Simulate(context.Background(), SimRequest{
+		Classes: []SimClass{{Request: tinyRequest(), RatePerSec: 1}},
+	}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Simulate err = %v, want ErrDraining", err)
+	}
+	st := svc.Stats()
+	if st.DrainRejects != 2 || !st.Draining {
+		t.Errorf("stats = %d drain rejects, draining %v; want 2 and true", st.DrainRejects, st.Draining)
+	}
+}
+
+func TestFailPointErrorDoesNotPoisonCache(t *testing.T) {
+	var calls int
+	boom := errors.New("injected search failure")
+	svc := fastServiceWith(Config{FailPoints: &FailPoints{
+		BeforeSearch: func(ctx context.Context, key string) error {
+			calls++
+			if calls == 1 {
+				return boom
+			}
+			return nil
+		},
+	}})
+	if _, err := svc.Schedule(context.Background(), tinyRequest()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected failure", err)
+	}
+	sr, err := svc.Schedule(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+	if sr.Cached {
+		t.Error("failed search left a cached entry")
+	}
+}
+
+// TestSaturationUnderConcurrency drives a one-slot service with many
+// concurrent distinct-key requests (run under -race in CI): every call
+// must resolve to success, a degraded answer or ErrSaturated — no
+// deadlocks, no unbounded queueing — and the slot must be free at the
+// end.
+func TestSaturationUnderConcurrency(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	svc := fastServiceWith(Config{
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         10 * time.Millisecond,
+		FailPoints:            fp,
+	})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+
+	const n = 8
+	objectives := []string{"latency", "energy"}
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := svc.Schedule(context.Background(), tinyRequestObj(objectives[i%2]))
+			errs <- err
+		}(i)
+	}
+	var saturated, ok int
+	for i := 0; i < n; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrSaturated):
+			saturated++
+		default:
+			t.Errorf("unexpected error: %v", err)
+		}
+	}
+	if saturated == 0 {
+		t.Error("no request shed while the only slot was held")
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("held leader: %v", err)
+	}
+	t.Logf("saturated=%d ok=%d", saturated, ok)
+}
+
+func TestSimulateAdmissionWire(t *testing.T) {
+	svc := fastService()
+	base := SimClass{Request: tinyRequest(), RatePerSec: 50, Seed: 3}
+
+	for _, tc := range []struct {
+		name string
+		mut  func(*SimRequest)
+		want string
+	}{
+		{"unknown shedder", func(r *SimRequest) { r.Shedder = "random-early" }, "unknown shedder"},
+		{"negative margin", func(r *SimRequest) { r.Shedder = "deadline-aware"; r.ShedMarginSec = -1 }, "negative shed_margin_sec"},
+		{"margin on drop-tail", func(r *SimRequest) { r.Shedder = "drop-tail"; r.ShedMarginSec = 0.5 }, "deadline-aware"},
+		{"low above high", func(r *SimRequest) { r.HighWatermark = 1; r.LowWatermark = 2 }, "watermark"},
+		{"negative depth", func(r *SimRequest) { r.MaxQueueDepth = -4 }, "queue depth"},
+	} {
+		req := SimRequest{Classes: []SimClass{base}, MaxRequestsPerClass: 10}
+		tc.mut(&req)
+		_, err := svc.Simulate(context.Background(), req)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// A valid admission block reaches the simulator and sheds under a
+	// hard bound: a burst of 10 simultaneous arrivals against a
+	// depth-1 queue admits one and sheds the rest, deterministically.
+	burst := base
+	burst.RatePerSec = 0
+	burst.ArrivalTimes = make([]float64, 10)
+	rep, err := svc.Simulate(context.Background(), SimRequest{
+		Classes:       []SimClass{burst},
+		MaxQueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OfferedRequests != rep.Requests+rep.ShedRequests {
+		t.Errorf("offered %d != served %d + shed %d", rep.OfferedRequests, rep.Requests, rep.ShedRequests)
+	}
+	if rep.ShedRequests == 0 {
+		t.Error("depth-1 queue at 50 req/s shed nothing")
+	}
+}
+
+// TestHTTPErrorShapes is the satellite contract: every error path
+// answers the one JSON shape {error, status[, retry_after_sec]} with
+// the body's status echoing the HTTP status line, and 429 carries a
+// consistent Retry-After header.
+func TestHTTPErrorShapes(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	svc := fastServiceWith(Config{
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         30 * time.Millisecond,
+		FailPoints:            fp,
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Hold the only slot so saturation paths are reachable.
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+
+	do := func(t *testing.T, method, path, body string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var raw json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+			t.Fatalf("%s %s: body not JSON: %v", method, path, err)
+		}
+		return resp, raw
+	}
+
+	cases := []struct {
+		name, method, path, body string
+		status                   int
+		errSub                   string
+	}{
+		{"schedule wrong method", http.MethodGet, "/schedule", "", http.StatusMethodNotAllowed, "use POST"},
+		{"stats wrong method", http.MethodPost, "/stats", "", http.StatusMethodNotAllowed, "use GET"},
+		{"malformed json", http.MethodPost, "/schedule", `{"scenario":`, http.StatusBadRequest, "bad request body"},
+		{"unknown field", http.MethodPost, "/schedule", `{"scenariooo": 1}`, http.StatusBadRequest, "bad request body"},
+		{"validation", http.MethodPost, "/schedule", `{"scenario": 1, "width": -3, "height": 3}`, http.StatusBadRequest, "dimensions"},
+		{"simulate validation", http.MethodPost, "/simulate", `{"classes": [{"scenario": 1, "rate_per_sec": 1}], "shedder": "nope"}`, http.StatusBadRequest, "unknown shedder"},
+		{"deadline during admission wait", http.MethodPost, "/schedule", `{"scenario": 1, "profile": "edge", "timeout_ms": 1}`, http.StatusRequestTimeout, "deadline"},
+		{"saturated", http.MethodPost, "/schedule", `{"scenario": 2, "profile": "edge"}`, http.StatusTooManyRequests, "saturated"},
+	}
+	for _, tc := range cases {
+		resp, raw := do(t, tc.method, tc.path, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, raw)
+			continue
+		}
+		var he httpError
+		if err := json.Unmarshal(raw, &he); err != nil {
+			t.Errorf("%s: error body not the unified shape: %v\n%s", tc.name, err, raw)
+			continue
+		}
+		if he.Status != tc.status {
+			t.Errorf("%s: body status %d != HTTP status %d", tc.name, he.Status, tc.status)
+		}
+		if he.Error == "" || !strings.Contains(he.Error, tc.errSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, he.Error, tc.errSub)
+		}
+		if tc.status == http.StatusTooManyRequests {
+			ra := resp.Header.Get("Retry-After")
+			if ra == "" {
+				t.Errorf("%s: 429 without Retry-After", tc.name)
+			} else if sec, err := strconv.Atoi(ra); err != nil || sec < 1 || sec != he.RetryAfterSec {
+				t.Errorf("%s: Retry-After %q inconsistent with body retry_after_sec %d", tc.name, ra, he.RetryAfterSec)
+			}
+		} else if he.RetryAfterSec != 0 {
+			t.Errorf("%s: unexpected retry_after_sec %d on %d", tc.name, he.RetryAfterSec, tc.status)
+		}
+	}
+
+	// Drain: new work answers 503 and healthz flips to not-ready.
+	svc.BeginDrain()
+	resp, raw := do(t, http.MethodPost, "/schedule", `{"scenario": 1}`)
+	var he httpError
+	if err := json.Unmarshal(raw, &he); err != nil || resp.StatusCode != http.StatusServiceUnavailable || he.Status != http.StatusServiceUnavailable {
+		t.Errorf("drain: status %d body %s err %v, want unified 503", resp.StatusCode, raw, err)
+	}
+	hz, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hz.Body.Close()
+	var hzr healthzResponse
+	if err := json.NewDecoder(hz.Body).Decode(&hzr); err != nil {
+		t.Fatal(err)
+	}
+	if hz.StatusCode != http.StatusServiceUnavailable || hzr.Status != "draining" || !hzr.Draining {
+		t.Errorf("healthz during drain = %d %+v, want 503 draining", hz.StatusCode, hzr)
+	}
+
+	close(release)
+	<-leaderDone
+}
+
+func TestHealthzReportsSaturation(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	svc := fastServiceWith(Config{
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         10 * time.Millisecond,
+		FailPoints:            fp,
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	get := func() (int, healthzResponse) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var hr healthzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, hr
+	}
+	if code, hr := get(); code != http.StatusOK || hr.Status != "ok" || hr.SearchSlots != 1 {
+		t.Errorf("idle healthz = %d %+v, want 200 ok with 1 slot", code, hr)
+	}
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+	if code, hr := get(); code != http.StatusOK || hr.Status != "saturated" || !hr.Saturated || hr.SearchSlotsInUse != 1 {
+		t.Errorf("saturated healthz = %d %+v, want 200 saturated 1/1", code, hr)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("held leader: %v", err)
+	}
+	if code, hr := get(); code != http.StatusOK || hr.Status != "ok" {
+		t.Errorf("recovered healthz = %d %+v, want 200 ok", code, hr)
+	}
+}
+
+// TestSaturated429WithinBound asserts the acceptance criterion timing:
+// a saturated daemon answers 429 within the admission-wait bound (plus
+// scheduling slack), instead of queueing the search.
+func TestSaturated429WithinBound(t *testing.T) {
+	fp, started, release := holdPoint("edp")
+	const wait = 50 * time.Millisecond
+	svc := fastServiceWith(Config{
+		MaxConcurrentSearches: 1,
+		AdmissionWait:         wait,
+		FailPoints:            fp,
+	})
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err := svc.Schedule(context.Background(), tinyRequestObj("edp"))
+		leaderDone <- err
+	}()
+	<-started
+
+	t0 := time.Now()
+	resp, data := postJSON(t, srv.URL+"/schedule", `{"scenario": 2, "profile": "edge"}`)
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, data)
+	}
+	// Generous slack for CI schedulers; the point is bounded, not tight.
+	if elapsed > wait+5*time.Second {
+		t.Errorf("429 took %v, admission wait is %v", elapsed, wait)
+	}
+	close(release)
+	if err := <-leaderDone; err != nil {
+		t.Fatalf("held leader: %v", err)
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"example.com/scar/internal/eval"
@@ -21,6 +23,11 @@ const StatusClientClosedRequest = 499
 type ScheduleHTTPResponse struct {
 	Key    string `json:"key"`
 	Cached bool   `json:"cached"`
+	// Degraded marks a stale answer: the daemon was saturated and
+	// served the key's most recent completed search instead of running
+	// a fresh one (graceful degradation; see Config.
+	// MaxConcurrentSearches). Degraded answers are always cached.
+	Degraded bool `json:"degraded,omitempty"`
 	// Partial marks an anytime result: the request deadline expired
 	// mid-search and Metrics/Schedule describe the best incumbent found
 	// by then, not the full search's answer. Partial results are never
@@ -41,9 +48,15 @@ type ScheduleHTTPResponse struct {
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
-// httpError is the JSON error body.
+// httpError is the JSON error body — the one wire shape every error
+// path (400/405/408/429/499/503) goes through, via writeError.
 type httpError struct {
 	Error string `json:"error"`
+	// Status echoes the HTTP status code in the body, so clients
+	// reading buffered bodies (or logs) need no out-of-band status.
+	Status int `json:"status"`
+	// RetryAfterSec mirrors the Retry-After header on 429 answers.
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
@@ -60,10 +73,39 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/schedule", s.handleSchedule)
 	mux.HandleFunc("/simulate", s.handleSimulate)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// healthzResponse is the GET /healthz body: liveness plus readiness.
+// status is "ok", "saturated" (alive, every search slot held — new
+// searches will shed or degrade) or "draining" (shutting down, the only
+// state answered 503 so load balancers stop routing here).
+type healthzResponse struct {
+	Status           string `json:"status"`
+	Draining         bool   `json:"draining"`
+	Saturated        bool   `json:"saturated"`
+	SearchSlots      int    `json:"search_slots,omitempty"`
+	SearchSlotsInUse int    `json:"search_slots_in_use,omitempty"`
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := healthzResponse{Status: "ok"}
+	if s.searchSem != nil {
+		resp.SearchSlots = cap(s.searchSem)
+		resp.SearchSlotsInUse = len(s.searchSem)
+		if resp.SearchSlotsInUse >= resp.SearchSlots {
+			resp.Status = "saturated"
+			resp.Saturated = true
+		}
+	}
+	if s.Draining() {
+		resp.Status = "draining"
+		resp.Draining = true
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -74,15 +116,42 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // the status line is already out; nothing to do on error
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, httpError{Error: err.Error()})
+// writeError is the single error answer path: every handler error —
+// including decode/method guards — funnels through it, so the JSON
+// shape and the status-specific headers cannot drift apart per
+// endpoint. retryAfterSec > 0 (saturation answers) emits the
+// Retry-After header and mirrors it in the body.
+func writeError(w http.ResponseWriter, status int, err error, retryAfterSec int) {
+	body := httpError{Error: err.Error(), Status: status}
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+		body.RetryAfterSec = retryAfterSec
+	}
+	writeJSON(w, status, body)
 }
 
-// errorStatus maps a scheduling error to its HTTP status: 408 for an
-// expired search deadline, 499 for a cancelled request context (best
-// effort — the client is usually gone), 400 for everything else.
+// serviceError maps a service error onto the wire and writes it: 429 +
+// Retry-After when saturated, 503 while draining, 408 for an expired
+// search deadline, 499 for a cancelled request context (best effort —
+// the client is usually gone), 400 for everything else.
+func (s *Service) serviceError(w http.ResponseWriter, r *http.Request, err error) {
+	status := errorStatus(r, err)
+	retryAfter := 0
+	if status == http.StatusTooManyRequests {
+		retryAfter = s.retryAfterSec()
+	}
+	writeError(w, status, err, retryAfter)
+}
+
+// errorStatus resolves a service error's HTTP status (see serviceError
+// for the mapping). Saturation and draining are checked first: they are
+// definitive service answers, not artifacts of the caller's context.
 func errorStatus(r *http.Request, err error) int {
 	switch {
+	case errors.Is(err, ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusRequestTimeout
 	case errors.Is(err, context.Canceled) || r.Context().Err() != nil:
@@ -92,16 +161,27 @@ func errorStatus(r *http.Request, err error) int {
 	}
 }
 
+// retryAfterSec derives the Retry-After answer from the admission wait:
+// a client backing off that long lands after a full admission window
+// has passed, rounded up to the header's whole-second granularity.
+func (s *Service) retryAfterSec() int {
+	sec := int(math.Ceil(s.admissionWait.Seconds()))
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
 // decodePost guards method + body decoding for the POST endpoints.
 func decodePost(w http.ResponseWriter, r *http.Request, v any) bool {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"), 0)
 		return false
 	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err), 0)
 		return false
 	}
 	return true
@@ -127,12 +207,13 @@ func (s *Service) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	// response.
 	sr, err := s.Schedule(r.Context(), req.Request)
 	if err != nil {
-		writeError(w, errorStatus(r, err), err)
+		s.serviceError(w, r, err)
 		return
 	}
 	resp := ScheduleHTTPResponse{
 		Key:          sr.Key,
 		Cached:       sr.Cached,
+		Degraded:     sr.Degraded,
 		Partial:      sr.Result.Partial,
 		Splits:       sr.Result.Splits,
 		Windows:      len(sr.Result.Schedule.Windows),
@@ -154,7 +235,7 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.Simulate(r.Context(), req)
 	if err != nil {
-		writeError(w, errorStatus(r, err), err)
+		s.serviceError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -162,7 +243,7 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"example.com/scar/internal/config"
@@ -226,6 +227,19 @@ type Config struct {
 	// sharded one. It exists as the baseline for scarbench -exp serve
 	// and regression tests; never enable it in production.
 	SingleMutex bool
+	// MaxConcurrentSearches caps leader searches running at once (0 =
+	// unlimited, the legacy fail-open behavior). Cache hits and
+	// followers deduplicated onto an in-flight search never need a
+	// slot — only requests that would start a new search are gated.
+	MaxConcurrentSearches int
+	// AdmissionWait bounds how long a gated request may wait for a
+	// search slot before it is shed with ErrSaturated (0 =
+	// DefaultAdmissionWait; negative = reject immediately). Saturated
+	// answers carry a Retry-After derived from this bound.
+	AdmissionWait time.Duration
+	// FailPoints is test-only deterministic fault injection (see
+	// FailPoints); leave nil in production.
+	FailPoints *FailPoints
 }
 
 // Service is the concurrent scheduling service. Safe for concurrent use.
@@ -241,6 +255,20 @@ type Service struct {
 
 	cache   scheduleCache
 	started time.Time
+
+	// Admission control (admission.go): searchSem caps concurrent
+	// leader searches (nil = unlimited), admissionWait bounds the slot
+	// wait, stale remembers past answers for degraded serving, and
+	// draining flips on BeginDrain. The atomics are the shedding-state
+	// counters exposed through Stats.
+	searchSem        chan struct{}
+	admissionWait    time.Duration
+	failPoints       *FailPoints
+	stale            *staleStore
+	draining         atomic.Bool
+	saturatedRejects atomic.Int64
+	drainRejects     atomic.Int64
+	degradedAnswers  atomic.Int64
 }
 
 // New builds a service with a fresh cost database.
@@ -266,13 +294,30 @@ func NewWithConfig(db *costdb.DB, opts core.Options, cfg Config) *Service {
 	} else {
 		cache = newShardedCache(cfg.Shards, cfg.MaxCachedSchedules)
 	}
-	return &Service{
-		db:      db,
-		opts:    opts,
-		optsKey: "opts:" + hex.EncodeToString(oh[:8]),
-		cache:   cache,
-		started: time.Now(),
+	maxStale := cfg.MaxCachedSchedules
+	if maxStale <= 0 {
+		maxStale = DefaultMaxCachedSchedules
 	}
+	// The stale store's purpose is answering for keys the LRU already
+	// evicted, so it must be larger than the cache bound to ever do so.
+	maxStale *= 2
+	s := &Service{
+		db:            db,
+		opts:          opts,
+		optsKey:       "opts:" + hex.EncodeToString(oh[:8]),
+		cache:         cache,
+		started:       time.Now(),
+		admissionWait: cfg.AdmissionWait,
+		failPoints:    cfg.FailPoints,
+		stale:         newStaleStore(maxStale),
+	}
+	if s.admissionWait == 0 {
+		s.admissionWait = DefaultAdmissionWait
+	}
+	if cfg.MaxConcurrentSearches > 0 {
+		s.searchSem = make(chan struct{}, cfg.MaxConcurrentSearches)
+	}
+	return s
 }
 
 // SetRequestTimeout installs a default per-request search deadline for
@@ -294,6 +339,11 @@ type ScheduleResult struct {
 	// Cached reports that no new search ran for this call (the result
 	// came from a completed entry or from waiting on an in-flight one).
 	Cached bool
+	// Degraded marks a stale answer served because the service was
+	// saturated: Result is the key's most recent completed search (it
+	// may itself be partial), not a fresh resolution. Degraded answers
+	// are always Cached.
+	Degraded bool
 	// Scenario and MCM are the materialized inputs; Result the scheduler
 	// output.
 	Scenario *workload.Scenario
@@ -312,6 +362,9 @@ type ScheduleResult struct {
 // it re-issue the search under their own contexts, so one impatient
 // client can never poison the cache or abort its neighbors.
 func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, error) {
+	if err := s.checkAdmission(); err != nil {
+		return nil, err
+	}
 	req = req.withDefaults()
 	key := req.key() + "|" + s.optsKey
 	c := s.cache.counters(key)
@@ -345,7 +398,40 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 			return &ScheduleResult{Key: key, Cached: true, Scenario: &e.sc, MCM: e.pkg, Result: e.res}, nil
 		}
 
-		e.sc, e.pkg, e.err = s.fill(ctx, e, req, c)
+		// Leader: the only path that starts a search, so the only one
+		// gated by the concurrent-search limit. Saturation falls back to
+		// the key's most recent stale answer (marked Degraded) when one
+		// exists, and sheds with ErrSaturated otherwise; either way the
+		// entry is discarded as transient so waiting followers re-issue
+		// under their own admission attempts.
+		release, aerr := s.acquireSearchSlot(ctx)
+		if aerr != nil {
+			e.transient = true
+			s.cache.discard(key, e)
+			close(e.done)
+			if errors.Is(aerr, ErrSaturated) {
+				if st, ok := s.stale.get(key); ok {
+					s.degradedAnswers.Add(1)
+					sc := st.sc
+					return &ScheduleResult{Key: key, Cached: true, Degraded: true, Scenario: &sc, MCM: st.pkg, Result: st.res}, nil
+				}
+				s.saturatedRejects.Add(1)
+			}
+			return nil, aerr
+		}
+		if fp := s.failPoints; fp != nil && fp.BeforeSearch != nil {
+			e.err = fp.BeforeSearch(ctx, key)
+		}
+		if e.err == nil {
+			e.sc, e.pkg, e.err = s.fill(ctx, e, req, c)
+		}
+		release()
+		if e.err == nil && e.res != nil {
+			// Remember every answer — partials included — as degraded-
+			// serving material; unlike the LRU cache this survives
+			// eviction, it is only consulted when saturated.
+			s.stale.put(key, staleEntry{sc: e.sc, pkg: e.pkg, res: e.res})
+		}
 		partial := e.err == nil && e.res != nil && e.res.Partial
 		if e.err != nil || partial {
 			// Neither failed nor truncated searches are cached: a failed
@@ -439,6 +525,50 @@ type SimRequest struct {
 	// SlackFactor derives deadlines for models without frame rates
 	// (default 3: a request may queue two service times before missing).
 	SlackFactor float64 `json:"slack_factor,omitempty"`
+	// Admission control (all optional; see online.Admission):
+	// MaxQueueDepth hard-bounds the waiting queue, High/LowWatermark
+	// drive backpressure hysteresis, Shedder picks the shedding policy
+	// ("drop-tail" or "deadline-aware"; default drop-tail) and
+	// ShedMarginSec is the deadline-aware headroom. Leaving every field
+	// zero runs without admission control.
+	MaxQueueDepth int     `json:"max_queue_depth,omitempty"`
+	HighWatermark int     `json:"high_watermark,omitempty"`
+	LowWatermark  int     `json:"low_watermark,omitempty"`
+	Shedder       string  `json:"shedder,omitempty"`
+	ShedMarginSec float64 `json:"shed_margin_sec,omitempty"`
+}
+
+// admission resolves the request's admission-control fields, validating
+// at the wire boundary so a bad configuration fails before any search
+// work. nil means no admission control was requested.
+func (r SimRequest) admission() (*online.Admission, error) {
+	if r.MaxQueueDepth == 0 && r.HighWatermark == 0 && r.LowWatermark == 0 &&
+		r.Shedder == "" && r.ShedMarginSec == 0 {
+		return nil, nil
+	}
+	if r.ShedMarginSec < 0 {
+		return nil, fmt.Errorf("serve: negative shed_margin_sec %v", r.ShedMarginSec)
+	}
+	sh, err := online.ShedderByName(r.Shedder)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if da, ok := sh.(online.DeadlineAware); ok {
+		da.MarginSec = r.ShedMarginSec
+		sh = da
+	} else if r.ShedMarginSec > 0 {
+		return nil, fmt.Errorf("serve: shed_margin_sec applies to the deadline-aware shedder, not %q", sh.Name())
+	}
+	adm := &online.Admission{
+		MaxQueueDepth: r.MaxQueueDepth,
+		HighWatermark: r.HighWatermark,
+		LowWatermark:  r.LowWatermark,
+		Shedder:       sh,
+	}
+	if err := adm.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return adm, nil
 }
 
 // Simulate schedules every class (through the cache) and runs the
@@ -446,6 +576,9 @@ type SimRequest struct {
 // class scheduling inherits it per class, and the event loop polls it,
 // so an abandoned simulation request stops burning the daemon's CPU.
 func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report, error) {
+	if err := s.checkAdmission(); err != nil {
+		return nil, err
+	}
 	if len(req.Classes) == 0 {
 		return nil, fmt.Errorf("serve: simulation needs at least one class")
 	}
@@ -455,11 +588,16 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	if req.Packages < 0 {
 		return nil, fmt.Errorf("serve: negative package count %d", req.Packages)
 	}
-	// Resolve the policy name before scheduling any class, so a typo
-	// fails fast instead of after seconds of search work.
+	// Resolve the policy name and the admission block before scheduling
+	// any class, so a typo fails fast instead of after seconds of
+	// search work.
 	policy, err := online.PolicyByName(req.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
+	}
+	adm, err := req.admission()
+	if err != nil {
+		return nil, err
 	}
 	slack := req.SlackFactor
 	if slack == 0 {
@@ -517,6 +655,7 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 		Policy:              policy,
 		HorizonSec:          req.HorizonSec,
 		MaxRequestsPerClass: req.MaxRequestsPerClass,
+		Admission:           adm,
 	})
 }
 
@@ -598,6 +737,20 @@ type Stats struct {
 	CostEntries int   `json:"cost_entries"`
 	CostHits    int64 `json:"cost_hits"`
 	CostMisses  int64 `json:"cost_misses"`
+	// Shedding state. SearchSlots is the concurrent-search limit (0 =
+	// unlimited) and SearchSlotsInUse the slots currently held;
+	// SaturatedRejects counts requests shed with ErrSaturated,
+	// DegradedAnswers the saturated requests answered from the stale
+	// store instead, DrainRejects the ones rejected by ErrDraining.
+	// StaleSchedules sizes the degraded-serving store and Draining
+	// reports the shutdown-drain state.
+	SearchSlots      int   `json:"search_slots"`
+	SearchSlotsInUse int   `json:"search_slots_in_use"`
+	SaturatedRejects int64 `json:"saturated_rejects"`
+	DegradedAnswers  int64 `json:"degraded_answers"`
+	DrainRejects     int64 `json:"drain_rejects"`
+	StaleSchedules   int   `json:"stale_schedules"`
+	Draining         bool  `json:"draining"`
 	// UptimeSec is seconds since service construction.
 	UptimeSec float64 `json:"uptime_sec"`
 }
@@ -607,7 +760,7 @@ func (s *Service) Stats() Stats {
 	completed, inflight := s.cache.sizes()
 	t := s.cache.totals()
 	hits, misses := s.db.Stats()
-	return Stats{
+	st := Stats{
 		Requests:         t.requests,
 		ScheduleCalls:    t.scheduleCalls,
 		CacheHits:        t.cacheHits,
@@ -618,6 +771,16 @@ func (s *Service) Stats() Stats {
 		CostEntries:      s.db.Size(),
 		CostHits:         hits,
 		CostMisses:       misses,
+		SaturatedRejects: s.saturatedRejects.Load(),
+		DegradedAnswers:  s.degradedAnswers.Load(),
+		DrainRejects:     s.drainRejects.Load(),
+		StaleSchedules:   s.stale.size(),
+		Draining:         s.draining.Load(),
 		UptimeSec:        time.Since(s.started).Seconds(),
 	}
+	if s.searchSem != nil {
+		st.SearchSlots = cap(s.searchSem)
+		st.SearchSlotsInUse = len(s.searchSem)
+	}
+	return st
 }

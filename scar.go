@@ -160,6 +160,24 @@ type (
 	SwitchAwarePolicy = online.SwitchAware
 	// SimPackageReport is one replica's aggregate in a SimReport.
 	SimPackageReport = online.PackageReport
+	// SimAdmission is the simulator's admission control: a hard queue
+	// bound, low/high watermark backpressure with hysteresis and a
+	// pluggable load shedder (SimConfig.Admission; nil admits all).
+	SimAdmission = online.Admission
+	// SimShedder decides whether an arrival is shed; implementations
+	// must be deterministic pure functions (see SimConfig.Admission).
+	SimShedder = online.Shedder
+	// DropTailShedder sheds every arrival while watermark backpressure
+	// is engaged.
+	DropTailShedder = online.DropTail
+	// DeadlineAwareShedder sheds the arrivals whose queue-implied start
+	// would already bust their deadline, protecting the accepted
+	// requests' SLA under overload.
+	DeadlineAwareShedder = online.DeadlineAware
+	// SimShedOutcome is one shed request's record in a SimReport.
+	SimShedOutcome = online.ShedOutcome
+	// SimAdmissionView is the shedder-visible simulator state.
+	SimAdmissionView = online.AdmissionView
 	// Service is the concurrent scheduling service: a singleflight-
 	// deduplicated schedule cache over a shared warm cost database,
 	// with an http.Handler exposing /schedule, /simulate and /stats.
@@ -194,10 +212,28 @@ var (
 	PolicyByName = online.PolicyByName
 	// PolicyNames lists the dispatch-policy wire vocabulary.
 	PolicyNames = online.PolicyNames
+	// ShedderByName resolves the shedding-policy wire vocabulary:
+	// "drop-tail", "deadline-aware" (the /simulate shedder field).
+	ShedderByName = online.ShedderByName
+	// ShedderNames lists the shedding-policy wire vocabulary.
+	ShedderNames = online.ShedderNames
 	// NewService builds a scheduling service with a fresh cost
 	// database; see Service.
 	NewService = serve.New
 )
+
+// Serve-layer overload protection (see Service and cmd/scarserve): the
+// daemon sheds work with ErrServeSaturated (HTTP 429 + Retry-After)
+// when its concurrent-search limit is held past the admission wait,
+// and with ErrServeDraining (HTTP 503) after Service.BeginDrain.
+var (
+	ErrServeSaturated = serve.ErrSaturated
+	ErrServeDraining  = serve.ErrDraining
+)
+
+// ServeFailPoints is deterministic fault injection for serve-layer
+// chaos tests (serve.Config.FailPoints).
+type ServeFailPoints = serve.FailPoints
 
 // Layer constructors.
 var (
