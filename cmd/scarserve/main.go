@@ -9,6 +9,7 @@
 //	          [-shards 0] [-max-cached-schedules 0]
 //	          [-request-timeout 5m] [-shutdown-timeout 30s]
 //	          [-max-concurrent-searches 0] [-admission-wait 250ms]
+//	          [-metrics] [-pprof addr] [-log-level info] [-trace-buffer 256]
 //
 // Endpoints:
 //
@@ -16,6 +17,16 @@
 //	POST /simulate  {"classes": [{"scenario": 6, "rate_per_sec": 2}], "horizon_sec": 60}
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics   (-metrics only: Prometheus text exposition)
+//	GET  /trace     (-metrics only: Chrome trace JSON of recent requests)
+//
+// Observability: every response carries X-Request-ID and lands in
+// per-endpoint latency histograms (surfaced as p50/p95/p99 in /stats and
+// as histograms on /metrics). -metrics opts into the /metrics and /trace
+// endpoints; -pprof serves net/http/pprof on a separate listener so
+// profiling is never exposed on the service address; -log-level selects
+// the structured-log threshold (debug logs every request); -trace-buffer
+// sizes the per-request span ring (0 disables tracing).
 //
 // Every request runs under a context derived from its HTTP connection:
 // client disconnects cancel the search, -request-timeout bounds searches
@@ -45,6 +56,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +65,7 @@ import (
 	"example.com/scar/internal/core"
 	"example.com/scar/internal/costdb"
 	"example.com/scar/internal/maestro"
+	"example.com/scar/internal/obs"
 	"example.com/scar/internal/serve"
 )
 
@@ -75,7 +88,7 @@ func writeTimeout(reqTimeout time.Duration) time.Duration {
 // error instead of letting them reach the serve layer as silent
 // defaults (a negative -request-timeout previously disabled the
 // deadline entirely, which is never what the operator meant).
-func validateFlags(shards, maxCached int, reqTimeout, shutTimeout time.Duration, maxSearches int, admitWait time.Duration) error {
+func validateFlags(shards, maxCached int, reqTimeout, shutTimeout time.Duration, maxSearches int, admitWait time.Duration, traceBuffer int) error {
 	switch {
 	case shards < 0:
 		return fmt.Errorf("-shards must be >= 0, got %d", shards)
@@ -91,8 +104,22 @@ func validateFlags(shards, maxCached int, reqTimeout, shutTimeout time.Duration,
 		return fmt.Errorf("-admission-wait must be >= 0, got %v (use 0 for the default)", admitWait)
 	case admitWait > 0 && maxSearches == 0:
 		return fmt.Errorf("-admission-wait %v has no effect without -max-concurrent-searches", admitWait)
+	case traceBuffer < 0:
+		return fmt.Errorf("-trace-buffer must be >= 0, got %d (use 0 to disable tracing)", traceBuffer)
 	}
 	return nil
+}
+
+// pprofHandler builds an explicit pprof mux (never the default one, so
+// the profiling surface is exactly these routes on its own listener).
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func realMain() int {
@@ -108,13 +135,27 @@ func realMain() int {
 		shutTimeout = flag.Duration("shutdown-timeout", 30*time.Second, "graceful shutdown deadline; overrunning requests are cancelled, not killed")
 		maxSearches = flag.Int("max-concurrent-searches", 0, "cap on leader searches running at once; extra requests shed with 429 or answer degraded (0 = unlimited)")
 		admitWait   = flag.Duration("admission-wait", 0, "how long a request may wait for a search slot before shedding (0 = serve default)")
+		metrics     = flag.Bool("metrics", false, "expose GET /metrics (Prometheus text) and GET /trace (Chrome trace JSON) on the service address")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty = off), e.g. localhost:6060")
+		logLevel    = flag.String("log-level", "info", "structured-log threshold: debug, info, warn or error (debug logs every request)")
+		traceBuffer = flag.Int("trace-buffer", obs.DefaultTraceBuffer, "completed request traces retained for GET /trace (0 = disable tracing)")
 	)
 	flag.Parse()
 
-	if err := validateFlags(*shards, *maxCached, *reqTimeout, *shutTimeout, *maxSearches, *admitWait); err != nil {
+	if err := validateFlags(*shards, *maxCached, *reqTimeout, *shutTimeout, *maxSearches, *admitWait, *traceBuffer); err != nil {
 		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
 		return 2
 	}
+	log, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scarserve: -log-level %v\n", err)
+		return 2
+	}
+	tb := *traceBuffer
+	if tb == 0 {
+		tb = -1 // obs convention: negative disables, zero means default
+	}
+	o := obs.New(obs.Config{Log: log, TraceBuffer: tb})
 
 	opts := core.DefaultOptions()
 	if *fast {
@@ -127,11 +168,11 @@ func realMain() int {
 	if *costdbPath != "" {
 		loaded, err := db.LoadFile(*costdbPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scarserve: -costdb %v\n", err)
+			log.Error("cost database load failed", "path", *costdbPath, "err", err)
 			return 1
 		}
 		if loaded {
-			fmt.Printf("scarserve: cost database loaded from %s (%d entries)\n", *costdbPath, db.Size())
+			log.Info("cost database loaded", "path", *costdbPath, "entries", db.Size())
 		}
 	}
 	svc := serve.NewWithConfig(db, opts, serve.Config{
@@ -139,8 +180,26 @@ func realMain() int {
 		MaxCachedSchedules:    *maxCached,
 		MaxConcurrentSearches: *maxSearches,
 		AdmissionWait:         *admitWait,
+		Obs:                   o,
+		ExposeMetrics:         *metrics,
 	})
 	svc.SetRequestTimeout(*reqTimeout)
+
+	// The pprof listener is separate from the service address on
+	// purpose: profiling endpoints expose heap contents and CPU time, so
+	// they bind where the operator says (typically localhost) and never
+	// ride the public handler.
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		pprofServer = &http.Server{Addr: *pprofAddr, Handler: pprofHandler(), ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			log.Info("pprof listening", "addr", *pprofAddr)
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		defer pprofServer.Close()
+	}
 
 	// baseCtx parents every request context: cancelling it is the lever
 	// that aborts in-flight searches when graceful shutdown overruns.
@@ -161,8 +220,9 @@ func realMain() int {
 	}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("scarserve: listening on %s (fast=%v seed=%d workers=%d shards=%d request-timeout=%v)\n",
-			*addr, *fast, *seed, *workers, svc.Stats().Shards, *reqTimeout)
+		log.Info("listening", "addr", *addr, "fast", *fast, "seed", *seed,
+			"workers", *workers, "shards", svc.Stats().Shards,
+			"request_timeout", *reqTimeout, "metrics", *metrics)
 		errc <- server.ListenAndServe()
 	}()
 
@@ -172,7 +232,7 @@ func realMain() int {
 	case err := <-errc:
 		// ListenAndServe never returns nil; anything here is a startup
 		// or accept failure.
-		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
+		log.Error("server failed", "err", err)
 		return 1
 	case <-ctx.Done():
 	}
@@ -181,7 +241,7 @@ func realMain() int {
 	// to "draining") for the whole grace period, while requests already
 	// in flight — which Shutdown waits for — run to completion.
 	svc.BeginDrain()
-	fmt.Println("scarserve: draining, then shutting down")
+	log.Info("draining", "shutdown_timeout", *shutTimeout)
 	exit := 0
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutTimeout)
 	defer cancel()
@@ -191,27 +251,27 @@ func realMain() int {
 		// promptly — then close whatever remains. The exit code stays
 		// nonzero so supervisors see the non-graceful shutdown, but the
 		// cost database below is still saved.
-		fmt.Fprintf(os.Stderr, "scarserve: shutdown grace expired (%v); cancelling in-flight requests\n", err)
+		log.Warn("shutdown grace expired; cancelling in-flight requests", "err", err)
 		exit = 1
 		baseCancel()
 		if cerr := server.Close(); cerr != nil {
-			fmt.Fprintf(os.Stderr, "scarserve: close: %v\n", cerr)
+			log.Error("close failed", "err", cerr)
 		}
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		fmt.Fprintf(os.Stderr, "scarserve: %v\n", err)
+		log.Error("server failed", "err", err)
 		return 1
 	}
 
 	if *costdbPath != "" {
 		if err := db.SaveFile(*costdbPath); err != nil {
-			fmt.Fprintf(os.Stderr, "scarserve: -costdb %v\n", err)
+			log.Error("cost database save failed", "path", *costdbPath, "err", err)
 			return 1
 		}
-		fmt.Printf("scarserve: cost database saved to %s (%d entries)\n", *costdbPath, db.Size())
+		log.Info("cost database saved", "path", *costdbPath, "entries", db.Size())
 	}
 	st := svc.Stats()
-	fmt.Printf("scarserve: served %d schedule requests (%d searches, %d cache hits), %d simulations\n",
-		st.Requests, st.ScheduleCalls, st.CacheHits, st.Simulations)
+	log.Info("served", "requests", st.Requests, "searches", st.ScheduleCalls,
+		"cache_hits", st.CacheHits, "simulations", st.Simulations)
 	return exit
 }

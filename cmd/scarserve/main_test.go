@@ -7,35 +7,37 @@ import (
 )
 
 func TestValidateFlags(t *testing.T) {
-	ok := func(shards, maxCached int, reqT, shutT time.Duration, maxS int, wait time.Duration) {
+	ok := func(shards, maxCached int, reqT, shutT time.Duration, maxS int, wait time.Duration, traceBuf int) {
 		t.Helper()
-		if err := validateFlags(shards, maxCached, reqT, shutT, maxS, wait); err != nil {
+		if err := validateFlags(shards, maxCached, reqT, shutT, maxS, wait, traceBuf); err != nil {
 			t.Errorf("valid flags rejected: %v", err)
 		}
 	}
-	ok(0, 0, 5*time.Minute, 30*time.Second, 0, 0)
-	ok(8, 256, 0, 0, 4, 100*time.Millisecond)
-	ok(1, 1, time.Second, time.Second, 1, 0)
+	ok(0, 0, 5*time.Minute, 30*time.Second, 0, 0, 256)
+	ok(8, 256, 0, 0, 4, 100*time.Millisecond, 0)
+	ok(1, 1, time.Second, time.Second, 1, 0, 1)
 
 	for _, tc := range []struct {
-		name    string
-		shards  int
-		cached  int
-		reqT    time.Duration
-		shutT   time.Duration
-		maxS    int
-		wait    time.Duration
-		wantSub string
+		name     string
+		shards   int
+		cached   int
+		reqT     time.Duration
+		shutT    time.Duration
+		maxS     int
+		wait     time.Duration
+		traceBuf int
+		wantSub  string
 	}{
-		{"negative shards", -1, 0, 0, 0, 0, 0, "-shards"},
-		{"negative cache bound", 0, -5, 0, 0, 0, 0, "-max-cached-schedules"},
-		{"negative request timeout", 0, 0, -time.Second, 0, 0, 0, "-request-timeout"},
-		{"negative shutdown timeout", 0, 0, 0, -time.Second, 0, 0, "-shutdown-timeout"},
-		{"negative search cap", 0, 0, 0, 0, -2, 0, "-max-concurrent-searches"},
-		{"negative admission wait", 0, 0, 0, 0, 1, -time.Millisecond, "-admission-wait"},
-		{"wait without cap", 0, 0, 0, 0, 0, time.Second, "no effect"},
+		{"negative shards", -1, 0, 0, 0, 0, 0, 0, "-shards"},
+		{"negative cache bound", 0, -5, 0, 0, 0, 0, 0, "-max-cached-schedules"},
+		{"negative request timeout", 0, 0, -time.Second, 0, 0, 0, 0, "-request-timeout"},
+		{"negative shutdown timeout", 0, 0, 0, -time.Second, 0, 0, 0, "-shutdown-timeout"},
+		{"negative search cap", 0, 0, 0, 0, -2, 0, 0, "-max-concurrent-searches"},
+		{"negative admission wait", 0, 0, 0, 0, 1, -time.Millisecond, 0, "-admission-wait"},
+		{"wait without cap", 0, 0, 0, 0, 0, time.Second, 0, "no effect"},
+		{"negative trace buffer", 0, 0, 0, 0, 0, 0, -1, "-trace-buffer"},
 	} {
-		err := validateFlags(tc.shards, tc.cached, tc.reqT, tc.shutT, tc.maxS, tc.wait)
+		err := validateFlags(tc.shards, tc.cached, tc.reqT, tc.shutT, tc.maxS, tc.wait, tc.traceBuf)
 		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
 			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.wantSub)
 		}

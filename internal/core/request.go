@@ -95,6 +95,34 @@ func (req *Request) apply(base Options) Options {
 	return o
 }
 
+// ChainProgress composes progress callbacks: the returned callback
+// forwards each event to every non-nil input in order. Nil inputs are
+// skipped and an all-nil chain returns nil, so callers can compose
+// unconditionally. It exists so serving-layer instrumentation (the
+// request tracer's window-eval spans) can attach an observer without
+// clobbering a caller-configured Progress hook; like any Progress
+// callback it is purely observational — search results stay
+// bit-identical with or without it.
+func ChainProgress(cbs ...func(ProgressEvent)) func(ProgressEvent) {
+	var live []func(ProgressEvent)
+	for _, cb := range cbs {
+		if cb != nil {
+			live = append(live, cb)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(ev ProgressEvent) {
+		for _, cb := range live {
+			cb(ev)
+		}
+	}
+}
+
 // ProgressEvent is one anytime-progress snapshot of a running search,
 // delivered through Options.Progress (or Request.Progress). Events are
 // emitted whenever an MCM-Reconfig candidate finishes, serialized (never

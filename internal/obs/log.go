@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured-logging helpers: slog construction with a named level,
+// and the context plumbing that threads request IDs and trace handles
+// from the HTTP middleware down through the serve layer.
+
+// ParseLevel maps a level name (debug, info, warn, error; case-
+// insensitive) to its slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// NewLogger builds a key=value text logger on w filtered at the named
+// level.
+func NewLogger(w io.Writer, level string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: lvl})), nil
+}
+
+// Discard returns a logger that drops everything — the default when no
+// logger is configured, so call sites never nil-check.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+type ctxKey int
+
+const (
+	requestIDKey ctxKey = iota
+	traceKey
+)
+
+// WithRequestID attaches a request ID to the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestIDFrom returns the context's request ID ("" when absent).
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// WithTrace attaches a request-trace handle to the context.
+func WithTrace(ctx context.Context, r *ReqTrace) context.Context {
+	if r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, r)
+}
+
+// TraceFrom returns the context's request-trace handle (nil when
+// absent — and nil is a valid no-op receiver).
+func TraceFrom(ctx context.Context) *ReqTrace {
+	r, _ := ctx.Value(traceKey).(*ReqTrace)
+	return r
+}

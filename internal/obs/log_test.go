@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug,
+		"info":  slog.LevelInfo,
+		"":      slog.LevelInfo,
+		"WARN":  slog.LevelWarn,
+		"error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestNewLoggerFiltersAndFormats(t *testing.T) {
+	var b strings.Builder
+	log, err := NewLogger(&b, "warn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("dropped", "k", 1)
+	log.Warn("kept", "request_id", "r1-1")
+	out := b.String()
+	if strings.Contains(out, "dropped") {
+		t.Errorf("info line should be filtered at warn: %q", out)
+	}
+	if !strings.Contains(out, "msg=kept") || !strings.Contains(out, "request_id=r1-1") {
+		t.Errorf("warn line missing keys: %q", out)
+	}
+	if _, err := NewLogger(&b, "nope"); err == nil {
+		t.Error("NewLogger should reject bad levels")
+	}
+	Discard().Info("goes nowhere")
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterParallelMergesToSequentialTotal(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "test counter")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("merged counter = %d, want %d", got, workers*per)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "test")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+// TestHistogramMergeMatchesSequential drives GOMAXPROCS-many writers
+// through one histogram and asserts the merged-on-read snapshot equals
+// feeding the same multiset of observations sequentially: identical
+// per-bucket counts and total, sum equal modulo float association
+// order. Run under -race in CI.
+func TestHistogramMergeMatchesSequential(t *testing.T) {
+	buckets := []float64{0.001, 0.01, 0.1, 1, 10}
+	par := NewRegistry().Histogram("par_seconds", "parallel", buckets)
+	seq := NewRegistry().Histogram("seq_seconds", "sequential", buckets)
+
+	const workers, per = 8, 5000
+	value := func(w, i int) float64 {
+		// Deterministic spread across all buckets including +Inf.
+		return math.Mod(float64(w*per+i)*0.00037, 20)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				par.Observe(value(w, i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i := 0; i < per; i++ {
+			seq.Observe(value(w, i))
+		}
+	}
+
+	ps, ss := par.Snapshot(), seq.Snapshot()
+	if ps.Count() != ss.Count() || ps.Count() != workers*per {
+		t.Fatalf("counts: parallel %d sequential %d, want %d", ps.Count(), ss.Count(), workers*per)
+	}
+	for i := range ps.Counts {
+		if ps.Counts[i] != ss.Counts[i] {
+			t.Errorf("bucket %d: parallel %d, sequential %d", i, ps.Counts[i], ss.Counts[i])
+		}
+	}
+	if math.Abs(ps.Sum-ss.Sum) > 1e-6*ss.Sum {
+		t.Errorf("sum: parallel %v, sequential %v", ps.Sum, ss.Sum)
+	}
+}
+
+// TestHistogramQuantileWithinBucketWidth checks the interpolated
+// quantile estimator on known distributions: every estimate must land
+// within one bucket width of the true quantile.
+func TestHistogramQuantileWithinBucketWidth(t *testing.T) {
+	// Uniform bounds 0.05..1.00; observations uniform on (0, 1).
+	var buckets []float64
+	const width = 0.05
+	for b := width; b < 1.0001; b += width {
+		buckets = append(buckets, b)
+	}
+	h := NewRegistry().Histogram("uniform_seconds", "uniform", buckets)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		h.Observe((float64(i) + 0.5) / n)
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		got := s.Quantile(q)
+		if math.Abs(got-q) > width {
+			t.Errorf("uniform q%v = %v, want within %v of %v", q, got, width, q)
+		}
+	}
+
+	// Two-point distribution: all mass in two buckets.
+	h2 := NewRegistry().Histogram("two_seconds", "two", []float64{1, 2, 3, 4})
+	for i := 0; i < 90; i++ {
+		h2.Observe(1.5)
+	}
+	for i := 0; i < 10; i++ {
+		h2.Observe(3.5)
+	}
+	s2 := h2.Snapshot()
+	if q := s2.Quantile(0.5); q < 1 || q > 2 {
+		t.Errorf("two-point p50 = %v, want in bucket (1,2]", q)
+	}
+	if q := s2.Quantile(0.99); q < 3 || q > 4 {
+		t.Errorf("two-point p99 = %v, want in bucket (3,4]", q)
+	}
+
+	// +Inf bucket clamps to the last finite bound.
+	h3 := NewRegistry().Histogram("inf_seconds", "inf", []float64{1, 2})
+	h3.Observe(100)
+	if q := h3.Snapshot().Quantile(0.5); q != 2 {
+		t.Errorf("+Inf-bucket quantile = %v, want clamp to 2", q)
+	}
+
+	if q := (HistSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}).Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestHistSnapshotMerge(t *testing.T) {
+	buckets := []float64{1, 2}
+	a := NewRegistry().Histogram("a_seconds", "a", buckets)
+	b := NewRegistry().Histogram("b_seconds", "b", buckets)
+	a.Observe(0.5)
+	a.Observe(1.5)
+	b.Observe(1.5)
+	b.Observe(5)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if got := m.Count(); got != 4 {
+		t.Fatalf("merged count = %d, want 4", got)
+	}
+	if m.Counts[0] != 1 || m.Counts[1] != 2 || m.Counts[2] != 1 {
+		t.Fatalf("merged buckets = %v, want [1 2 1]", m.Counts)
+	}
+	if math.Abs(m.Sum-8.5) > 1e-12 {
+		t.Fatalf("merged sum = %v, want 8.5", m.Sum)
+	}
+}
+
+func TestGetOrCreateAliasing(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "x", "endpoint", "a")
+	c2 := r.Counter("x_total", "x", "endpoint", "a")
+	c3 := r.Counter("x_total", "x", "endpoint", "b")
+	if c1 != c2 {
+		t.Error("same (name, labels) should return the same counter")
+	}
+	if c1 == c3 {
+		t.Error("different labels should return distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("req_total", "requests", "endpoint", "schedule", "code", "2xx")
+	c.Add(3)
+	g := r.Gauge("depth", "queue depth")
+	g.Set(7)
+	r.GaugeFunc("uptime_seconds", "uptime", func() float64 { return 12.5 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1}, "endpoint", "schedule")
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# TYPE req_total counter",
+		`req_total{endpoint="schedule",code="2xx"} 3`,
+		"# TYPE depth gauge",
+		"depth 7",
+		"uptime_seconds 12.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{endpoint="schedule",le="0.1"} 1`,
+		`lat_seconds_bucket{endpoint="schedule",le="1"} 2`,
+		`lat_seconds_bucket{endpoint="schedule",le="+Inf"} 3`,
+		`lat_seconds_count{endpoint="schedule"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q in:\n%s", want, out)
+		}
+	}
+	// _sum is float-formatted; just require its presence.
+	if !strings.Contains(out, `lat_seconds_sum{endpoint="schedule"} `) {
+		t.Errorf("exposition missing _sum in:\n%s", out)
+	}
+
+	// Every non-comment line matches the text-format sample grammar.
+	sample := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE+.\-]+(Inf|NaN)?$`)
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sample.MatchString(line) {
+			t.Errorf("malformed exposition line %q", line)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "esc", "path", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `esc_total{path="a\"b\\c\nd"} 1`) {
+		t.Errorf("label not escaped:\n%s", b.String())
+	}
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"example.com/scar/internal/trace"
+)
+
+// Tracer records per-request span timelines: each request is a row of
+// phases (admission wait, cache lookup, search, per-candidate window
+// evals, simulate) with wall-clock bounds relative to the tracer's
+// epoch. Completed requests land in a bounded ring buffer — a
+// long-running daemon retains the most recent N and overwrites the
+// oldest — and export through the internal/trace Chrome-trace format,
+// so a captured request trace opens in chrome://tracing (or Perfetto)
+// next to schedule timelines.
+//
+// A nil *Tracer and a nil *ReqTrace are valid no-op receivers: call
+// sites instrument unconditionally and pay nothing when tracing is
+// off.
+type Tracer struct {
+	epoch     time.Time
+	maxPhases int
+	seq       atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*ReqTrace
+	pos  int
+	cap  int
+}
+
+// DefaultMaxPhases bounds recorded phases per request when NewTracer's
+// maxPhases is zero: enough for every serve-layer phase plus one lap
+// per search candidate on paper-scale problems, small enough that one
+// pathological request cannot bloat the ring.
+const DefaultMaxPhases = 96
+
+// NewTracer builds a tracer retaining the last capacity completed
+// requests; capacity <= 0 returns nil (tracing disabled).
+func NewTracer(capacity, maxPhases int) *Tracer {
+	if capacity <= 0 {
+		return nil
+	}
+	if maxPhases <= 0 {
+		maxPhases = DefaultMaxPhases
+	}
+	return &Tracer{epoch: time.Now(), maxPhases: maxPhases, cap: capacity}
+}
+
+// phaseSpan is one recorded phase interval.
+type phaseSpan struct {
+	label      string
+	start, end time.Time
+}
+
+// ReqTrace is one request being traced. Phase/Lap may be called from
+// the request's own goroutine and (serialized) progress callbacks; the
+// mutex makes that safe.
+type ReqTrace struct {
+	t     *Tracer
+	seq   uint64
+	name  string
+	id    string
+	start time.Time
+
+	mu        sync.Mutex
+	phases    []phaseSpan
+	lastLap   time.Time
+	status    string
+	end       time.Time
+	truncated int
+}
+
+// Start begins tracing one request (nil-safe: a nil tracer returns a
+// nil handle whose methods all no-op). name labels the request kind —
+// the serve layer uses the endpoint.
+func (t *Tracer) Start(name string) *ReqTrace {
+	if t == nil {
+		return nil
+	}
+	now := time.Now()
+	return &ReqTrace{t: t, seq: t.seq.Add(1), name: name, start: now, lastLap: now}
+}
+
+// SetID attaches the request ID used in log correlation.
+func (r *ReqTrace) SetID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.id = id
+	r.mu.Unlock()
+}
+
+// Phase opens a named phase and returns its closer; the span is
+// recorded when the closer runs.
+func (r *ReqTrace) Phase(label string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { r.addPhase(label, start, time.Now()) }
+}
+
+// Lap records a span from the previous Lap (or the request start) to
+// now — the shape of the search progress hook, where only completion
+// instants are observable.
+func (r *ReqTrace) Lap(label string) {
+	if r == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	start := r.lastLap
+	r.lastLap = now
+	r.appendLocked(phaseSpan{label: label, start: start, end: now})
+	r.mu.Unlock()
+}
+
+func (r *ReqTrace) addPhase(label string, start, end time.Time) {
+	r.mu.Lock()
+	r.lastLap = end
+	r.appendLocked(phaseSpan{label: label, start: start, end: end})
+	r.mu.Unlock()
+}
+
+func (r *ReqTrace) appendLocked(p phaseSpan) {
+	if len(r.phases) >= r.t.maxPhases {
+		r.truncated++
+		return
+	}
+	r.phases = append(r.phases, p)
+}
+
+// Finish completes the request with a status label and publishes it
+// into the tracer's ring.
+func (r *ReqTrace) Finish(status string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.status = status
+	r.end = time.Now()
+	r.mu.Unlock()
+	t := r.t
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, r)
+	} else {
+		t.ring[t.pos] = r
+		t.pos = (t.pos + 1) % t.cap
+	}
+	t.mu.Unlock()
+}
+
+// Len reports retained completed requests.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Timeline exports the retained requests as a trace.Timeline: each
+// request occupies one row (trace thread), oldest first, holding its
+// whole-request span plus every recorded phase; the row's window index
+// carries the request sequence number so spans of one request stay
+// grouped after a Chrome-trace round trip. Times are seconds since the
+// tracer epoch.
+func (t *Tracer) Timeline() *trace.Timeline {
+	if t == nil {
+		return &trace.Timeline{}
+	}
+	t.mu.Lock()
+	reqs := make([]*ReqTrace, len(t.ring))
+	copy(reqs, t.ring)
+	t.mu.Unlock()
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].seq < reqs[j].seq })
+	var spans []trace.Span
+	for row, r := range reqs {
+		r.mu.Lock()
+		label := r.name
+		if r.id != "" {
+			label += " " + r.id
+		}
+		if r.status != "" {
+			label += " [" + r.status + "]"
+		}
+		if r.truncated > 0 {
+			label += fmt.Sprintf(" (+%d spans dropped)", r.truncated)
+		}
+		win := int(r.seq)
+		spans = append(spans, trace.Span{
+			Chiplet:  row,
+			Window:   win,
+			Label:    label,
+			StartSec: r.start.Sub(t.epoch).Seconds(),
+			EndSec:   r.end.Sub(t.epoch).Seconds(),
+		})
+		for _, p := range r.phases {
+			spans = append(spans, trace.Span{
+				Chiplet:  row,
+				Window:   win,
+				Label:    p.label,
+				StartSec: p.start.Sub(t.epoch).Seconds(),
+				EndSec:   p.end.Sub(t.epoch).Seconds(),
+			})
+		}
+		r.mu.Unlock()
+	}
+	return trace.FromSpans(spans)
+}
+
+// ChromeTrace renders the retained requests in the Chrome trace-event
+// JSON format (the inverse of trace.ParseChromeTrace).
+func (t *Tracer) ChromeTrace() ([]byte, error) {
+	return t.Timeline().ChromeTrace()
+}

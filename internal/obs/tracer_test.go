@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"example.com/scar/internal/trace"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Len() != 0 {
+		t.Error("nil tracer Len != 0")
+	}
+	r := tr.Start("x")
+	if r != nil {
+		t.Fatal("nil tracer Start should return nil handle")
+	}
+	r.SetID("id")
+	r.Phase("p")()
+	r.Lap("l")
+	r.Finish("ok")
+	if got := tr.Timeline(); len(got.Spans) != 0 {
+		t.Errorf("nil tracer timeline has %d spans", len(got.Spans))
+	}
+	if NewTracer(0, 0) != nil {
+		t.Error("NewTracer(0) should disable tracing")
+	}
+}
+
+func TestTracerRingRetainsMostRecent(t *testing.T) {
+	tr := NewTracer(4, 0)
+	for i := 0; i < 10; i++ {
+		r := tr.Start("req")
+		r.Phase("work")()
+		r.Finish("200")
+	}
+	if got := tr.Len(); got != 4 {
+		t.Fatalf("ring retains %d, want 4", got)
+	}
+	tl := tr.Timeline()
+	// 4 requests x (1 request span + 1 phase span).
+	if len(tl.Spans) != 8 {
+		t.Fatalf("timeline spans = %d, want 8", len(tl.Spans))
+	}
+	// The retained windows are the last four sequence numbers (7..10).
+	seen := map[int]bool{}
+	for _, s := range tl.Spans {
+		seen[s.Window] = true
+	}
+	for _, want := range []int{7, 8, 9, 10} {
+		if !seen[want] {
+			t.Errorf("expected request seq %d retained, have %v", want, seen)
+		}
+	}
+}
+
+func TestPhaseCapTruncates(t *testing.T) {
+	tr := NewTracer(2, 3)
+	r := tr.Start("req")
+	for i := 0; i < 10; i++ {
+		r.Lap("lap")
+	}
+	r.Finish("200")
+	tl := tr.Timeline()
+	if len(tl.Spans) != 4 { // request span + 3 phases
+		t.Fatalf("spans = %d, want 4 (capped)", len(tl.Spans))
+	}
+	found := false
+	for _, s := range tl.Spans {
+		if strings.Contains(s.Label, "spans dropped") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("truncated request should be labeled with dropped-span count")
+	}
+}
+
+// TestRequestTraceChromeRoundTrip is the satellite contract: an
+// exported request trace must survive trace.ParseChromeTrace — same
+// spans, labels, rows and window grouping, times within float-
+// conversion tolerance.
+func TestRequestTraceChromeRoundTrip(t *testing.T) {
+	tr := NewTracer(8, 0)
+	for i := 0; i < 3; i++ {
+		r := tr.Start("schedule")
+		r.SetID("r1-1")
+		end := r.Phase("cache lookup")
+		time.Sleep(time.Millisecond)
+		end()
+		end = r.Phase("search")
+		time.Sleep(2 * time.Millisecond)
+		end()
+		r.Lap("cand 1/1")
+		r.Finish("200")
+	}
+	tl := tr.Timeline()
+	data, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ParseChromeTrace(data)
+	if err != nil {
+		t.Fatalf("ParseChromeTrace: %v", err)
+	}
+	if len(back.Spans) != len(tl.Spans) || len(back.Spans) != 3*4 {
+		t.Fatalf("round-trip spans = %d, want %d", len(back.Spans), len(tl.Spans))
+	}
+	if back.Chiplets != tl.Chiplets {
+		t.Errorf("round-trip rows = %d, want %d", back.Chiplets, tl.Chiplets)
+	}
+	const tol = 1e-9
+	for i := range tl.Spans {
+		want, got := tl.Spans[i], back.Spans[i]
+		if got.Label != want.Label || got.Chiplet != want.Chiplet || got.Window != want.Window {
+			t.Errorf("span %d: got %+v, want %+v", i, got, want)
+		}
+		if math.Abs(got.StartSec-want.StartSec) > tol || math.Abs(got.EndSec-want.EndSec) > tol {
+			t.Errorf("span %d times: got [%v, %v], want [%v, %v]",
+				i, got.StartSec, got.EndSec, want.StartSec, want.EndSec)
+		}
+	}
+	if math.Abs(back.TotalSec-tl.TotalSec) > tol {
+		t.Errorf("round-trip total %v, want %v", back.TotalSec, tl.TotalSec)
+	}
+}
+
+func TestLapRecordsContiguousIntervals(t *testing.T) {
+	tr := NewTracer(1, 0)
+	r := tr.Start("req")
+	time.Sleep(time.Millisecond)
+	r.Lap("a")
+	time.Sleep(time.Millisecond)
+	r.Lap("b")
+	r.Finish("200")
+	tl := tr.Timeline()
+	var a, b *trace.Span
+	for i := range tl.Spans {
+		switch tl.Spans[i].Label {
+		case "a":
+			a = &tl.Spans[i]
+		case "b":
+			b = &tl.Spans[i]
+		}
+	}
+	if a == nil || b == nil {
+		t.Fatalf("missing lap spans in %+v", tl.Spans)
+	}
+	if math.Abs(b.StartSec-a.EndSec) > 1e-9 {
+		t.Errorf("lap b should start where a ended: a end %v, b start %v", a.EndSec, b.StartSec)
+	}
+	if a.EndSec <= a.StartSec || b.EndSec <= b.StartSec {
+		t.Errorf("lap spans must have positive duration: %+v %+v", a, b)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if RequestIDFrom(ctx) != "" || TraceFrom(ctx) != nil {
+		t.Fatal("empty context should carry no ID or trace")
+	}
+	tr := NewTracer(1, 0)
+	r := tr.Start("x")
+	ctx = WithRequestID(WithTrace(ctx, r), "r1-7")
+	if RequestIDFrom(ctx) != "r1-7" {
+		t.Errorf("request ID = %q", RequestIDFrom(ctx))
+	}
+	if TraceFrom(ctx) != r {
+		t.Error("trace handle lost in context")
+	}
+	if WithTrace(ctx, nil) != ctx {
+		t.Error("WithTrace(nil) should be a no-op")
+	}
+}
+
+func TestObsNewDefaults(t *testing.T) {
+	o := New(Config{})
+	if o.Metrics == nil || o.Tracer == nil || o.Log == nil {
+		t.Fatalf("New(zero) should enable everything: %+v", o)
+	}
+	id1, id2 := o.NextRequestID(), o.NextRequestID()
+	if id1 == id2 || !strings.HasPrefix(id1, "r") {
+		t.Errorf("request IDs not unique or malformed: %q %q", id1, id2)
+	}
+	if off := New(Config{TraceBuffer: -1}); off.Tracer != nil {
+		t.Error("negative TraceBuffer should disable tracing")
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"example.com/scar/internal/eval"
 	"example.com/scar/internal/trace"
@@ -162,6 +163,60 @@ type Config struct {
 	// Admission). nil admits every arrival — the legacy fail-open
 	// behavior, where overload grows the queue without bound.
 	Admission *Admission
+	// CollectTiming attaches a wall-clock phase breakdown of the
+	// simulator itself (Report.Timing): validation, arrival generation,
+	// the event loop, aggregation. Off by default and deliberately so —
+	// wall-clock readings vary run to run, while every other report
+	// field is bit-identical for a fixed configuration; leaving Timing
+	// nil keeps reports DeepEqual-comparable.
+	CollectTiming bool
+}
+
+// PhaseTimings is the simulator's own wall-clock phase breakdown
+// (Config.CollectTiming), in milliseconds. These time the simulator
+// program, not the simulated fleet: use them to see where a slow
+// simulation call spends its time (arrival generation scales with the
+// request count, the event loop with requests × queue depth).
+type PhaseTimings struct {
+	ValidateMs  float64 `json:"validate_ms"`
+	ArrivalsMs  float64 `json:"arrivals_ms"`
+	EventLoopMs float64 `json:"event_loop_ms"`
+	AggregateMs float64 `json:"aggregate_ms"`
+	TotalMs     float64 `json:"total_ms"`
+}
+
+// phaseClock accumulates PhaseTimings laps; the zero value (off) makes
+// every method a no-op so timing collection never branches call sites.
+type phaseClock struct {
+	on          bool
+	start, last time.Time
+}
+
+func newPhaseClock(on bool) phaseClock {
+	if !on {
+		return phaseClock{}
+	}
+	now := time.Now()
+	return phaseClock{on: true, start: now, last: now}
+}
+
+// lap charges the time since the previous lap to dst.
+func (c *phaseClock) lap(dst *float64) {
+	if !c.on {
+		return
+	}
+	now := time.Now()
+	*dst += now.Sub(c.last).Seconds() * 1e3
+	c.last = now
+}
+
+// attach finalizes TotalMs and hands pt to the report (nil when off).
+func (c *phaseClock) attach(rep *Report, pt *PhaseTimings) {
+	if !c.on {
+		return
+	}
+	pt.TotalMs = time.Since(c.start).Seconds() * 1e3
+	rep.Timing = pt
 }
 
 // RequestOutcome is one request's simulated life cycle.
@@ -301,6 +356,11 @@ type Report struct {
 	// Timeline is the merged execution trace (EmitTimeline only).
 	Timeline          *trace.Timeline `json:"-"`
 	TimelineTruncated bool            `json:"timeline_truncated,omitempty"`
+
+	// Timing is the simulator's own wall-clock phase breakdown
+	// (CollectTiming only; nil otherwise so reports of identical
+	// configurations stay bit-identical).
+	Timing *PhaseTimings `json:"timing,omitempty"`
 }
 
 // pending is one generated arrival before service.
@@ -347,6 +407,8 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("online: simulation not started: %w", err)
 	}
+	clk := newPhaseClock(cfg.CollectTiming)
+	var pt PhaseTimings
 	if len(cfg.Classes) == 0 {
 		return nil, fmt.Errorf("online: no request classes")
 	}
@@ -387,6 +449,8 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		}
 	}
 
+	clk.lap(&pt.ValidateMs)
+
 	// Generate and merge the per-class arrival streams. The ascending
 	// check is a cross-generator invariant (custom Arrivals included);
 	// the built-in Trace already fails faster through Validate above.
@@ -413,6 +477,8 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		return reqs[i].seq < reqs[j].seq
 	})
 
+	clk.lap(&pt.ArrivalsMs)
+
 	rep := &Report{Requests: len(reqs), Packages: nPkgs, Policy: pol.Name()}
 	if len(reqs) == 0 {
 		rep.SLAAttainment = 1
@@ -420,6 +486,7 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		for p := range rep.PerPackage {
 			rep.PerPackage[p].Package = p
 		}
+		clk.attach(rep, &pt)
 		return rep, nil
 	}
 
@@ -669,7 +736,10 @@ func Simulate(ctx context.Context, cfg Config) (*Report, error) {
 		rep.Outcomes = append(rep.Outcomes, out)
 	}
 
+	clk.lap(&pt.EventLoopMs)
 	rep.finish(cfg, totalWait, totalQueueWait, totalSojourn, perChecks, perMisses, tl)
+	clk.lap(&pt.AggregateMs)
+	clk.attach(rep, &pt)
 	return rep, nil
 }
 

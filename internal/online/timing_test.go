@@ -1,0 +1,79 @@
+package online
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestCollectTiming pins the phase-timing contract: opt in and the
+// report carries a consistent wall-clock breakdown; leave it off (the
+// default, and what every determinism test relies on) and Timing stays
+// nil so reports of identical configurations remain DeepEqual.
+func TestCollectTiming(t *testing.T) {
+	cfg := Config{
+		Classes:             []Class{mustClass(t, "c", Poisson{RatePerSec: 5, Seed: 3}, 3)},
+		MaxRequestsPerClass: 50,
+		HorizonSec:          1e9,
+	}
+	rep, err := Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Timing != nil {
+		t.Fatal("Timing set without CollectTiming")
+	}
+
+	cfg.CollectTiming = true
+	rep, err = Simulate(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := rep.Timing
+	if pt == nil {
+		t.Fatal("CollectTiming did not attach timings")
+	}
+	for name, v := range map[string]float64{
+		"validate": pt.ValidateMs, "arrivals": pt.ArrivalsMs,
+		"event_loop": pt.EventLoopMs, "aggregate": pt.AggregateMs,
+	} {
+		if v < 0 {
+			t.Errorf("negative %s phase: %v", name, v)
+		}
+	}
+	sum := pt.ValidateMs + pt.ArrivalsMs + pt.EventLoopMs + pt.AggregateMs
+	if sum <= 0 {
+		t.Error("all phases zero — clock never advanced")
+	}
+	if pt.TotalMs < sum {
+		t.Errorf("total %v below phase sum %v", pt.TotalMs, sum)
+	}
+
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"timing"`) || !strings.Contains(string(data), `"event_loop_ms"`) {
+		t.Errorf("timing missing from report JSON: %s", data)
+	}
+}
+
+// TestCollectTimingEmptyRun: a simulation with zero arrivals still
+// reports a (validate + arrivals) breakdown rather than dropping it.
+func TestCollectTimingEmptyRun(t *testing.T) {
+	rep, err := Simulate(context.Background(), Config{
+		Classes:       []Class{mustClass(t, "c", Trace{}, 3)},
+		HorizonSec:    1,
+		CollectTiming: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("expected an empty run, got %d requests", rep.Requests)
+	}
+	if rep.Timing == nil || rep.Timing.TotalMs <= 0 {
+		t.Errorf("empty run lost its timing: %+v", rep.Timing)
+	}
+}

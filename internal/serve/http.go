@@ -65,15 +65,24 @@ type httpError struct {
 //	POST /simulate  {classes: [{scenario, rate_per_sec, ...}], horizon_sec, ...}
 //	GET  /stats
 //	GET  /healthz
+//	GET  /metrics   (Prometheus text exposition; Config.ExposeMetrics)
+//	GET  /trace     (Chrome trace JSON of recent requests; Config.ExposeMetrics)
 //
-// Every response is JSON; errors arrive as {"error": "..."} with a 4xx
-// or 5xx status.
+// Every endpoint runs under the observability middleware: the response
+// carries X-Request-ID, the request is timed into the per-endpoint
+// latency histograms, and — when tracing is on — its span timeline
+// lands in the trace ring. Every response is JSON (except /metrics);
+// errors arrive as {"error": "..."} with a 4xx or 5xx status.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/schedule", s.handleSchedule)
-	mux.HandleFunc("/simulate", s.handleSimulate)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/schedule", s.instrument("schedule", s.handleSchedule))
+	mux.HandleFunc("/simulate", s.instrument("simulate", s.handleSimulate))
+	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	if s.exposeMetrics {
+		mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+		mux.HandleFunc("/trace", s.instrument("trace", s.handleTrace))
+	}
 	return mux
 }
 
@@ -90,6 +99,13 @@ type healthzResponse struct {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Same method guard as every other GET endpoint: /healthz used to
+	// answer 200 to any verb while /stats answered 405, an inconsistency
+	// probes could mask real breakage behind.
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
+		return
+	}
 	resp := healthzResponse{Status: "ok"}
 	if s.searchSem != nil {
 		resp.SearchSlots = cap(s.searchSem)
@@ -247,4 +263,38 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the registry in the Prometheus text exposition
+// format (version 0.0.4). Mounted only when Config.ExposeMetrics.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_ = s.o.Metrics.WritePrometheus(w)
+}
+
+// handleTrace serves the retained request traces as Chrome trace-event
+// JSON — save the body and open it in chrome://tracing or Perfetto.
+// Mounted only when Config.ExposeMetrics.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
+		return
+	}
+	if s.o.Tracer == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled (-trace-buffer 0)"), 0)
+		return
+	}
+	data, err := s.o.Tracer.ChromeTrace()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err, 0)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
 }

@@ -41,6 +41,7 @@ import (
 	"example.com/scar/internal/maestro"
 	"example.com/scar/internal/mcm"
 	"example.com/scar/internal/models"
+	"example.com/scar/internal/obs"
 	"example.com/scar/internal/online"
 	"example.com/scar/internal/workload"
 )
@@ -240,6 +241,16 @@ type Config struct {
 	// FailPoints is test-only deterministic fault injection (see
 	// FailPoints); leave nil in production.
 	FailPoints *FailPoints
+	// Obs is the observability bundle (metrics registry, request
+	// tracer, structured logger). nil builds a default one: metrics and
+	// tracing on, logging discarded. One Obs belongs to one Service —
+	// sharing a registry across services would alias their series.
+	Obs *obs.Obs
+	// ExposeMetrics mounts GET /metrics (Prometheus text exposition)
+	// and GET /trace (Chrome trace JSON of recent requests) on the
+	// service handler. Off by default: the endpoints reveal workload
+	// shape, so the operator opts in (scarserve -metrics).
+	ExposeMetrics bool
 }
 
 // Service is the concurrent scheduling service. Safe for concurrent use.
@@ -269,6 +280,12 @@ type Service struct {
 	saturatedRejects atomic.Int64
 	drainRejects     atomic.Int64
 	degradedAnswers  atomic.Int64
+
+	// Observability (obs.go): the bundle, the pre-created per-endpoint
+	// instruments, and whether /metrics + /trace are mounted.
+	o             *obs.Obs
+	httpMetrics   map[string]*endpointMetrics
+	exposeMetrics bool
 }
 
 // New builds a service with a fresh cost database.
@@ -317,6 +334,8 @@ func NewWithConfig(db *costdb.DB, opts core.Options, cfg Config) *Service {
 	if cfg.MaxConcurrentSearches > 0 {
 		s.searchSem = make(chan struct{}, cfg.MaxConcurrentSearches)
 	}
+	s.exposeMetrics = cfg.ExposeMetrics
+	s.initObs(cfg.Obs)
 	return s
 }
 
@@ -380,12 +399,21 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 	ctx, cancel := s.searchContext(ctx, req)
 	defer cancel()
 
+	// Request tracing (internal/obs) is observational only: the handle
+	// is nil unless the HTTP middleware (or an API caller) put one in
+	// ctx, and every method on a nil handle is a no-op.
+	rt := obs.TraceFrom(ctx)
 	for {
+		endLookup := rt.Phase("cache lookup")
 		e, leader := s.cache.lookupOrStart(key)
+		endLookup()
 		if !leader {
+			endWait := rt.Phase("await inflight")
 			select {
 			case <-e.done:
+				endWait()
 			case <-ctx.Done():
+				endWait()
 				return nil, fmt.Errorf("serve: request abandoned while awaiting in-flight search: %w", ctx.Err())
 			}
 			if e.transient {
@@ -404,7 +432,9 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 		// exists, and sheds with ErrSaturated otherwise; either way the
 		// entry is discarded as transient so waiting followers re-issue
 		// under their own admission attempts.
+		endAdm := rt.Phase("admission wait")
 		release, aerr := s.acquireSearchSlot(ctx)
+		endAdm()
 		if aerr != nil {
 			e.transient = true
 			s.cache.discard(key, e)
@@ -423,7 +453,9 @@ func (s *Service) Schedule(ctx context.Context, req Request) (*ScheduleResult, e
 			e.err = fp.BeforeSearch(ctx, key)
 		}
 		if e.err == nil {
+			endSearch := rt.Phase("search")
 			e.sc, e.pkg, e.err = s.fill(ctx, e, req, c)
+			endSearch()
 		}
 		release()
 		if e.err == nil && e.res != nil {
@@ -481,7 +513,17 @@ func (s *Service) fill(ctx context.Context, e *entry, req Request, c *counterBlo
 		return sc, pkg, err
 	}
 	c.scheduleCalls.Add(1)
-	res, err := core.New(s.db, s.opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj))
+	creq := core.NewRequest(&sc, pkg, obj)
+	if rt := obs.TraceFrom(ctx); rt != nil {
+		// Window-eval visibility through the existing progress hook:
+		// each candidate completion becomes one lap span. Chained so a
+		// scheduler-level Progress callback keeps firing; like any
+		// progress observer this cannot perturb the search result.
+		creq.Progress = core.ChainProgress(s.opts.Progress, func(ev core.ProgressEvent) {
+			rt.Lap(fmt.Sprintf("cand %d/%d (%d evals)", ev.CandidatesDone, ev.CandidatesTotal, ev.WindowEvals))
+		})
+	}
+	res, err := core.New(s.db, s.opts).Schedule(ctx, creq)
 	if err != nil {
 		return sc, pkg, err
 	}
@@ -536,6 +578,11 @@ type SimRequest struct {
 	LowWatermark  int     `json:"low_watermark,omitempty"`
 	Shedder       string  `json:"shedder,omitempty"`
 	ShedMarginSec float64 `json:"shed_margin_sec,omitempty"`
+	// CollectTiming attaches wall-clock per-phase simulator timings to
+	// the report (online.PhaseTimings) — arrival generation, event
+	// loop, aggregation. Informational: timings vary run to run while
+	// every other report field stays bit-identical.
+	CollectTiming bool `json:"collect_timing,omitempty"`
 }
 
 // admission resolves the request's admission-control fields, validating
@@ -579,13 +626,17 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	if err := s.checkAdmission(); err != nil {
 		return nil, err
 	}
+	rt := obs.TraceFrom(ctx)
+	endResolve := rt.Phase("resolve")
 	if len(req.Classes) == 0 {
+		endResolve()
 		return nil, fmt.Errorf("serve: simulation needs at least one class")
 	}
 	if req.HorizonSec <= 0 && req.MaxRequestsPerClass <= 0 {
 		req.MaxRequestsPerClass = 100
 	}
 	if req.Packages < 0 {
+		endResolve()
 		return nil, fmt.Errorf("serve: negative package count %d", req.Packages)
 	}
 	// Resolve the policy name and the admission block before scheduling
@@ -593,10 +644,12 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	// search work.
 	policy, err := online.PolicyByName(req.Policy)
 	if err != nil {
+		endResolve()
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	adm, err := req.admission()
 	if err != nil {
+		endResolve()
 		return nil, err
 	}
 	slack := req.SlackFactor
@@ -611,10 +664,12 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	for i, sc := range req.Classes {
 		switch {
 		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
+			endResolve()
 			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
 		case len(sc.ArrivalTimes) > 0:
 			tr, err := online.NewTrace(sc.ArrivalTimes)
 			if err != nil {
+				endResolve()
 				return nil, fmt.Errorf("serve: class %d: %w", i, err)
 			}
 			arrivals[i] = tr
@@ -625,12 +680,16 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 			}
 			arrivals[i] = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
 		default:
+			endResolve()
 			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
 		}
 	}
+	endResolve()
 
+	endSched := rt.Phase("schedule classes")
 	srs, err := s.scheduleClasses(ctx, req.Classes)
 	if err != nil {
+		endSched()
 		return nil, err
 	}
 	classes := make([]online.Class, len(req.Classes))
@@ -641,22 +700,28 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 		}
 		cl, err := online.NewClass(name, s.Evaluator(srs[i]), srs[i].Result.Schedule, arrivals[i], slack)
 		if err != nil {
+			endSched()
 			return nil, fmt.Errorf("serve: class %d: %w", i, err)
 		}
 		classes[i] = cl
 	}
+	endSched()
 	// Count only requests that reach the simulator: rejected ones —
 	// malformed classes, unknown policies, failed searches — count
 	// nowhere.
 	s.cache.simCounter().simulations.Add(1)
-	return online.Simulate(ctx, online.Config{
+	endSim := rt.Phase("simulate")
+	rep, err := online.Simulate(ctx, online.Config{
 		Classes:             classes,
 		Packages:            req.Packages,
 		Policy:              policy,
 		HorizonSec:          req.HorizonSec,
 		MaxRequestsPerClass: req.MaxRequestsPerClass,
 		Admission:           adm,
+		CollectTiming:       req.CollectTiming,
 	})
+	endSim()
+	return rep, err
 }
 
 // scheduleClasses resolves every class's scheduling request
@@ -753,6 +818,11 @@ type Stats struct {
 	Draining         bool  `json:"draining"`
 	// UptimeSec is seconds since service construction.
 	UptimeSec float64 `json:"uptime_sec"`
+	// Endpoints is the per-endpoint HTTP latency view (requests plus
+	// interpolated p50/p95/p99 in milliseconds), merged across status
+	// classes; endpoints that served nothing are omitted. Empty when the
+	// service answers only API calls.
+	Endpoints []EndpointStats `json:"endpoints,omitempty"`
 }
 
 // Stats snapshots the service counters.
@@ -777,6 +847,7 @@ func (s *Service) Stats() Stats {
 		StaleSchedules:   s.stale.size(),
 		Draining:         s.draining.Load(),
 		UptimeSec:        time.Since(s.started).Seconds(),
+		Endpoints:        s.endpointStats(),
 	}
 	if s.searchSem != nil {
 		st.SearchSlots = cap(s.searchSem)

@@ -77,6 +77,32 @@ func Build(ev *eval.Evaluator, sc *workload.Scenario, m *mcm.MCM, sched *eval.Sc
 	return tl
 }
 
+// FromSpans assembles a Timeline directly from raw spans — the
+// constructor for timelines that do not come from a schedule
+// evaluation, such as the observability layer's per-request traces
+// (internal/obs), where rows are requests instead of chiplets. Spans
+// are copied and sorted under the package's canonical order; TotalSec
+// is the last span end and Chiplets the highest row index plus one,
+// matching what ParseChromeTrace reconstructs.
+func FromSpans(spans []Span) *Timeline {
+	tl := &Timeline{Spans: append([]Span(nil), spans...)}
+	for _, s := range tl.Spans {
+		if s.EndSec > tl.TotalSec {
+			tl.TotalSec = s.EndSec
+		}
+		if s.Chiplet+1 > tl.Chiplets {
+			tl.Chiplets = s.Chiplet + 1
+		}
+	}
+	sort.SliceStable(tl.Spans, func(i, j int) bool {
+		if tl.Spans[i].StartSec != tl.Spans[j].StartSec {
+			return tl.Spans[i].StartSec < tl.Spans[j].StartSec
+		}
+		return tl.Spans[i].Chiplet < tl.Spans[j].Chiplet
+	})
+	return tl
+}
+
 // Utilization returns the fraction of chiplet-time covered by spans — a
 // package-level occupancy figure for the schedule.
 func (t *Timeline) Utilization() float64 {

@@ -51,6 +51,7 @@ import (
 	"example.com/scar/internal/maestro"
 	"example.com/scar/internal/mcm"
 	"example.com/scar/internal/models"
+	"example.com/scar/internal/obs"
 	"example.com/scar/internal/online"
 	"example.com/scar/internal/serve"
 	"example.com/scar/internal/trace"
@@ -186,6 +187,19 @@ type (
 	ServeRequest = serve.Request
 	// ServeStats is a service counter snapshot.
 	ServeStats = serve.Stats
+	// ServeConfig tunes the service's cache fabric, overload protection
+	// and observability; the zero value is the production default.
+	ServeConfig = serve.Config
+	// ServeEndpointStats is one HTTP endpoint's latency view in
+	// ServeStats (requests plus interpolated p50/p95/p99).
+	ServeEndpointStats = serve.EndpointStats
+	// Obs is the observability bundle a service records into: a sharded
+	// metrics registry (Prometheus text exposition), a bounded
+	// per-request span tracer (Chrome trace export) and a structured
+	// logger. One Obs belongs to one Service.
+	Obs = obs.Obs
+	// ObsConfig configures an observability bundle.
+	ObsConfig = obs.Config
 )
 
 // Online serving constructors.
@@ -220,7 +234,26 @@ var (
 	// NewService builds a scheduling service with a fresh cost
 	// database; see Service.
 	NewService = serve.New
+	// NewObs builds an observability bundle (metrics registry, request
+	// tracer, structured logger) for ServeConfig.Obs; the zero ObsConfig
+	// enables metrics and tracing and discards logs.
+	NewObs = obs.New
+	// NewObsLogger builds a structured (slog) logger at a named level —
+	// "debug", "info", "warn" or "error" — for ObsConfig.Log.
+	NewObsLogger = obs.NewLogger
+	// ParseChromeTrace reconstructs a Timeline from Chrome trace-event
+	// JSON (the inverse of Timeline.ChromeTrace; also the format the
+	// service's GET /trace endpoint serves).
+	ParseChromeTrace = trace.ParseChromeTrace
 )
+
+// NewServiceWithConfig builds a scheduling service with a fresh cost
+// database and an explicit serve configuration — cache fabric, overload
+// protection, observability (ServeConfig.Obs, ServeConfig.
+// ExposeMetrics).
+func NewServiceWithConfig(opts Options, cfg ServeConfig) *Service {
+	return serve.NewWithConfig(costdb.New(maestro.DefaultParams()), opts, cfg)
+}
 
 // Serve-layer overload protection (see Service and cmd/scarserve): the
 // daemon sheds work with ErrServeSaturated (HTTP 429 + Retry-After)
