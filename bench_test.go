@@ -40,7 +40,7 @@ func sharedSuite() *experiments.Suite {
 }
 
 func datacenterSweep(b *testing.B) *experiments.DatacenterResult {
-	dcOnce.Do(func() { dcRes, dcErr = sharedSuite().Datacenter() })
+	dcOnce.Do(func() { dcRes, dcErr = sharedSuite().Datacenter(context.Background()) })
 	if dcErr != nil {
 		b.Fatal(dcErr)
 	}
@@ -48,7 +48,7 @@ func datacenterSweep(b *testing.B) *experiments.DatacenterResult {
 }
 
 func arvrSweep(b *testing.B) *experiments.ARVRResult {
-	arOnce.Do(func() { arRes, arErr = sharedSuite().ARVR() })
+	arOnce.Do(func() { arRes, arErr = sharedSuite().ARVR(context.Background()) })
 	if arErr != nil {
 		b.Fatal(arErr)
 	}
@@ -59,7 +59,7 @@ func arvrSweep(b *testing.B) *experiments.ARVRResult {
 // six scheduling cases on the 2x2 heterogeneous MCM.
 func BenchmarkFig02Motivational(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Motivational()
+		res, err := sharedSuite().Motivational(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +98,7 @@ func BenchmarkFig07SearchBars(b *testing.B) {
 func BenchmarkFig08Pareto(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, sc := range []int{3, 4} {
-			res, err := sharedSuite().Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
+			res, err := sharedSuite().Pareto(context.Background(), sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -119,7 +119,7 @@ func BenchmarkFig08Pareto(b *testing.B) {
 // of the winning Het-Sides schedule for Scenario 4.
 func BenchmarkFig09TopSchedule(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().TopSchedule()
+		res, err := sharedSuite().TopSchedule(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +147,7 @@ func BenchmarkTable05ARVR(b *testing.B) {
 func BenchmarkFig11ARVRPareto(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, sc := range []int{6, 7, 8, 10} {
-			res, err := sharedSuite().Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultEdgeChiplet())
+			res, err := sharedSuite().Pareto(context.Background(), sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultEdgeChiplet())
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -162,7 +162,7 @@ func BenchmarkFig11ARVRPareto(b *testing.B) {
 // ablation.
 func BenchmarkFig12Triangular(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Triangular()
+		res, err := sharedSuite().Triangular(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -177,7 +177,7 @@ func BenchmarkFig12Triangular(b *testing.B) {
 // the evolutionary search at nsplits 2 and 3.
 func BenchmarkFig13Scale6x6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Scale6x6()
+		res, err := sharedSuite().Scale6x6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -194,7 +194,7 @@ func BenchmarkFig13Scale6x6(b *testing.B) {
 // ablation (nsplits 1-5).
 func BenchmarkAblationNsplits(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Nsplits()
+		res, err := sharedSuite().Nsplits(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -208,7 +208,7 @@ func BenchmarkAblationNsplits(b *testing.B) {
 // ablation on scenarios 3-5.
 func BenchmarkAblationProv(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().ProvAblation()
+		res, err := sharedSuite().ProvAblation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func BenchmarkAblationProv(b *testing.B) {
 // packing ablation.
 func BenchmarkAblationPacking(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Packing()
+		res, err := sharedSuite().Packing(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -240,7 +240,7 @@ func BenchmarkAblationPacking(b *testing.B) {
 // the speedup should exceed 2x.
 func BenchmarkParallelSpeedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := sharedSuite().Speedup()
+		res, err := sharedSuite().Speedup(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

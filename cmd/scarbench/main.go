@@ -131,10 +131,11 @@ func realMain() int {
 	suite.Opts.Seed = *seed
 	suite.Opts.Workers = 1
 	suite.Workers = *workers
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
-		suite.Ctx = ctx
 	}
 
 	if *costdbPath != "" {
@@ -154,7 +155,7 @@ func realMain() int {
 	}
 	for _, name := range list {
 		start := time.Now()
-		if err := run(suite, strings.TrimSpace(name)); err != nil {
+		if err := run(ctx, suite, strings.TrimSpace(name)); err != nil {
 			fmt.Fprintf(os.Stderr, "scarbench: %s: %v\n", name, err)
 			return 1
 		}
@@ -185,17 +186,17 @@ func realMain() int {
 	return 0
 }
 
-func run(s *experiments.Suite, name string) error {
+func run(ctx context.Context, s *experiments.Suite, name string) error {
 	w := os.Stdout
 	switch name {
 	case "fig2":
-		res, err := s.Motivational()
+		res, err := s.Motivational(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "table4", "fig7":
-		res, err := s.Datacenter()
+		res, err := s.Datacenter(ctx)
 		if err != nil {
 			return err
 		}
@@ -206,58 +207,58 @@ func run(s *experiments.Suite, name string) error {
 		}
 	case "fig8":
 		for _, sc := range []int{3, 4} {
-			res, err := s.Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
+			res, err := s.Pareto(ctx, sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
 			if err != nil {
 				return err
 			}
 			res.Print(w)
 		}
 	case "fig9":
-		res, err := s.TopSchedule()
+		res, err := s.TopSchedule(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "table5", "fig10":
-		res, err := s.ARVR()
+		res, err := s.ARVR(ctx)
 		if err != nil {
 			return err
 		}
 		res.PrintTableV(w)
 	case "fig11":
 		for _, sc := range []int{6, 7, 8, 10} {
-			res, err := s.Pareto(sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultEdgeChiplet())
+			res, err := s.Pareto(ctx, sc, experiments.DatacenterStrategies(), 3, 3, maestro.DefaultEdgeChiplet())
 			if err != nil {
 				return err
 			}
 			res.Print(w)
 		}
 	case "fig12":
-		res, err := s.Triangular()
+		res, err := s.Triangular(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "fig13":
-		res, err := s.Scale6x6()
+		res, err := s.Scale6x6(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "nsplits":
-		res, err := s.Nsplits()
+		res, err := s.Nsplits(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "prov":
-		res, err := s.ProvAblation()
+		res, err := s.ProvAblation(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "packing":
-		res, err := s.Packing()
+		res, err := s.Packing(ctx)
 		if err != nil {
 			return err
 		}
@@ -265,13 +266,13 @@ func run(s *experiments.Suite, name string) error {
 	case "complexity":
 		s.Complexity().Print(w)
 	case "speedup":
-		res, err := s.Speedup()
+		res, err := s.Speedup(ctx)
 		if err != nil {
 			return err
 		}
 		res.Print(w)
 	case "evalbench":
-		res, err := s.EvalBench()
+		res, err := s.EvalBench(ctx)
 		if err != nil {
 			return err
 		}
@@ -283,7 +284,7 @@ func run(s *experiments.Suite, name string) error {
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
 		}
 	case "online":
-		res, err := s.Online()
+		res, err := s.Online(ctx)
 		if err != nil {
 			return err
 		}
@@ -295,7 +296,7 @@ func run(s *experiments.Suite, name string) error {
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
 		}
 	case "policies":
-		res, err := s.Policies()
+		res, err := s.Policies(ctx)
 		if err != nil {
 			return err
 		}
@@ -307,7 +308,7 @@ func run(s *experiments.Suite, name string) error {
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
 		}
 	case "overload":
-		res, err := s.Overload()
+		res, err := s.Overload(ctx)
 		if err != nil {
 			return err
 		}
@@ -319,7 +320,7 @@ func run(s *experiments.Suite, name string) error {
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
 		}
 	case "serve":
-		res, err := s.ServeLoad(serveCfg)
+		res, err := s.ServeLoad(ctx, serveCfg)
 		if err != nil {
 			return err
 		}
@@ -331,11 +332,11 @@ func run(s *experiments.Suite, name string) error {
 			fmt.Fprintf(w, "snapshot written to %s\n", benchJSON)
 		}
 	case "sensitivity":
-		for _, runSweep := range []func() (*experiments.SensitivityResult, error){
+		for _, runSweep := range []func(context.Context) (*experiments.SensitivityResult, error){
 			s.CostModelSensitivity, s.ContentionSensitivity,
 			s.BudgetSensitivity, s.MappingSensitivity,
 		} {
-			res, err := runSweep()
+			res, err := runSweep(ctx)
 			if err != nil {
 				return err
 			}

@@ -80,13 +80,16 @@ func (g evoGenome) decode(genes []int, m intGraph) ([]eval.Segment, bool) {
 		nCuts := g.rootAt[i] - g.cutsAt[i]
 		cutSet := map[int]bool{}
 		for c := 0; c < nCuts; c++ {
-			cutSet[genes[g.cutsAt[i]+c]] = true
+			// Cuts at or past the last layer are dropped here rather
+			// than after collection, so the map range below is the
+			// bare collect-then-sort idiom (order-insensitive).
+			if v := genes[g.cutsAt[i]+c]; v < l-1 {
+				cutSet[v] = true
+			}
 		}
 		ends := make([]int, 0, len(cutSet)+1)
 		for c := range cutSet {
-			if c < l-1 {
-				ends = append(ends, c)
-			}
+			ends = append(ends, c)
 		}
 		sort.Ints(ends)
 		ends = append(ends, l-1)

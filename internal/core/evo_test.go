@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"example.com/scar/internal/costdb"
@@ -63,6 +64,35 @@ func TestEvolutionaryDeterministic(t *testing.T) {
 	}
 	if a.Metrics.EDP != b.Metrics.EDP {
 		t.Errorf("non-deterministic GA schedule: %v vs %v", a.Metrics.EDP, b.Metrics.EDP)
+	}
+}
+
+func TestEvoDecodeCutHandlingDeterministic(t *testing.T) {
+	pkg := mcm.HetCB(3, 3, maestro.DefaultDatacenterChiplet())
+	m := intGraph{n: pkg.NumChiplets(), adj: pkg.AdjacencyMatrix()}
+	// One 6-layer model asking for 4 segments: three cut genes plus a
+	// root gene and a path-seed gene.
+	g := buildEvoGenome([]int{0}, []layerRange{{First: 0, Last: 5}}, []int{4}, m.n)
+	// Duplicate cuts (2, 2) collapse and an out-of-range cut (7 >= L-1)
+	// is dropped, leaving the single real split {2}: two segments.
+	genes := []int{2, 2, 7, 0, 3}
+	first, ok := g.decode(genes, m)
+	if !ok {
+		t.Fatal("decode rejected a feasible genome")
+	}
+	if len(first) != 2 {
+		t.Fatalf("segments = %+v, want 2 (cut set {2})", first)
+	}
+	if first[0].First != 0 || first[0].Last != 2 || first[1].First != 3 || first[1].Last != 5 {
+		t.Errorf("segment bounds = %+v, want [0,2] and [3,5]", first)
+	}
+	// The cut set passes through a map; decoding the same genes must be
+	// bit-identical on every run regardless of iteration order.
+	for i := 0; i < 100; i++ {
+		segs, ok := g.decode(genes, m)
+		if !ok || !reflect.DeepEqual(segs, first) {
+			t.Fatalf("iteration %d: decode diverged: %+v vs %+v", i, segs, first)
+		}
 	}
 }
 

@@ -101,8 +101,8 @@ type workerState struct {
 // state); search tasks carry their own derived RNG seeds.
 type run struct {
 	s       *Scheduler
-	ctx     context.Context
-	opts    Options // scheduler Options with the Request's overrides applied
+	ctx     context.Context //scar:ctxfirst run is the request-scoped carrier for one Schedule call (the documented context exception); it never outlives the request
+	opts    Options         // scheduler Options with the Request's overrides applied
 	sc      *workload.Scenario
 	m       *mcm.MCM
 	comp    *eval.Compiled

@@ -1,6 +1,10 @@
 package eval
 
-import "example.com/scar/internal/mcm"
+import (
+	"sort"
+
+	"example.com/scar/internal/mcm"
+)
 
 // LinkLoads maps the window's inter-chiplet traffic onto NoP links: for
 // every stage-to-stage transfer of every model, the boundary activation
@@ -32,11 +36,24 @@ func (e *Evaluator) LinkLoads(w TimeWindow) map[mcm.Link]int64 {
 // MaxLinkLoad returns the hottest link and its byte count (zero value
 // when the window has no inter-chiplet traffic).
 func (e *Evaluator) MaxLinkLoad(w TimeWindow) (mcm.Link, int64) {
+	loads := e.LinkLoads(w)
+	links := make([]mcm.Link, 0, len(loads))
+	for link := range loads {
+		links = append(links, link)
+	}
+	// Sort before scanning so the winner among equally-hot links is the
+	// same on every run, independent of map iteration order.
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
 	var best mcm.Link
 	var max int64
-	for link, bytes := range e.LinkLoads(w) {
-		if bytes > max || (bytes == max && (link.From < best.From || (link.From == best.From && link.To < best.To))) {
-			best, max = link, bytes
+	for _, link := range links {
+		if loads[link] > max {
+			best, max = link, loads[link]
 		}
 	}
 	return best, max

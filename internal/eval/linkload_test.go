@@ -54,6 +54,28 @@ func TestLinkLoadsFollowRoute(t *testing.T) {
 	}
 }
 
+func TestMaxLinkLoadTieBreakDeterministic(t *testing.T) {
+	db, pkg, sc := testRig(2)
+	e := New(db, pkg, sc, DefaultOptions())
+	// Model 0's 0->2 route loads links 0->1 and 1->2 with identical byte
+	// counts: a tie whose winner must not depend on map iteration order.
+	// The contract is the smallest (From, To) among the maxima.
+	w := TimeWindow{Segments: []Segment{
+		{Model: 0, First: 0, Last: 1, Chiplet: 0},
+		{Model: 0, First: 2, Last: 3, Chiplet: 2},
+	}}
+	want := mcm.Link{From: 0, To: 1}
+	for i := 0; i < 200; i++ {
+		link, max := e.MaxLinkLoad(w)
+		if max == 0 {
+			t.Fatal("tied window reported no traffic")
+		}
+		if link != want {
+			t.Fatalf("iteration %d: hottest link = %+v, want %+v (smallest of the tied pair)", i, link, want)
+		}
+	}
+}
+
 func TestLinkLoadsSharedLinkAccumulates(t *testing.T) {
 	db, pkg, sc := testRig(1)
 	e := New(db, pkg, sc, DefaultOptions())

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -22,7 +23,7 @@ type NsplitsResult struct {
 }
 
 // Nsplits runs the ablation.
-func (s *Suite) Nsplits() (*NsplitsResult, error) {
+func (s *Suite) Nsplits(ctx context.Context) (*NsplitsResult, error) {
 	sc := models.Scenario4()
 	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
 	if err != nil {
@@ -33,7 +34,7 @@ func (s *Suite) Nsplits() (*NsplitsResult, error) {
 		opts := s.Opts
 		opts.NSplits = n
 		opts.ExactSplits = true
-		r, err := fullResult(core.New(s.DB, opts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+		r, err := fullResult(core.New(s.DB, opts).Schedule(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
@@ -70,7 +71,7 @@ type ProvAblationResult struct {
 }
 
 // ProvAblation runs the comparison on Het-Sides.
-func (s *Suite) ProvAblation() (*ProvAblationResult, error) {
+func (s *Suite) ProvAblation(ctx context.Context) (*ProvAblationResult, error) {
 	res := &ProvAblationResult{}
 	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
 	if err != nil {
@@ -81,14 +82,14 @@ func (s *Suite) ProvAblation() (*ProvAblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		rule, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+		rule, err := fullResult(core.New(s.DB, s.Opts).Schedule(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
 		exOpts := s.Opts
 		exOpts.Prov = core.ProvExhaustive
 		exOpts.MaxProvOptions = 16
-		ex, err := fullResult(core.New(s.DB, exOpts).Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+		ex, err := fullResult(core.New(s.DB, exOpts).Schedule(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 		if err != nil {
 			return nil, err
 		}
@@ -123,7 +124,7 @@ type PackingResult struct {
 }
 
 // Packing runs the comparison on Scenario 4 / Het-Sides.
-func (s *Suite) Packing() (*PackingResult, error) {
+func (s *Suite) Packing(ctx context.Context) (*PackingResult, error) {
 	sc := models.Scenario4()
 	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
 	if err != nil {
@@ -132,11 +133,11 @@ func (s *Suite) Packing() (*PackingResult, error) {
 	// End-to-end policy comparison: each packing algorithm picks its
 	// best window count up to the default nsplits.
 	sched := core.New(s.DB, s.Opts)
-	greedy, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+	greedy, err := fullResult(sched.Schedule(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
-	uniform, err := fullResult(sched.ScheduleUniformPacking(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+	uniform, err := fullResult(sched.ScheduleUniformPacking(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

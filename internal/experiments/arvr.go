@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"text/tabwriter"
 
@@ -16,14 +17,14 @@ type ARVRResult struct {
 }
 
 // ARVR runs the sweep.
-func (s *Suite) ARVR() (*ARVRResult, error) {
+func (s *Suite) ARVR(ctx context.Context) (*ARVRResult, error) {
 	spec := maestro.DefaultEdgeChiplet()
 	var jobs []func() Cell
 	for i, sc := range models.ARVRScenarios() {
 		for _, strat := range DatacenterStrategies() {
 			sc, i, strat := sc, i, strat
 			jobs = append(jobs, func() Cell {
-				return s.runCell(sc, i+6, strat, 3, 3, spec, core.EDPObjective())
+				return s.runCell(ctx, sc, i+6, strat, 3, 3, spec, core.EDPObjective())
 			})
 		}
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"sort"
 	"text/tabwriter"
@@ -20,7 +21,7 @@ type DatacenterResult struct {
 
 // Datacenter runs the sweep. Objectives: latency and EDP for Table IV,
 // plus energy for Figure 7.
-func (s *Suite) Datacenter() (*DatacenterResult, error) {
+func (s *Suite) Datacenter(ctx context.Context) (*DatacenterResult, error) {
 	scenarios := models.DatacenterScenarios()
 	objectives := []core.Objective{
 		core.LatencyObjective(), core.EnergyObjective(), core.EDPObjective(),
@@ -32,7 +33,7 @@ func (s *Suite) Datacenter() (*DatacenterResult, error) {
 			for _, obj := range objectives {
 				sc, si, strat, obj := sc, si, strat, obj
 				jobs = append(jobs, func() Cell {
-					return s.runCell(sc, si+1, strat, 3, 3, spec, obj)
+					return s.runCell(ctx, sc, si+1, strat, 3, 3, spec, obj)
 				})
 			}
 		}
@@ -156,7 +157,7 @@ type ParetoResult struct {
 // Pareto collects the explored-candidate clouds for the given scenario
 // across strategies and all three search objectives (the brute-force
 // clouds of Figures 8 and 11) and marks the non-dominated front.
-func (s *Suite) Pareto(scNum int, strategies []Strategy, w, h int, spec maestro.Chiplet) (*ParetoResult, error) {
+func (s *Suite) Pareto(ctx context.Context, scNum int, strategies []Strategy, w, h int, spec maestro.Chiplet) (*ParetoResult, error) {
 	sc, err := models.ScenarioByNumber(scNum)
 	if err != nil {
 		return nil, err
@@ -170,13 +171,13 @@ func (s *Suite) Pareto(scNum int, strategies []Strategy, w, h int, spec maestro.
 			for _, obj := range objectives {
 				strat, obj := strat, obj
 				jobs = append(jobs, func() Cell {
-					return s.runCell(sc, scNum, strat, w, h, spec, obj)
+					return s.runCell(ctx, sc, scNum, strat, w, h, spec, obj)
 				})
 			}
 		} else {
 			strat := strat
 			jobs = append(jobs, func() Cell {
-				return s.runCell(sc, scNum, strat, w, h, spec, core.EDPObjective())
+				return s.runCell(ctx, sc, scNum, strat, w, h, spec, core.EDPObjective())
 			})
 		}
 	}
@@ -260,14 +261,14 @@ type TopScheduleResult struct {
 
 // TopSchedule reproduces Figure 9 / Table VI: Scenario 4 on Het-Sides,
 // EDP search, with the per-window latency and layer-count breakdown.
-func (s *Suite) TopSchedule() (*TopScheduleResult, error) {
+func (s *Suite) TopSchedule(ctx context.Context) (*TopScheduleResult, error) {
 	sc := models.Scenario4()
 	m, err := mcmByPattern("het-sides", 3, 3, maestro.DefaultDatacenterChiplet())
 	if err != nil {
 		return nil, err
 	}
 	sched := core.New(s.DB, s.Opts)
-	res, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, core.EDPObjective())))
+	res, err := fullResult(sched.Schedule(ctx, core.NewRequest(&sc, m, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

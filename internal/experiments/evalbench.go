@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,7 +56,7 @@ type EvalBenchResult struct {
 // set comes from the winning schedule of a real EDP search, so the
 // measured mix of pipeline depths and chiplet sharing is representative
 // of what the search actually evaluates.
-func (s *Suite) EvalBench() (*EvalBenchResult, error) {
+func (s *Suite) EvalBench(ctx context.Context) (*EvalBenchResult, error) {
 	const scenarioNum = 6
 	sc, err := models.ScenarioByNumber(scenarioNum)
 	if err != nil {
@@ -66,7 +67,7 @@ func (s *Suite) EvalBench() (*EvalBenchResult, error) {
 
 	// Warm-up search: populates the cost database and yields the
 	// measurement windows.
-	warm, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
+	warm, err := fullResult(core.New(s.DB, s.Opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj)))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: evalbench warm-up: %w", err)
 	}
@@ -96,7 +97,7 @@ func (s *Suite) EvalBench() (*EvalBenchResult, error) {
 
 	// Search throughput on the compiled session.
 	start = time.Now()
-	res, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
+	res, err := fullResult(core.New(s.DB, s.Opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj)))
 	scheduleSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: evalbench schedule: %w", err)

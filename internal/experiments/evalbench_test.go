@@ -12,7 +12,7 @@ func TestEvalBenchSnapshot(t *testing.T) {
 		t.Skip("evalbench measures wall-clock rates; skipped in -short mode")
 	}
 	s := fastSuite()
-	res, err := s.EvalBench()
+	res, err := s.EvalBench(t.Context())
 	if err != nil {
 		t.Fatalf("EvalBench: %v", err)
 	}

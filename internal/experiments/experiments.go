@@ -79,16 +79,14 @@ func Scale6x6Strategies() []Strategy {
 
 // Suite carries shared experiment state: the layer-cost database (shared
 // across all cells, as the paper's offline MAESTRO database is) and the
-// scheduler configuration.
+// scheduler configuration. Every experiment takes a context.Context as
+// its first argument (the scarbench -timeout flag builds a deadline
+// one); cancellation surfaces as cell/experiment errors — experiments
+// never keep partial searches, so a timed-out run fails loudly rather
+// than reporting silently degraded numbers.
 type Suite struct {
 	DB   *costdb.DB
 	Opts core.Options
-	// Ctx, when set, bounds every schedule search the suite runs (the
-	// scarbench -timeout flag); nil means no deadline. Cancellation
-	// surfaces as cell/experiment errors — experiments never keep
-	// partial searches, so a timed-out run fails loudly rather than
-	// reporting silently degraded numbers.
-	Ctx context.Context
 	// Workers bounds parallel cells (0 = GOMAXPROCS). Cell-level and
 	// search-level parallelism compose multiplicatively, so exactly one
 	// of the two should fan out: the suite parallelizes across cells
@@ -125,14 +123,6 @@ type Cell struct {
 	Err    error
 }
 
-// context returns the suite's search context (Background when unset).
-func (s *Suite) context() context.Context {
-	if s.Ctx != nil {
-		return s.Ctx
-	}
-	return context.Background()
-}
-
 // fullResult guards every suite search against anytime truncation:
 // a deadline expiring mid-search yields Result.Partial with a nil
 // error, and an experiment must fail loudly on it rather than record
@@ -153,7 +143,7 @@ func buildMCM(strat Strategy, w, h int, spec maestro.Chiplet) (*mcm.MCM, error) 
 }
 
 // runCell schedules one scenario under one strategy and objective.
-func (s *Suite) runCell(sc workload.Scenario, scNum int, strat Strategy, w, h int, spec maestro.Chiplet, obj core.Objective) Cell {
+func (s *Suite) runCell(ctx context.Context, sc workload.Scenario, scNum int, strat Strategy, w, h int, spec maestro.Chiplet, obj core.Objective) Cell {
 	cell := Cell{Scenario: scNum, Strategy: strat.Name, Objective: obj.Name}
 	m, err := buildMCM(strat, w, h, spec)
 	if err != nil {
@@ -169,7 +159,7 @@ func (s *Suite) runCell(sc workload.Scenario, scNum int, strat Strategy, w, h in
 		cell.Metrics, cell.Err = metrics, err
 	case KindSCAR:
 		sched := core.New(s.DB, s.Opts)
-		res, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&sc, m, obj)))
+		res, err := fullResult(sched.Schedule(ctx, core.NewRequest(&sc, m, obj)))
 		if err != nil {
 			cell.Err = err
 			return cell

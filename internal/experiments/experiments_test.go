@@ -18,7 +18,7 @@ func fastSuite() *Suite {
 
 func TestMotivationalShapes(t *testing.T) {
 	s := fastSuite()
-	res, err := s.Motivational()
+	res, err := s.Motivational(t.Context())
 	if err != nil {
 		t.Fatalf("Motivational: %v", err)
 	}
@@ -71,7 +71,7 @@ func TestComplexityFigures(t *testing.T) {
 
 func TestPackingAblationRuns(t *testing.T) {
 	s := fastSuite()
-	res, err := s.Packing()
+	res, err := s.Packing(t.Context())
 	if err != nil {
 		t.Fatalf("Packing: %v", err)
 	}
@@ -91,7 +91,7 @@ func TestBudgetSensitivityRuns(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.BudgetSensitivity()
+	res, err := s.BudgetSensitivity(t.Context())
 	if err != nil {
 		t.Fatalf("BudgetSensitivity: %v", err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -27,7 +28,7 @@ type MotivationalResult struct {
 }
 
 // Motivational runs the Figure 2 study.
-func (s *Suite) Motivational() (*MotivationalResult, error) {
+func (s *Suite) Motivational(ctx context.Context) (*MotivationalResult, error) {
 	spec := maestro.DefaultDatacenterChiplet()
 	pkg := mcm.Motivational2x2(spec)
 	full := models.MotivationalWorkload()
@@ -55,7 +56,7 @@ func (s *Suite) Motivational() (*MotivationalResult, error) {
 
 	// A3: SCAR's heterogeneous schedule for the single model.
 	sched := core.New(s.DB, s.Opts)
-	a3, err := fullResult(sched.Schedule(s.context(), core.NewRequest(&resnetOnly, pkg, core.EDPObjective())))
+	a3, err := fullResult(sched.Schedule(ctx, core.NewRequest(&resnetOnly, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
@@ -71,14 +72,14 @@ func (s *Suite) Motivational() (*MotivationalResult, error) {
 	// B2: SCAR restricted to one window (pure spatial distribution).
 	spatialOpts := s.Opts
 	spatialOpts.NSplits = 0
-	b2, err := fullResult(core.New(s.DB, spatialOpts).Schedule(s.context(), core.NewRequest(&full, pkg, core.EDPObjective())))
+	b2, err := fullResult(core.New(s.DB, spatialOpts).Schedule(ctx, core.NewRequest(&full, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}
 	res.EDP["B2"] = b2.Metrics.EDP
 
 	// B3: full SCAR spatio-temporal search.
-	b3, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&full, pkg, core.EDPObjective())))
+	b3, err := fullResult(core.New(s.DB, s.Opts).Schedule(ctx, core.NewRequest(&full, pkg, core.EDPObjective())))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,14 +91,14 @@ var onlineSweepLoads = []float64{0.2, 0.5, 0.8, 0.95, 1.1}
 // organization whose latency-optimal schedules fit inside the XRBench
 // one-second frame budget under our cost-model calibration; serving
 // optimizes for deadlines, hence the latency search.
-func (s *Suite) Online() (*OnlineResult, error) {
-	return s.onlineSweep(1500)
+func (s *Suite) Online(ctx context.Context) (*OnlineResult, error) {
+	return s.onlineSweep(ctx, 1500)
 }
 
 // onlineSweep is Online with a configurable per-point request budget
 // (tests use a smaller one).
-func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
-	mix, err := s.scheduleOnlineMix()
+func (s *Suite) onlineSweep(ctx context.Context, targetRequests int) (*OnlineResult, error) {
+	mix, err := s.scheduleOnlineMix(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -108,7 +109,7 @@ func (s *Suite) onlineSweep(targetRequests int) (*OnlineResult, error) {
 		Seed:           s.Opts.Seed,
 		ScheduleMs:     mix.scheduleMs,
 	}
-	res.Points, err = s.sweepPoints(mix, 1, online.FIFO{}, targetRequests)
+	res.Points, err = s.sweepPoints(ctx, mix, 1, online.FIFO{}, targetRequests)
 	return res, err
 }
 
@@ -127,7 +128,7 @@ type onlineMix struct {
 
 // scheduleOnlineMix schedules scenarios 6 and 7 (70/30) on the
 // Het-Sides 4x4 edge package under the latency objective.
-func (s *Suite) scheduleOnlineMix() (*onlineMix, error) {
+func (s *Suite) scheduleOnlineMix(ctx context.Context) (*onlineMix, error) {
 	type classSpec struct {
 		scenario int
 		share    float64
@@ -145,7 +146,7 @@ func (s *Suite) scheduleOnlineMix() (*onlineMix, error) {
 			return nil, err
 		}
 		pkg := mcm.HetSides(4, 4, pkgSpec)
-		r, err := fullResult(core.New(s.DB, s.Opts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
+		r, err := fullResult(core.New(s.DB, s.Opts).Schedule(ctx, core.NewRequest(&sc, pkg, obj)))
 		if err != nil {
 			return nil, fmt.Errorf("experiments: online: scenario %d: %w", spec.scenario, err)
 		}
@@ -182,7 +183,7 @@ func (s *Suite) scheduleOnlineMix() (*onlineMix, error) {
 // directly comparable. (Across replica counts the streams differ: the
 // offered rate scales with the fleet so rho stays the per-package
 // load.)
-func (s *Suite) sweepPoints(mix *onlineMix, packages int, policy online.Policy, targetRequests int) ([]OnlinePoint, error) {
+func (s *Suite) sweepPoints(ctx context.Context, mix *onlineMix, packages int, policy online.Policy, targetRequests int) ([]OnlinePoint, error) {
 	var points []OnlinePoint
 	for pi, load := range onlineSweepLoads {
 		// Offered load is normalized to the fleet: rho = rate / (P * mu).
@@ -199,7 +200,7 @@ func (s *Suite) sweepPoints(mix *onlineMix, packages int, policy online.Policy, 
 				Seed: s.Opts.Seed + int64(pi)*100 + int64(i),
 			}
 		}
-		rep, err := online.Simulate(s.context(), online.Config{
+		rep, err := online.Simulate(ctx, online.Config{
 			Classes:    cfgClasses,
 			Packages:   packages,
 			Policy:     policy,

@@ -15,7 +15,7 @@ func TestOnlineSweep(t *testing.T) {
 		t.Skip("online sweep schedules two AR/VR scenarios")
 	}
 	s := fastSuite()
-	res, err := s.onlineSweep(300)
+	res, err := s.onlineSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatalf("Online: %v", err)
 	}
@@ -60,7 +60,7 @@ func TestOnlineSweep(t *testing.T) {
 	}
 
 	// The acceptance criterion: bit-identical results for a fixed seed.
-	res2, err := s.onlineSweep(300)
+	res2, err := s.onlineSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatal(err)
 	}

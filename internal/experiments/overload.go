@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -132,14 +133,14 @@ func (g OverloadGuardInfo) admission() (*online.Admission, error) {
 // Overload runs the overload sweep: the sc6+sc7 70/30 mix (Het-Sides
 // 4x4 edge package, latency objective, one package) at 1x-3x capacity,
 // once per admission guard over identical arrival streams.
-func (s *Suite) Overload() (*OverloadResult, error) {
-	return s.overloadSweep(1500)
+func (s *Suite) Overload(ctx context.Context) (*OverloadResult, error) {
+	return s.overloadSweep(ctx, 1500)
 }
 
 // overloadSweep is Overload with a configurable per-point request
 // budget (tests use a smaller one).
-func (s *Suite) overloadSweep(targetRequests int) (*OverloadResult, error) {
-	mix, err := s.scheduleOnlineMix()
+func (s *Suite) overloadSweep(ctx context.Context, targetRequests int) (*OverloadResult, error) {
+	mix, err := s.scheduleOnlineMix(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -170,7 +171,7 @@ func (s *Suite) overloadSweep(targetRequests int) (*OverloadResult, error) {
 					Seed: s.Opts.Seed + int64(pi)*100 + int64(i),
 				}
 			}
-			rep, err := online.Simulate(s.context(), online.Config{
+			rep, err := online.Simulate(ctx, online.Config{
 				Classes:    cfgClasses,
 				Packages:   1,
 				Policy:     online.FIFO{},

@@ -13,7 +13,7 @@ func TestOverloadSweep(t *testing.T) {
 		t.Skip("overload sweep schedules two AR/VR scenarios")
 	}
 	s := fastSuite()
-	res, err := s.overloadSweep(300)
+	res, err := s.overloadSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatalf("Overload: %v", err)
 	}
@@ -72,7 +72,7 @@ func TestOverloadSweep(t *testing.T) {
 	}
 
 	// Determinism: a second sweep is bit-identical modulo wall clock.
-	res2, err := s.overloadSweep(300)
+	res2, err := s.overloadSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatal(err)
 	}

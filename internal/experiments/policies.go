@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -53,14 +54,14 @@ type PoliciesResult struct {
 // SwitchAware on the sc6+sc7 70/30 mix (Het-Sides 4x4 edge package,
 // latency objective), one arrival-rate sweep per policy over identical
 // arrival streams.
-func (s *Suite) Policies() (*PoliciesResult, error) {
-	return s.policiesSweep(1500)
+func (s *Suite) Policies(ctx context.Context) (*PoliciesResult, error) {
+	return s.policiesSweep(ctx, 1500)
 }
 
 // policiesSweep is Policies with a configurable per-point request
 // budget (tests use a smaller one).
-func (s *Suite) policiesSweep(targetRequests int) (*PoliciesResult, error) {
-	mix, err := s.scheduleOnlineMix()
+func (s *Suite) policiesSweep(ctx context.Context, targetRequests int) (*PoliciesResult, error) {
+	mix, err := s.scheduleOnlineMix(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +78,7 @@ func (s *Suite) policiesSweep(targetRequests int) (*PoliciesResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		points, err := s.sweepPoints(mix, res.Packages, pol, targetRequests)
+		points, err := s.sweepPoints(ctx, mix, res.Packages, pol, targetRequests)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: policies: %s: %w", name, err)
 		}

@@ -15,7 +15,7 @@ func TestPoliciesSweep(t *testing.T) {
 		t.Skip("policies sweep schedules two AR/VR scenarios")
 	}
 	s := fastSuite()
-	res, err := s.policiesSweep(300)
+	res, err := s.policiesSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatalf("Policies: %v", err)
 	}
@@ -57,7 +57,7 @@ func TestPoliciesSweep(t *testing.T) {
 	}
 
 	// Determinism: a second sweep is bit-identical modulo wall clock.
-	res2, err := s.policiesSweep(300)
+	res2, err := s.policiesSweep(t.Context(), 300)
 	if err != nil {
 		t.Fatal(err)
 	}

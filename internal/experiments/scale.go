@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"text/tabwriter"
 
@@ -20,7 +21,7 @@ type TriangularResult struct {
 }
 
 // Triangular runs the Figure 12 study.
-func (s *Suite) Triangular() (*TriangularResult, error) {
+func (s *Suite) Triangular(ctx context.Context) (*TriangularResult, error) {
 	spec := maestro.DefaultDatacenterChiplet()
 	scNums := []int{3, 4}
 	var jobs []func() Cell
@@ -32,12 +33,12 @@ func (s *Suite) Triangular() (*TriangularResult, error) {
 		for _, strat := range TriangularStrategies() {
 			sc, n, strat := sc, n, strat
 			jobs = append(jobs, func() Cell {
-				return s.runCell(sc, n, strat, 3, 3, spec, core.EDPObjective())
+				return s.runCell(ctx, sc, n, strat, 3, 3, spec, core.EDPObjective())
 			})
 		}
 		sc2, n2 := sc, n
 		jobs = append(jobs, func() Cell {
-			return s.runCell(sc2, n2, Strategy{Name: "Stand.(NVD)", Kind: KindStandalone, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
+			return s.runCell(ctx, sc2, n2, Strategy{Name: "Stand.(NVD)", Kind: KindStandalone, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
 		})
 	}
 	cells := s.runCells(jobs)
@@ -86,7 +87,7 @@ type Scale6x6Result struct {
 }
 
 // Scale6x6 runs the Figure 13 study.
-func (s *Suite) Scale6x6() (*Scale6x6Result, error) {
+func (s *Suite) Scale6x6(ctx context.Context) (*Scale6x6Result, error) {
 	spec := maestro.DefaultDatacenterChiplet()
 	sc := models.Scenario4()
 	res := &Scale6x6Result{Rows: map[int]map[string]Cell{}}
@@ -112,7 +113,7 @@ func (s *Suite) Scale6x6() (*Scale6x6Result, error) {
 			// lengths on the 36-chiplet package so the encoding
 			// stays feasible.
 			sub.Opts.NodeAllocCap = 6
-			return sub.runCell(sc, 4, j.strat, 6, 6, spec, core.EDPObjective())
+			return sub.runCell(ctx, sc, 4, j.strat, 6, 6, spec, core.EDPObjective())
 		})
 	}
 	cells := s.runCells(jobs)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"io"
 	"text/tabwriter"
 
@@ -43,15 +44,15 @@ type SensitivityResult struct {
 
 // headToHead runs the Sc4 Het-Sides vs Simba (NVD) EDP search under the
 // given cost-model and evaluator calibration.
-func headToHead(label string, params maestro.Params, opts core.Options, workers int) (SensitivityPoint, error) {
+func headToHead(ctx context.Context, label string, params maestro.Params, opts core.Options, workers int) (SensitivityPoint, error) {
 	sub := &Suite{DB: costdb.New(params), Opts: opts, Workers: workers}
 	sc := models.Scenario4()
 	spec := maestro.DefaultDatacenterChiplet()
-	het := sub.runCell(sc, 4, Strategy{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"}, 3, 3, spec, core.EDPObjective())
+	het := sub.runCell(ctx, sc, 4, Strategy{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"}, 3, 3, spec, core.EDPObjective())
 	if het.Err != nil {
 		return SensitivityPoint{}, het.Err
 	}
-	sim := sub.runCell(sc, 4, Strategy{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
+	sim := sub.runCell(ctx, sc, 4, Strategy{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"}, 3, 3, spec, core.EDPObjective())
 	if sim.Err != nil {
 		return SensitivityPoint{}, sim.Err
 	}
@@ -61,7 +62,7 @@ func headToHead(label string, params maestro.Params, opts core.Options, workers 
 // CostModelSensitivity sweeps the two dataflow-asymmetry constants: the
 // output-stationary map-reuse depth and the weight-stationary K-refetch
 // cap.
-func (s *Suite) CostModelSensitivity() (*SensitivityResult, error) {
+func (s *Suite) CostModelSensitivity(ctx context.Context) (*SensitivityResult, error) {
 	res := &SensitivityResult{Axis: "cost model reuse constants"}
 	type cfg struct {
 		label     string
@@ -81,7 +82,7 @@ func (s *Suite) CostModelSensitivity() (*SensitivityResult, error) {
 		params := maestro.DefaultParams()
 		params.OSMapReuseDepth = c.osDepth
 		params.WSKRefetchCap = c.wsRefetch
-		p, err := headToHead(c.label, params, s.Opts, s.Workers)
+		p, err := headToHead(ctx, c.label, params, s.Opts, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -92,7 +93,7 @@ func (s *Suite) CostModelSensitivity() (*SensitivityResult, error) {
 
 // ContentionSensitivity sweeps the delta-term calibration of the
 // communication model.
-func (s *Suite) ContentionSensitivity() (*SensitivityResult, error) {
+func (s *Suite) ContentionSensitivity(ctx context.Context) (*SensitivityResult, error) {
 	res := &SensitivityResult{Axis: "contention model"}
 	type cfg struct {
 		label    string
@@ -108,7 +109,7 @@ func (s *Suite) ContentionSensitivity() (*SensitivityResult, error) {
 	for _, c := range cfgs {
 		opts := s.Opts
 		opts.Eval = eval.Options{NoPContentionAlpha: c.nop, OffchipContentionAlpha: c.off}
-		p, err := headToHead(c.label, maestro.DefaultParams(), opts, s.Workers)
+		p, err := headToHead(ctx, c.label, maestro.DefaultParams(), opts, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +121,7 @@ func (s *Suite) ContentionSensitivity() (*SensitivityResult, error) {
 // MappingSensitivity ablates the scheduling-tree design choice: paths
 // constrained to interposer adjacency (the paper's RA-tree-inspired
 // representation) versus free placement on any unoccupied chiplet.
-func (s *Suite) MappingSensitivity() (*SensitivityResult, error) {
+func (s *Suite) MappingSensitivity(ctx context.Context) (*SensitivityResult, error) {
 	res := &SensitivityResult{Axis: "mapping locality (scheduling-tree ablation)"}
 	for _, c := range []struct {
 		label string
@@ -131,7 +132,7 @@ func (s *Suite) MappingSensitivity() (*SensitivityResult, error) {
 	} {
 		opts := s.Opts
 		opts.FreePlacement = c.free
-		p, err := headToHead(c.label, maestro.DefaultParams(), opts, s.Workers)
+		p, err := headToHead(ctx, c.label, maestro.DefaultParams(), opts, s.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +143,7 @@ func (s *Suite) MappingSensitivity() (*SensitivityResult, error) {
 
 // BudgetSensitivity sweeps the per-window evaluation budget, showing how
 // much search quality the bounded brute force buys.
-func (s *Suite) BudgetSensitivity() (*SensitivityResult, error) {
+func (s *Suite) BudgetSensitivity(ctx context.Context) (*SensitivityResult, error) {
 	res := &SensitivityResult{Axis: "window evaluation budget"}
 	for _, budget := range []int{100, 400, 1500, 4000} {
 		opts := s.Opts
@@ -151,7 +152,7 @@ func (s *Suite) BudgetSensitivity() (*SensitivityResult, error) {
 		if budget == 1500 {
 			label += " (default)"
 		}
-		p, err := headToHead(label, maestro.DefaultParams(), opts, s.Workers)
+		p, err := headToHead(ctx, label, maestro.DefaultParams(), opts, s.Workers)
 		if err != nil {
 			return nil, err
 		}

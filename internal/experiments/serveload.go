@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -203,7 +204,7 @@ func serveLoadFailRequest(nonce int64) serve.Request {
 }
 
 // ServeLoad runs the serve-layer load generator.
-func (s *Suite) ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
+func (s *Suite) ServeLoad(ctx context.Context, cfg ServeLoadConfig) (*ServeLoadResult, error) {
 	cfg = cfg.withDefaults()
 	if cfg.MinGOMAXPROCS > runtime.GOMAXPROCS(0) {
 		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
@@ -269,14 +270,14 @@ func (s *Suite) ServeLoad(cfg ServeLoadConfig) (*ServeLoadResult, error) {
 			impl.Shards = svc.Stats().Shards
 			setup := time.Now()
 			for _, r := range hits {
-				if _, err := svc.Schedule(s.context(), r); err != nil {
+				if _, err := svc.Schedule(ctx, r); err != nil {
 					return nil, fmt.Errorf("experiments: serve: populate %s/%s: %w", variant.impl, mix.name, err)
 				}
 			}
 			res.SetupMs += float64(time.Since(setup).Microseconds()) / 1e3
 			before := svc.Stats().ScheduleCalls
 			pt := serveLoadDrive(cfg, mix.name, mix.hit, hits, func(r serve.Request) error {
-				_, err := svc.Schedule(s.context(), r)
+				_, err := svc.Schedule(ctx, r)
 				return err
 			})
 			pt.SearchesRun = svc.Stats().ScheduleCalls - before

@@ -20,7 +20,7 @@ func TestServeLoadTinyConfig(t *testing.T) {
 		t.Skip("load generator runs wall-clock intervals")
 	}
 	s := NewSuite()
-	res, err := s.ServeLoad(ServeLoadConfig{
+	res, err := s.ServeLoad(t.Context(), ServeLoadConfig{
 		Keys:          6,
 		Goroutines:    4,
 		Duration:      60 * time.Millisecond,

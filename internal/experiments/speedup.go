@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"reflect"
@@ -52,7 +53,7 @@ func (r *SpeedupResult) SpeedupFactor() float64 {
 // and compares wall clock and results. A warm-up run populates the
 // layer-cost database first so neither timed run pays the one-time
 // MAESTRO analysis cost.
-func (s *Suite) Speedup() (*SpeedupResult, error) {
+func (s *Suite) Speedup(ctx context.Context) (*SpeedupResult, error) {
 	const scenarioNum = 4
 	sc, err := models.ScenarioByNumber(scenarioNum)
 	if err != nil {
@@ -63,14 +64,14 @@ func (s *Suite) Speedup() (*SpeedupResult, error) {
 
 	warm := s.Opts
 	warm.Workers = 0
-	if _, err := fullResult(core.New(s.DB, warm).Schedule(s.context(), core.NewRequest(&sc, pkg, obj))); err != nil {
+	if _, err := fullResult(core.New(s.DB, warm).Schedule(ctx, core.NewRequest(&sc, pkg, obj))); err != nil {
 		return nil, fmt.Errorf("experiments: speedup warm-up: %w", err)
 	}
 
 	serialOpts := s.Opts
 	serialOpts.Workers = 1
 	start := time.Now()
-	serial, err := fullResult(core.New(s.DB, serialOpts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
+	serial, err := fullResult(core.New(s.DB, serialOpts).Schedule(ctx, core.NewRequest(&sc, pkg, obj)))
 	serialSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: speedup serial run: %w", err)
@@ -79,7 +80,7 @@ func (s *Suite) Speedup() (*SpeedupResult, error) {
 	parOpts := s.Opts
 	parOpts.Workers = 0
 	start = time.Now()
-	parallel, err := fullResult(core.New(s.DB, parOpts).Schedule(s.context(), core.NewRequest(&sc, pkg, obj)))
+	parallel, err := fullResult(core.New(s.DB, parOpts).Schedule(ctx, core.NewRequest(&sc, pkg, obj)))
 	parallelSec := time.Since(start).Seconds()
 	if err != nil {
 		return nil, fmt.Errorf("experiments: speedup parallel run: %w", err)

@@ -8,7 +8,7 @@ import (
 
 func TestSpeedupIdenticalResults(t *testing.T) {
 	s := fastSuite()
-	res, err := s.Speedup()
+	res, err := s.Speedup(t.Context())
 	if err != nil {
 		t.Fatalf("Speedup: %v", err)
 	}

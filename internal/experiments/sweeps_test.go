@@ -16,7 +16,7 @@ func TestDatacenterSweepShapes(t *testing.T) {
 		t.Skip("full sweep is slow")
 	}
 	s := fastSuite()
-	res, err := s.Datacenter()
+	res, err := s.Datacenter(t.Context())
 	if err != nil {
 		t.Fatalf("Datacenter: %v", err)
 	}
@@ -81,8 +81,8 @@ func TestHeterogeneityWinsHeavyScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	het := s.runCell(sc4, 4, Strategy{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"}, 3, 3, spec, edpObj())
-	sim := s.runCell(sc4, 4, Strategy{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"}, 3, 3, spec, edpObj())
+	het := s.runCell(t.Context(), sc4, 4, Strategy{Name: "Het-Sides", Kind: KindSCAR, Pattern: "het-sides"}, 3, 3, spec, edpObj())
+	sim := s.runCell(t.Context(), sc4, 4, Strategy{Name: "Simba (NVD)", Kind: KindSCAR, Pattern: "simba-nvd"}, 3, 3, spec, edpObj())
 	if het.Err != nil || sim.Err != nil {
 		t.Fatalf("errors: %v %v", het.Err, sim.Err)
 	}
@@ -99,7 +99,7 @@ func TestARVRSweepShapes(t *testing.T) {
 		t.Skip("full sweep is slow")
 	}
 	s := fastSuite()
-	res, err := s.ARVR()
+	res, err := s.ARVR(t.Context())
 	if err != nil {
 		t.Fatalf("ARVR: %v", err)
 	}
@@ -132,7 +132,7 @@ func TestParetoCloud(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.Pareto(3, DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
+	res, err := s.Pareto(t.Context(), 3, DatacenterStrategies(), 3, 3, maestro.DefaultDatacenterChiplet())
 	if err != nil {
 		t.Fatalf("Pareto: %v", err)
 	}
@@ -174,7 +174,7 @@ func TestTopScheduleBreakdown(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.TopSchedule()
+	res, err := s.TopSchedule(t.Context())
 	if err != nil {
 		t.Fatalf("TopSchedule: %v", err)
 	}
@@ -206,7 +206,7 @@ func TestTriangularRuns(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.Triangular()
+	res, err := s.Triangular(t.Context())
 	if err != nil {
 		t.Fatalf("Triangular: %v", err)
 	}
@@ -225,7 +225,7 @@ func TestNsplitsMonotoneish(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.Nsplits()
+	res, err := s.Nsplits(t.Context())
 	if err != nil {
 		t.Fatalf("Nsplits: %v", err)
 	}
@@ -254,7 +254,7 @@ func TestScale6x6Runs(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.Scale6x6()
+	res, err := s.Scale6x6(t.Context())
 	if err != nil {
 		t.Fatalf("Scale6x6: %v", err)
 	}
@@ -278,7 +278,7 @@ func TestProvAblationRuns(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.ProvAblation()
+	res, err := s.ProvAblation(t.Context())
 	if err != nil {
 		t.Fatalf("ProvAblation: %v", err)
 	}
@@ -302,7 +302,7 @@ func TestMappingSensitivityRuns(t *testing.T) {
 		t.Skip("sweep")
 	}
 	s := fastSuite()
-	res, err := s.MappingSensitivity()
+	res, err := s.MappingSensitivity(t.Context())
 	if err != nil {
 		t.Fatalf("MappingSensitivity: %v", err)
 	}

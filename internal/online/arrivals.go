@@ -2,6 +2,7 @@ package online
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -69,12 +70,18 @@ func NewTrace(timesSec []float64) (Trace, error) {
 
 // Validate reports the first ordering violation of the trace. The
 // simulator calls it during config validation, so a descending trace
-// fails before arrival generation.
+// fails before arrival generation. Non-finite timestamps are rejected
+// explicitly: a NaN compares false against everything, so it would
+// slip through the ascending check and then poison the simulator's
+// event clock.
 func (tr Trace) Validate() error {
-	for i := 1; i < len(tr.TimesSec); i++ {
-		if tr.TimesSec[i] < tr.TimesSec[i-1] {
+	for i, t := range tr.TimesSec {
+		if math.IsNaN(t) || math.IsInf(t, 0) {
+			return fmt.Errorf("online: trace time at index %d is not finite (%v)", i, t)
+		}
+		if i > 0 && t < tr.TimesSec[i-1] {
 			return fmt.Errorf("online: trace times not ascending at index %d (%v after %v)",
-				i, tr.TimesSec[i], tr.TimesSec[i-1])
+				i, t, tr.TimesSec[i-1])
 		}
 	}
 	return nil

@@ -196,7 +196,7 @@ func newPhaseClock(on bool) phaseClock {
 	if !on {
 		return phaseClock{}
 	}
-	now := time.Now()
+	now := time.Now() //scar:nondeterm operator-facing phase timings; Report.Timing is nil under the replay contract and excluded from determinism tests
 	return phaseClock{on: true, start: now, last: now}
 }
 
@@ -205,7 +205,7 @@ func (c *phaseClock) lap(dst *float64) {
 	if !c.on {
 		return
 	}
-	now := time.Now()
+	now := time.Now() //scar:nondeterm wall-clock lap for operator-facing PhaseTimings, never part of simulated results
 	*dst += now.Sub(c.last).Seconds() * 1e3
 	c.last = now
 }
@@ -215,7 +215,7 @@ func (c *phaseClock) attach(rep *Report, pt *PhaseTimings) {
 	if !c.on {
 		return
 	}
-	pt.TotalMs = time.Since(c.start).Seconds() * 1e3
+	pt.TotalMs = time.Since(c.start).Seconds() * 1e3 //scar:nondeterm total wall-clock of the run, reported only when CollectTiming is set
 	rep.Timing = pt
 }
 

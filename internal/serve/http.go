@@ -126,6 +126,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//scar:errshape writeJSON is writeError's status sink; its only non-200 callers besides writeError are the documented healthz readiness bodies
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -618,6 +618,35 @@ func (r SimRequest) admission() (*online.Admission, error) {
 	return adm, nil
 }
 
+// resolveArrivals materializes each class's arrival process. It is the
+// wire boundary for simulation load descriptions: every malformed class
+// (both rate and trace set, neither set, a non-ascending or non-finite
+// trace) is rejected here, before any search work runs.
+func resolveArrivals(classes []SimClass) ([]online.Arrivals, error) {
+	arrivals := make([]online.Arrivals, len(classes))
+	for i, sc := range classes {
+		switch {
+		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
+			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
+		case len(sc.ArrivalTimes) > 0:
+			tr, err := online.NewTrace(sc.ArrivalTimes)
+			if err != nil {
+				return nil, fmt.Errorf("serve: class %d: %w", i, err)
+			}
+			arrivals[i] = tr
+		case sc.RatePerSec > 0:
+			seed := sc.Seed
+			if seed == 0 {
+				seed = int64(i) + 1
+			}
+			arrivals[i] = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
+		default:
+			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
+		}
+	}
+	return arrivals, nil
+}
+
 // Simulate schedules every class (through the cache) and runs the
 // discrete-event simulator on the results. ctx bounds both phases:
 // class scheduling inherits it per class, and the event loop polls it,
@@ -660,29 +689,10 @@ func (s *Service) Simulate(ctx context.Context, req SimRequest) (*online.Report,
 	// Resolve every class's arrival process before scheduling any: a
 	// malformed class must not cost seconds of search work (or populate
 	// the schedule cache) before its rejection.
-	arrivals := make([]online.Arrivals, len(req.Classes))
-	for i, sc := range req.Classes {
-		switch {
-		case len(sc.ArrivalTimes) > 0 && sc.RatePerSec > 0:
-			endResolve()
-			return nil, fmt.Errorf("serve: class %d sets both rate_per_sec and arrival_times", i)
-		case len(sc.ArrivalTimes) > 0:
-			tr, err := online.NewTrace(sc.ArrivalTimes)
-			if err != nil {
-				endResolve()
-				return nil, fmt.Errorf("serve: class %d: %w", i, err)
-			}
-			arrivals[i] = tr
-		case sc.RatePerSec > 0:
-			seed := sc.Seed
-			if seed == 0 {
-				seed = int64(i) + 1
-			}
-			arrivals[i] = online.Poisson{RatePerSec: sc.RatePerSec, Seed: seed}
-		default:
-			endResolve()
-			return nil, fmt.Errorf("serve: class %d needs rate_per_sec or arrival_times", i)
-		}
+	arrivals, err := resolveArrivals(req.Classes)
+	if err != nil {
+		endResolve()
+		return nil, err
 	}
 	endResolve()
 

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzParseChromeTrace drives the trace-import wire boundary with
+// arbitrary JSON: whatever the parser accepts must render and round-trip
+// without panicking, because imported traces come from outside the
+// process (saved files, other tools, /debug/trace bodies).
+func FuzzParseChromeTrace(f *testing.F) {
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[{"name":"a[l0..l1]","cat":"window0","ph":"X","ts":0,"dur":5,"pid":0,"tid":1,"args":{"model":"0","passes":"2"}}]`))
+	f.Add([]byte(`[{"ph":"X","cat":"window1","ts":1000000,"dur":1,"tid":3}]`))
+	f.Add([]byte(`[{"ph":"B","cat":"window0","ts":0,"dur":0}]`))
+	f.Add([]byte(`[{"ph":"X","cat":"window0","ts":-1,"dur":2}]`))
+	f.Add([]byte(`[{"ph":"X","cat":"window0","ts":0,"dur":1,"tid":-7}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tl, err := ParseChromeTrace(data)
+		if err != nil {
+			return
+		}
+		_ = tl.Utilization()
+		if tl.Chiplets <= 4096 {
+			_ = tl.Gantt(40)
+		}
+		out, err := tl.ChromeTrace()
+		if err != nil {
+			t.Fatalf("accepted timeline failed to export: %v", err)
+		}
+		rt, err := ParseChromeTrace(out)
+		if err != nil {
+			t.Fatalf("re-parse of own export failed: %v", err)
+		}
+		if len(rt.Spans) != len(tl.Spans) {
+			t.Fatalf("round trip changed span count: %d -> %d", len(tl.Spans), len(rt.Spans))
+		}
+	})
+}

@@ -9,6 +9,7 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -133,8 +134,16 @@ func (t *Timeline) Gantt(width int) string {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
 	for _, s := range t.Spans {
+		// Spans are caller-supplied (FromSpans takes any values), so the
+		// bucket indices and the row are clamped rather than trusted.
+		if s.Chiplet < 0 || s.Chiplet >= len(rows) {
+			continue
+		}
 		lo := int(s.StartSec / t.TotalSec * float64(width))
 		hi := int(s.EndSec / t.TotalSec * float64(width))
+		if lo < 0 {
+			lo = 0
+		}
 		if hi <= lo {
 			hi = lo + 1
 		}
@@ -186,6 +195,13 @@ func (t *Timeline) ChromeTrace() ([]byte, error) {
 	return json.MarshalIndent(events, "", "  ")
 }
 
+// MaxTraceRows bounds the row index (thread id) accepted from an
+// imported trace: each row costs render memory, so an arbitrary TID in
+// untrusted JSON is a resource lever rather than a timeline. Genuine
+// exports index rows by chiplet or by retained request, both far below
+// this.
+const MaxTraceRows = 1 << 20
+
 // ParseChromeTrace reconstructs a Timeline from a ChromeTrace export:
 // the inverse mapping (threads back to chiplets, complete events back to
 // spans, categories back to window indices). TotalSec is the last span
@@ -201,8 +217,17 @@ func ParseChromeTrace(data []byte) (*Timeline, error) {
 		if e.Ph != "X" {
 			return nil, fmt.Errorf("trace: parse: event %d has phase %q, want complete (X)", i, e.Ph)
 		}
-		if e.Dur < 0 {
-			return nil, fmt.Errorf("trace: parse: event %d has negative duration", i)
+		// NaN compares false against every bound, so non-finite times
+		// must be rejected explicitly or they sail through the range
+		// checks and break span ordering downstream.
+		if math.IsNaN(e.Ts) || math.IsInf(e.Ts, 0) || e.Ts < 0 {
+			return nil, fmt.Errorf("trace: parse: event %d timestamp %v outside [0, +inf)", i, e.Ts)
+		}
+		if math.IsNaN(e.Dur) || math.IsInf(e.Dur, 0) || e.Dur < 0 {
+			return nil, fmt.Errorf("trace: parse: event %d duration %v outside [0, +inf)", i, e.Dur)
+		}
+		if e.TID < 0 || e.TID >= MaxTraceRows {
+			return nil, fmt.Errorf("trace: parse: event %d thread id %d outside [0, %d)", i, e.TID, MaxTraceRows)
 		}
 		s := Span{
 			Chiplet:  e.TID,

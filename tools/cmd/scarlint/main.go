@@ -1,0 +1,86 @@
+// Command scarlint runs SCAR's custom static analyzers over a package
+// tree and fails when any invariant is violated:
+//
+//	nodeterm  — no wall clocks, global RNG streams, racy selects, or
+//	            order-sensitive map iteration in the replay-contract
+//	            packages (internal/core, internal/online,
+//	            internal/search, internal/eval)
+//	ctxfirst  — context.Context first in every signature, never in a
+//	            struct
+//	errshape  — internal/serve routes every non-200 through writeError
+//	noexit    — no os.Exit / log.Fatal* outside package main
+//
+// Usage (from the tools module; the main module stays dependency-free):
+//
+//	cd tools && go run ./cmd/scarlint -dir .. ./...
+//
+// Genuine exceptions carry `//scar:<analyzer> <reason>` comments;
+// scarlint verifies every suppression names a real analyzer, carries a
+// reason, and actually silences a finding. Only production sources are
+// analyzed (test files may use wall clocks and globals freely). Exit
+// status: 0 clean, 1 findings, 2 operational error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"example.com/scar/tools/internal/lint"
+	"example.com/scar/tools/internal/lint/loader"
+)
+
+func main() { os.Exit(realMain()) }
+
+func realMain() int {
+	dir := flag.String("dir", ".", "directory to resolve package patterns in (the module under analysis)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scarlint [-dir module] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scarlint:", err)
+		return 2
+	}
+
+	// Findings print with paths relative to the analyzed module when
+	// possible, so output is stable across checkouts.
+	base, err := filepath.Abs(*dir)
+	if err != nil {
+		base = ""
+	}
+
+	bad := 0
+	for _, pkg := range pkgs {
+		findings, err := lint.Check(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scarlint:", err)
+			return 2
+		}
+		for _, f := range findings {
+			if base != "" {
+				if rel, err := filepath.Rel(base, f.Pos.Filename); err == nil && filepath.IsLocal(rel) {
+					f.Pos.Filename = rel
+				}
+			}
+			fmt.Println(f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "scarlint: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}

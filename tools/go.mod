@@ -1,0 +1,3 @@
+module example.com/scar/tools
+
+go 1.24.0

@@ -1,0 +1,80 @@
+// Package analysis is a stdlib-only subset of the
+// golang.org/x/tools/go/analysis vocabulary: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The container this repo builds in has no module proxy access, so the
+// real x/tools framework cannot be vendored; this package mirrors its
+// shape (Analyzer.Run(*Pass), Pass.Reportf, Diagnostic.Pos/Message) so
+// the scarlint analyzers can migrate mechanically if x/tools ever
+// lands in the build image. Only the subset scarlint needs exists —
+// no Facts, no Requires graph, no SuggestedFixes.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in output. It must be a valid Go
+	// identifier.
+	Name string
+	// SuppressKey is the keyword of this analyzer's suppression
+	// comment, `//scar:<key> <reason>`; empty means Name. (nodeterm's
+	// is "nondeterm" — the comment names the property being excused,
+	// not the analyzer.)
+	SuppressKey string
+	// Doc is the analyzer's one-paragraph contract, shown by
+	// `scarlint -help`.
+	Doc string
+	// Run applies the check to one package. It reports findings
+	// through pass.Report and returns an error only for internal
+	// failures (a failed run aborts scarlint, it does not silently
+	// pass the package).
+	Run func(*Pass) error
+}
+
+// Pass is the interface between one Analyzer and one package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// PkgNameOf resolves expr to the *types.PkgName it names, or nil when
+// expr is not a package qualifier (for recognizing `time.Now` as the
+// package time even when the file renames the import, and for NOT
+// matching a local variable that happens to be called `time`).
+func (p *Pass) PkgNameOf(expr ast.Expr) *types.PkgName {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, _ := p.TypesInfo.Uses[id].(*types.PkgName)
+	return pn
+}
+
+// IsPkgFunc reports whether sel is a reference to the package-level
+// function (or variable) path.name, resolved through the type
+// information so import renames and shadowing are handled.
+func (p *Pass) IsPkgFunc(sel *ast.SelectorExpr, path, name string) bool {
+	pn := p.PkgNameOf(sel.X)
+	return pn != nil && pn.Imported().Path() == path && sel.Sel.Name == name
+}

@@ -1,0 +1,200 @@
+// Package analysistest runs one analyzer over a golden corpus and
+// compares its findings against expectations embedded in the corpus:
+// a comment containing `want "regexp"` (one or more quoted regexps)
+// expects matching findings on its own line. It mirrors the x/tools
+// package of the same name closely enough that corpora could move
+// there unchanged.
+//
+// Corpus layout: <testdata>/src/<pkgpath>/*.go — all files are one
+// package, type-checked under the import path <pkgpath>, so analyzers
+// that gate on package paths (nodeterm's contract list, errshape's
+// internal/serve) can be pointed at any path shape. Imports are
+// limited to the standard library and resolved from compiled export
+// data (`go list -export`), which works offline.
+//
+// Findings flow through lint.Check, so corpora exercise the
+// suppression convention too: a `//scar:<key> <reason>` comment in a
+// corpus behaves exactly as it does under scarlint.
+package analysistest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"example.com/scar/tools/internal/lint"
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// stdPackages is the corpus import universe. Transitive dependencies
+// come along via -deps, so corpora may import anything these pull in.
+var stdPackages = []string{
+	"context", "crypto/rand", "errors", "fmt", "log", "math",
+	"math/rand", "math/rand/v2", "net/http", "os", "sort", "strings",
+	"sync", "time",
+}
+
+var (
+	exportOnce sync.Once
+	exportMap  map[string]string
+	exportErr  error
+)
+
+// stdExports locates compiled export data for the corpus import
+// universe, once per test binary.
+func stdExports() (map[string]string, error) {
+	exportOnce.Do(func() {
+		args := append([]string{"list", "-e", "-export", "-deps", "-json"}, stdPackages...)
+		out, err := exec.Command("go", args...).Output()
+		if err != nil {
+			exportErr = fmt.Errorf("go list -export std: %w", err)
+			return
+		}
+		exportMap = make(map[string]string)
+		dec := json.NewDecoder(strings.NewReader(string(out)))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				exportErr = err
+				return
+			}
+			if p.Export != "" {
+				exportMap[p.ImportPath] = p.Export
+			}
+		}
+	})
+	return exportMap, exportErr
+}
+
+// Run checks the analyzer's findings over <testdata>/src/<pkgpath>
+// against the corpus's `want` expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	dir := filepath.Join(testdata, "src", filepath.FromSlash(pkgpath))
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no corpus files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("corpus does not parse: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("corpus import %q outside the stdlib universe", path)
+		}
+		return os.Open(f)
+	})
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("corpus does not type-check: %v", err)
+	}
+
+	pkg := &lint.Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}
+	findings, err := lint.Check(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	got := make(map[key][]lint.Finding)
+	for _, f := range findings {
+		k := key{f.Pos.Filename, f.Pos.Line}
+		got[k] = append(got[k], f)
+	}
+
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, rx := range wants(t, c.Text) {
+					pos := fset.Position(c.Pos())
+					k := key{pos.Filename, pos.Line}
+					i := match(got[k], rx)
+					if i < 0 {
+						t.Errorf("%s:%d: no finding matching %q (have %v)", pos.Filename, pos.Line, rx, got[k])
+						continue
+					}
+					got[k] = append(got[k][:i], got[k][i+1:]...)
+				}
+			}
+		}
+	}
+	for _, fs := range got {
+		for _, f := range fs {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+}
+
+var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
+var quoteRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// wants extracts the compiled expectations from one comment's text.
+func wants(t *testing.T, comment string) []*regexp.Regexp {
+	t.Helper()
+	m := wantRE.FindStringSubmatch(comment)
+	if m == nil {
+		return nil
+	}
+	var rxs []*regexp.Regexp
+	for _, q := range quoteRE.FindAllString(m[1], -1) {
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("bad want pattern %s: %v", q, err)
+		}
+		rx, err := regexp.Compile(s)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", s, err)
+		}
+		rxs = append(rxs, rx)
+	}
+	return rxs
+}
+
+func match(fs []lint.Finding, rx *regexp.Regexp) int {
+	for i, f := range fs {
+		if rx.MatchString(f.Message) {
+			return i
+		}
+	}
+	return -1
+}

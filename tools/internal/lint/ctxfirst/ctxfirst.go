@@ -1,0 +1,81 @@
+// Package ctxfirst enforces the repo's context discipline (PR 4's API
+// redesign): a function that takes a context.Context takes it as its
+// first parameter, and no struct stores a context.Context — contexts
+// flow down call chains per request, they are not captured.
+//
+// The parameter rule applies to every function, method, interface
+// method, and function literal: the contract packages expose blocking
+// APIs through all of them, and a ctx buried mid-signature anywhere is
+// a latent copy-paste source. The struct rule's only sanctioned
+// escape is a `//scar:ctxfirst <reason>` suppression on a
+// request-scoped carrier (the documented exception in the context
+// package itself), which package lint verifies is load-bearing.
+package ctxfirst
+
+import (
+	"go/ast"
+	"go/types"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context must be the first parameter and must not be stored in structs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkParams(pass, n)
+			case *ast.StructType:
+				checkFields(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkParams(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	// Flatten the parameter list: `a, b int` is two parameters.
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isContext(pass, field.Type) && idx != 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		idx += n
+	}
+}
+
+func checkFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isContext(pass, field.Type) {
+			pass.Reportf(field.Pos(), "do not store context.Context in a struct; pass it explicitly per call")
+		}
+	}
+}
+
+// isContext reports whether the expression denotes context.Context.
+func isContext(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,12 @@
+package ctxfirst_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/ctxfirst"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxfirst.Analyzer, "ctxpkg")
+}

@@ -1,0 +1,42 @@
+// Corpus for the ctxfirst analyzer: the context discipline applies in
+// every package, so the import path here is arbitrary.
+package ctxpkg
+
+import "context"
+
+func good(ctx context.Context, n int) error { _, _ = ctx, n; return nil }
+
+func only(ctx context.Context) { _ = ctx }
+
+func none(a, b int) int { return a + b }
+
+func bad(n int, ctx context.Context) error { _, _ = ctx, n; return nil } // want "context.Context must be the first parameter"
+
+func multi(a, b int, ctx context.Context) { _, _, _ = a, b, ctx } // want "context.Context must be the first parameter"
+
+func unnamed(int, context.Context) {} // want "context.Context must be the first parameter"
+
+type API interface {
+	Do(ctx context.Context, id string) error
+	Redo(id string, ctx context.Context) error // want "context.Context must be the first parameter"
+}
+
+type callback func(n int, ctx context.Context) // want "context.Context must be the first parameter"
+
+func literals() {
+	ok := func(ctx context.Context, s string) { _, _ = ctx, s }
+	bad := func(s string, ctx context.Context) { _, _ = ctx, s } // want "context.Context must be the first parameter"
+	_, _ = ok, bad
+}
+
+type holder struct {
+	ctx context.Context // want "do not store context.Context in a struct"
+	n   int
+}
+
+type carrier struct {
+	ctx context.Context //scar:ctxfirst corpus: request-scoped carrier, the documented exception
+	n   int
+}
+
+func (c *carrier) use(ctx context.Context) { c.ctx = ctx }

@@ -1,0 +1,99 @@
+// Package errshape keeps the serve layer's wire contract unified:
+// every non-200 HTTP response is produced by the package's single
+// writeError helper, which renders the one documented JSON error shape
+// {error, status[, retry_after_sec]}. Inside internal/serve it forbids
+//
+//   - http.Error, which writes text/plain and bypasses the shape, and
+//   - explicit WriteHeader calls with anything but http.StatusOK
+//
+// except inside writeError itself (where the status write lives) and
+// inside WriteHeader methods (middleware decorators forwarding to the
+// wrapped ResponseWriter record the status, they do not originate it).
+package errshape
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errshape",
+	Doc:  "internal/serve must route every non-200 response through writeError",
+	Run:  run,
+}
+
+// servePackage reports whether the import path is the serve layer.
+func servePackage(path string) bool {
+	return strings.Contains("/"+path+"/", "/internal/serve/")
+}
+
+func run(pass *analysis.Pass) error {
+	if !servePackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if pass.IsPkgFunc(sel, "net/http", "Error") && name != "writeError" {
+			pass.Reportf(call.Pos(), "http.Error bypasses the unified JSON error shape; use writeError")
+			return true
+		}
+		if isWriteHeader(pass, sel) && name != "writeError" && name != "WriteHeader" &&
+			len(call.Args) == 1 && !isStatusOK(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "non-200 statuses must go through writeError, not a raw WriteHeader")
+		}
+		return true
+	})
+}
+
+// isWriteHeader matches a method call named WriteHeader taking one int
+// — the http.ResponseWriter shape — without requiring the receiver to
+// be the interface itself, so decorators and embedded writers match.
+func isWriteHeader(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Type() == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 {
+		return false
+	}
+	b, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int
+}
+
+// isStatusOK matches the literal 200 and the http.StatusOK constant
+// (directly or through any constant whose value is 200).
+func isStatusOK(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return tv.Value.String() == "200"
+}

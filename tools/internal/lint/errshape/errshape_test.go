@@ -1,0 +1,16 @@
+package errshape_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/errshape"
+)
+
+func TestServePackage(t *testing.T) {
+	analysistest.Run(t, "testdata", errshape.Analyzer, "internal/serve")
+}
+
+func TestOtherPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", errshape.Analyzer, "other")
+}

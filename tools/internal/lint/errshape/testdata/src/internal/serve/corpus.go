@@ -1,0 +1,44 @@
+// Corpus for the errshape analyzer: the import path ends in
+// internal/serve, so the wire-shape contract applies.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// writeError is the package's one status sink; the raw writes inside
+// it are the point of the exemption.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":%q,"status":%d}`, msg, status)
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "nope", http.StatusBadRequest) // want "http.Error bypasses the unified JSON error shape"
+	w.WriteHeader(http.StatusBadRequest)         // want "non-200 statuses must go through writeError"
+	w.WriteHeader(418)                           // want "non-200 statuses must go through writeError"
+}
+
+func handleVariable(w http.ResponseWriter, status int) {
+	w.WriteHeader(status) // want "non-200 statuses must go through writeError"
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(200)
+	writeError(w, http.StatusBadRequest, "routed properly")
+}
+
+// statusRecorder forwards the status it observes; WriteHeader
+// decorators record, they do not originate.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,10 @@
+// Corpus proving errshape's path gate: outside internal/serve the
+// analyzer stays silent.
+package other
+
+import "net/http"
+
+func free(w http.ResponseWriter) {
+	http.Error(w, "not the serve layer", http.StatusBadRequest)
+	w.WriteHeader(http.StatusTeapot)
+}

@@ -1,0 +1,185 @@
+// Package lint runs the scarlint analyzers over type-checked packages
+// and applies the repo's suppression convention.
+//
+// A finding of analyzer NAME at line L is silenced by a comment
+// `//scar:NAME <reason>` either trailing line L or alone on line L-1.
+// The reason is mandatory, and every suppression must be load-bearing:
+// a suppression that matches no finding of its analyzer is itself
+// reported, so stale annotations cannot accumulate as the code under
+// them changes. The reason text ends at an embedded `//`, which keeps
+// the testdata corpora's `// want` expectations out of the reason.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// Finding is one reported problem, positioned and attributed.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name, or "suppress" for
+	// problems with the suppression comments themselves.
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// SuppressMarker introduces a suppression comment: //scar:<key> <reason>.
+const SuppressMarker = "scar:"
+
+// suppressKey returns the analyzer's suppression keyword.
+func suppressKey(a *analysis.Analyzer) string {
+	if a.SuppressKey != "" {
+		return a.SuppressKey
+	}
+	return a.Name
+}
+
+// suppression is one parsed //scar:<name> <reason> comment.
+type suppression struct {
+	name   string
+	reason string
+	pos    token.Position // position of the comment itself
+	used   bool
+}
+
+// parseSuppressions extracts every //scar: comment from the package.
+// Malformed ones (unknown analyzer, missing reason) are reported
+// immediately and excluded from matching, so an invalid suppression
+// never silences anything.
+func parseSuppressions(pkg *Package, known map[string]bool, report func(Finding)) []*suppression {
+	var sups []*suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+SuppressMarker)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, rest, _ := strings.Cut(text, " ")
+				// The reason ends at a nested `//` so trailing
+				// machine-readable comments (test expectations)
+				// are not mistaken for justification text.
+				reason := rest
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !known[name]:
+					report(Finding{
+						Analyzer: "suppress",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//scar:%s does not name a scarlint analyzer", name),
+					})
+				case reason == "":
+					report(Finding{
+						Analyzer: "suppress",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//scar:%s needs a reason: //scar:%s <why this is safe>", name, name),
+					})
+				default:
+					sups = append(sups, &suppression{name: name, reason: reason, pos: pos})
+				}
+			}
+		}
+	}
+	return sups
+}
+
+// Check runs the analyzers over pkg and returns the surviving
+// findings: analyzer diagnostics minus valid suppressions, plus
+// problems with the suppressions themselves (malformed or not
+// load-bearing), sorted by position.
+func Check(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	var findings []Finding
+	report := func(f Finding) { findings = append(findings, f) }
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[suppressKey(a)] = true
+	}
+	sups := parseSuppressions(pkg, known, report)
+
+	for _, a := range analyzers {
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
+		}
+	diag:
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			for _, s := range sups {
+				if s.name == suppressKey(a) && s.pos.Filename == pos.Filename &&
+					(s.pos.Line == pos.Line || s.pos.Line == pos.Line-1) {
+					s.used = true
+					continue diag
+				}
+			}
+			report(Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+	}
+
+	for _, s := range sups {
+		if !s.used {
+			report(Finding{
+				Analyzer: "suppress",
+				Pos:      s.pos,
+				Message: fmt.Sprintf("//scar:%s is not load-bearing: no %s finding on this or the next line; delete it",
+					s.name, s.name),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// TestFile reports whether the file containing pos is a _test.go file.
+// Analyzers whose contract covers production code only (nodeterm) use
+// it to skip test files when a corpus or future loader includes them.
+func TestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

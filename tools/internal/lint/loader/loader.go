@@ -1,0 +1,126 @@
+// Package loader turns `go list` package patterns into type-checked
+// lint.Packages without importing anything beyond the standard
+// library: it shells out to `go list -e -export -deps -json` for
+// package metadata and compiled export data, parses each matched
+// package's sources, and type-checks them with an importer that reads
+// the export files go list reported. Dependencies are never re-parsed
+// — their types come from the same build cache the compiler filled —
+// so loading stays fast and works offline.
+package loader
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"example.com/scar/tools/internal/lint"
+)
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns in dir and returns the matched (non-dependency)
+// packages, parsed and type-checked, sorted by import path.
+func Load(dir string, patterns ...string) ([]*lint.Package, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w", strings.Join(patterns, " "), err)
+	}
+
+	exports := make(map[string]string)
+	var roots []*listPackage
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (does the tree build?)", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*lint.Package
+	for _, p := range roots {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one package from source against the
+// export data of its dependencies.
+func check(fset *token.FileSet, imp types.Importer, p *listPackage) (*lint.Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(p.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %w", p.ImportPath, errors.Join(typeErrs...))
+	}
+	return &lint.Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, nil
+}

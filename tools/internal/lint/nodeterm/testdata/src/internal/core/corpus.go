@@ -1,0 +1,130 @@
+// Corpus for the nodeterm analyzer: this package's import path ends
+// in internal/core, so the determinism contract applies.
+package core
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+	"sort"
+	"time"
+)
+
+// --- wall clock ---
+
+func clocks() {
+	_ = time.Now()                       // want "time.Now reads the wall clock"
+	_ = time.Since(time.Unix(0, 0))      // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond)         // want "time.Sleep reads the wall clock"
+	_ = time.After(time.Second)          // want "time.After reads the wall clock"
+	_ = time.Unix(0, 0).Add(time.Second) // pure conversions and arithmetic are fine
+	_ = 3 * time.Second
+}
+
+// --- RNG ---
+
+func rngs() {
+	_ = rand.Intn(10)     // want "process-global stream"
+	rand.Shuffle(3, swap) // want "process-global stream"
+	_ = randv2.IntN(10)   // want "process-global stream"
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want "crypto/rand.Read is nondeterministic by design"
+
+	seeded := rand.New(rand.NewSource(42)) // seeded construction is the sanctioned form
+	_ = seeded.Intn(10)
+	pcg := randv2.New(randv2.NewPCG(1, 2))
+	_ = pcg.IntN(10)
+}
+
+func swap(i, j int) {}
+
+// A local variable named like the package must not be confused with it.
+func shadowed() {
+	type fake struct{ Intn func(int) int }
+	rand := fake{Intn: func(n int) int { return 0 }}
+	_ = rand.Intn(10) // resolved to the local, not math/rand
+}
+
+// --- select ---
+
+func selects(a, b chan int) {
+	select { // want "select over 2 channels resolves by uniform choice"
+	case <-a:
+	case <-b:
+	}
+	select { // single comm case plus default polls deterministically
+	case <-a:
+	default:
+	}
+}
+
+// --- map ranges ---
+
+func mapRanges(m map[int]float64, counts map[string]int) {
+	var fsum float64
+	for _, v := range m { // want "range over map has nondeterministic iteration order"
+		fsum += v // float addition is order-sensitive
+	}
+
+	var n, isum int
+	for _, c := range counts { // integer accumulation commutes
+		n++
+		isum += c
+	}
+
+	keys := make([]int, 0, len(m))
+	for k := range m { // collect-then-sort idiom
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	scaled := make(map[int]float64, len(m))
+	for k, v := range m { // transposition writes each key's own slot
+		scaled[k] = v * 2
+	}
+
+	for k, v := range m { // want "range over map has nondeterministic iteration order"
+		scaled[k] = fsum + v // reading its own accumulation does not commute
+		fsum += 1
+	}
+
+	for k := range counts { // shrinking the map commutes
+		delete(counts, k)
+	}
+
+	var out []int
+	for k, v := range m { // want "range over map has nondeterministic iteration order"
+		_ = v
+		out = append(out, k*2) // appending a derived value depends on order
+	}
+	_ = out
+}
+
+func existential(bounds map[int]float64, lat map[int]float64) float64 {
+	for mi, bound := range bounds { // early-return with invariant result commutes
+		if l, ok := lat[mi]; ok && l > bound {
+			return -1
+		}
+	}
+	for mi, bound := range bounds { // want "range over map has nondeterministic iteration order"
+		if l, ok := lat[mi]; ok && l > bound {
+			return bound // returning the triggering entry does not commute
+		}
+	}
+	return 0
+}
+
+// --- suppressions ---
+
+func suppressed() {
+	_ = time.Now() //scar:nondeterm corpus: wall-clock metadata outside the replay contract
+	//scar:nondeterm corpus: suppression on the preceding line also applies
+	_ = time.Now()
+
+	_ = time.Now() //scar:nondeterm // want "needs a reason" "time.Now reads the wall clock"
+
+	x := 1 //scar:nondeterm stale excuse // want "not load-bearing"
+	_ = x
+
+	_ = time.Now() //scar:bogus whatever // want "does not name a scarlint analyzer" "time.Now reads the wall clock"
+}

@@ -1,0 +1,15 @@
+// Corpus for nodeterm outside the contract packages: wall clocks and
+// global RNG are legal here, and a stray suppression is dead weight.
+package plain
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free() {
+	_ = time.Now()    // not a contract package
+	_ = rand.Intn(10) // not a contract package
+
+	_ = time.Now() //scar:nondeterm pointless here // want "not load-bearing"
+}

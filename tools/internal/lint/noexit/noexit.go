@@ -1,0 +1,42 @@
+// Package noexit forbids process termination outside entry-point
+// packages: a library that calls os.Exit or log.Fatal* skips deferred
+// cleanup (the serve layer's graceful drain, costdb persistence) and
+// takes the whole daemon down to report one error. Libraries return
+// errors; only package main (cmd/ and examples/) decides to exit.
+package noexit
+
+import (
+	"go/ast"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "noexit",
+	Doc:  "no os.Exit or log.Fatal* outside package main",
+	Run:  run,
+}
+
+var fatal = map[string]bool{"Fatal": true, "Fatalf": true, "Fatalln": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if pass.IsPkgFunc(sel, "os", "Exit") {
+				pass.Reportf(sel.Pos(), "os.Exit in a library skips deferred cleanup; return an error and let package main exit")
+			}
+			if pn := pass.PkgNameOf(sel.X); pn != nil && pn.Imported().Path() == "log" && fatal[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(), "log.%s exits the process from a library; return an error instead", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package noexit_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/noexit"
+)
+
+func TestLibrary(t *testing.T) {
+	analysistest.Run(t, "testdata", noexit.Analyzer, "lib")
+}
+
+func TestPackageMain(t *testing.T) {
+	analysistest.Run(t, "testdata", noexit.Analyzer, "mainpkg")
+}

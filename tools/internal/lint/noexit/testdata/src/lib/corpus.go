@@ -1,0 +1,19 @@
+// Corpus for the noexit analyzer: a library package.
+package lib
+
+import (
+	"log"
+	"os"
+)
+
+func bail(err error) {
+	log.Printf("fine: %v", err) // logging without exiting is fine
+	log.Fatal(err)              // want "log.Fatal exits the process from a library"
+	log.Fatalf("%v", err)       // want "log.Fatalf exits the process from a library"
+	log.Fatalln(err)            // want "log.Fatalln exits the process from a library"
+	os.Exit(1)                  // want "os.Exit in a library skips deferred cleanup"
+}
+
+func sanctioned() {
+	os.Exit(3) //scar:noexit corpus: test binary exit code contract
+}

@@ -1,0 +1,12 @@
+// Corpus proving noexit's package-main gate: entry points may exit.
+package main
+
+import (
+	"log"
+	"os"
+)
+
+func main() {
+	log.Fatal("entry points decide the exit")
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+package lint
+
+import (
+	"example.com/scar/tools/internal/lint/analysis"
+	"example.com/scar/tools/internal/lint/ctxfirst"
+	"example.com/scar/tools/internal/lint/errshape"
+	"example.com/scar/tools/internal/lint/nodeterm"
+	"example.com/scar/tools/internal/lint/noexit"
+)
+
+// All returns the scarlint analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxfirst.Analyzer,
+		errshape.Analyzer,
+		nodeterm.Analyzer,
+		noexit.Analyzer,
+	}
+}
