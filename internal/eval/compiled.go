@@ -283,9 +283,11 @@ type WindowEval struct {
 
 // bucket groups the window's segments by model (sorted by first layer)
 // into the scratch and returns the window's layer count.
+//
+//scar:hotpath
 func (c *Compiled) bucket(s *Scratch, segs []Segment) int {
 	if s.owner != c {
-		panic(fmt.Sprintf("eval: Scratch for session %p used with session %p", s.owner, c))
+		panic(fmt.Sprintf("eval: Scratch for session %p used with session %p", s.owner, c)) //scar:hotalloc invariant-violation panic: the process is already dead, allocation cost is irrelevant
 	}
 	nm := len(c.models)
 	for mi := 0; mi <= nm; mi++ {
@@ -301,7 +303,7 @@ func (c *Compiled) bucket(s *Scratch, segs []Segment) int {
 		s.cursor[mi] = s.segOff[mi]
 	}
 	if cap(s.segs) < len(segs) {
-		s.segs = make([]Segment, len(segs))
+		s.segs = make([]Segment, len(segs)) //scar:hotalloc scratch growth: amortized to zero once the scratch has seen the largest window
 	}
 	s.segs = s.segs[:len(segs)]
 	for _, seg := range segs {
@@ -325,6 +327,8 @@ func (c *Compiled) bucket(s *Scratch, segs []Segment) int {
 // pipeline stages and counts the window's concurrent flows: every
 // stage-to-stage hop is a NoP flow; every stage's weight load plus every
 // model's boundary input/output is an off-chip stream.
+//
+//scar:hotpath
 func (c *Compiled) group(s *Scratch) (crossFlows, offFlows int) {
 	s.stages = s.stages[:0]
 	for mi := range c.models {
@@ -336,7 +340,7 @@ func (c *Compiled) group(s *Scratch) (crossFlows, offFlows int) {
 				s.stages[n-1].segEnd = i + 1
 				continue
 			}
-			s.stages = append(s.stages, stageSpan{chiplet: seg.Chiplet, segStart: i, segEnd: i + 1})
+			s.stages = append(s.stages, stageSpan{chiplet: seg.Chiplet, segStart: i, segEnd: i + 1}) //scar:hotalloc scratch growth: amortized to zero once the scratch has seen the stage-richest window
 		}
 		s.stageCount[mi] = len(s.stages) - start
 		if s.stageCount[mi] == 0 {
@@ -355,6 +359,8 @@ func (c *Compiled) group(s *Scratch) (crossFlows, offFlows int) {
 
 // factors converts flow counts to the window's delta contention factors
 // (Section III-E).
+//
+//scar:hotpath
 func (c *Compiled) factors(crossFlows, offFlows int) (nop, off float64) {
 	if crossFlows > 1 {
 		nop = c.opts.NoPContentionAlpha * float64(crossFlows-1)
@@ -368,6 +374,8 @@ func (c *Compiled) factors(crossFlows, offFlows int) (nop, off float64) {
 // miniBatch computes b' (Section III-E) for model mi: multi-stage
 // pipelines stream per-sample; a single stage runs the largest mini-batch
 // whose activations stay L2-resident (precomputed per layer and class).
+//
+//scar:hotpath
 func (c *Compiled) miniBatch(s *Scratch, mi int) int {
 	cm := &c.models[mi]
 	if s.stageCount[mi] != 1 {
@@ -395,6 +403,8 @@ func (c *Compiled) miniBatch(s *Scratch, mi int) int {
 // accumulation and per-chiplet busy time. When timings is non-nil, stage
 // timings are appended to it (the cold path behind WindowTimings); the
 // hot path passes nil and allocates nothing.
+//
+//scar:hotpath
 func (c *Compiled) modelPass(s *Scratch, mi int, nopC, offC float64, timings *[]StageTiming) (modelLat, energyPJ float64) {
 	cm := &c.models[mi]
 	bp := c.miniBatch(s, mi)
@@ -453,15 +463,15 @@ func (c *Compiled) modelPass(s *Scratch, mi int, nopC, offC float64, timings *[]
 		energyPJ += stageE
 
 		if s.busy[st.chiplet] == 0 {
-			s.busyTouched = append(s.busyTouched, st.chiplet)
+			s.busyTouched = append(s.busyTouched, st.chiplet) //scar:hotalloc never grows: NewScratch caps busyTouched at NumChiplets and at most one entry per chiplet is appended
 		}
 		s.busy[st.chiplet] += wload.Seconds + float64(passes)*passLat
 
 		if timings != nil {
-			*timings = append(*timings, StageTiming{
+			*timings = append(*timings, StageTiming{ //scar:hotalloc cold trace branch: the hot path passes timings == nil and never enters this block
 				Model:      mi,
 				Chiplet:    st.chiplet,
-				Segments:   append([]Segment(nil), s.segs[st.segStart:st.segEnd]...),
+				Segments:   append([]Segment(nil), s.segs[st.segStart:st.segEnd]...), //scar:hotalloc cold trace branch: only reached when the caller asked for materialized stage timings
 				WeightSec:  wload.Seconds,
 				FirstStart: start,
 				FirstEnd:   start + passLat,
@@ -488,6 +498,8 @@ func (c *Compiled) modelPass(s *Scratch, mi int, nopC, offC float64, timings *[]
 
 // windowInto evaluates a window's segments, leaving per-model latencies
 // in the scratch; timings optionally collects stage timings.
+//
+//scar:hotpath
 func (c *Compiled) windowInto(s *Scratch, segs []Segment, timings *[]StageTiming) WindowEval {
 	we := WindowEval{NumLayers: c.bucket(s, segs)}
 	nopC, offC := c.factors(c.group(s))
@@ -522,6 +534,8 @@ func (c *Compiled) windowInto(s *Scratch, segs []Segment, timings *[]StageTiming
 // busy time, and energy as the sum of all compute and communication
 // energies. It is the zero-allocation hot path: all state lives in the
 // scratch, whose per-model latencies remain readable until its next use.
+//
+//scar:hotpath
 func (c *Compiled) WindowEval(s *Scratch, w TimeWindow) WindowEval {
 	return c.windowInto(s, w.Segments, nil)
 }

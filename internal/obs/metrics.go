@@ -217,13 +217,17 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 
 // Add increments the counter by d (d must be >= 0 for Prometheus
 // semantics; this is not enforced on the hot path).
+//
+//scar:hotpath
 func (c *Counter) Add(d int64) {
-	s := c.reg.pool.Get().(*slot)
+	s := c.reg.pool.Get().(*slot) //scar:hotalloc pool.New runs once per P on first use; steady-state Gets return the pooled slot (pinned by TestMetricRecordingZeroAllocs)
 	c.shards[s.idx&c.mask].n.Add(d)
 	c.reg.pool.Put(s)
 }
 
 // Inc adds one.
+//
+//scar:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value merges every shard.
@@ -254,6 +258,8 @@ func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
 }
 
 // Set stores v.
+//
+//scar:hotpath
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds d (CAS loop; gauges are cold, contention is irrelevant).
@@ -352,12 +358,14 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 
 // Observe records v: one add on the bucket cell, one float add on the
 // sum cell, both in the writer's own shard. Allocation-free.
+//
+//scar:hotpath
 func (h *Histogram) Observe(v float64) {
 	// sort.SearchFloat64s is a binary search (no allocation): the first
 	// bound >= v is exactly the Prometheus le-bucket; past the last
 	// bound the index lands on the +Inf cell.
 	b := sort.SearchFloat64s(h.bounds, v)
-	s := h.reg.pool.Get().(*slot)
+	s := h.reg.pool.Get().(*slot) //scar:hotalloc pool.New runs once per P on first use; steady-state Gets return the pooled slot (pinned by TestMetricRecordingZeroAllocs)
 	base := int(s.idx&h.mask) * h.stride
 	h.cells[base+b].Add(1)
 	sum := &h.cells[base+h.sumOff]

@@ -77,13 +77,28 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/schedule", s.instrument("schedule", s.handleSchedule))
 	mux.HandleFunc("/simulate", s.instrument("simulate", s.handleSimulate))
-	mux.HandleFunc("/stats", s.instrument("stats", s.handleStats))
-	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/stats", s.instrument("stats", getOnly(s.handleStats)))
+	mux.HandleFunc("/healthz", s.instrument("healthz", getOnly(s.handleHealthz)))
 	if s.exposeMetrics {
-		mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
-		mux.HandleFunc("/trace", s.instrument("trace", s.handleTrace))
+		mux.HandleFunc("/metrics", s.instrument("metrics", getOnly(s.handleMetrics)))
+		mux.HandleFunc("/trace", s.instrument("trace", getOnly(s.handleTrace)))
 	}
 	return mux
+}
+
+// getOnly is the one method guard every read-only endpoint shares:
+// /healthz used to answer 200 to any verb while /stats answered 405,
+// an inconsistency probes could mask real breakage behind. Guarding in
+// one place keeps the 405 answer — status, JSON shape, message —
+// identical across endpoints by construction.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // healthzResponse is the GET /healthz body: liveness plus readiness.
@@ -99,13 +114,6 @@ type healthzResponse struct {
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	// Same method guard as every other GET endpoint: /healthz used to
-	// answer 200 to any verb while /stats answered 405, an inconsistency
-	// probes could mask real breakage behind.
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
-		return
-	}
 	resp := healthzResponse{Status: "ok"}
 	if s.searchSem != nil {
 		resp.SearchSlots = cap(s.searchSem)
@@ -259,20 +267,12 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
-		return
-	}
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // handleMetrics serves the registry in the Prometheus text exposition
 // format (version 0.0.4). Mounted only when Config.ExposeMetrics.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_ = s.o.Metrics.WritePrometheus(w)
@@ -282,10 +282,6 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // JSON — save the body and open it in chrome://tracing or Perfetto.
 // Mounted only when Config.ExposeMetrics.
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"), 0)
-		return
-	}
 	if s.o.Tracer == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("tracing disabled (-trace-buffer 0)"), 0)
 		return

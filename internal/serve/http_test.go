@@ -259,3 +259,50 @@ func TestHTTPStatsExposesShardFields(t *testing.T) {
 		}
 	}
 }
+
+// TestHTTPReadOnlyMethodGuardShape pins the shared getOnly guard: every
+// read-only endpoint answers a non-GET verb with the identical 405 wire
+// shape — writeError's {"error", "status"} JSON — so probes cannot mask
+// breakage behind a verb-dependent 200 (the pre-PR-8 /healthz bug) and
+// clients can rely on one error schema across endpoints.
+func TestHTTPReadOnlyMethodGuardShape(t *testing.T) {
+	srv := httptest.NewServer(obsService().Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/healthz", "/stats", "/metrics", "/trace"} {
+		for _, method := range []string{http.MethodPost, http.MethodPut, http.MethodDelete} {
+			req, err := http.NewRequest(method, srv.URL+path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			_, readErr := buf.ReadFrom(resp.Body)
+			resp.Body.Close()
+			if readErr != nil {
+				t.Fatal(readErr)
+			}
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+				continue
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Errorf("%s %s: content type %q, want application/json", method, path, ct)
+			}
+			var raw map[string]any
+			if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+				t.Errorf("%s %s: 405 body not JSON: %v\n%s", method, path, err, buf.Bytes())
+				continue
+			}
+			if raw["error"] != "use GET" || raw["status"] != float64(http.StatusMethodNotAllowed) {
+				t.Errorf("%s %s: 405 body %s, want {\"error\":\"use GET\",\"status\":405}", method, path, buf.Bytes())
+			}
+			if _, ok := raw["retry_after_sec"]; ok {
+				t.Errorf("%s %s: 405 body leaks retry_after_sec", method, path)
+			}
+		}
+	}
+}

@@ -154,16 +154,24 @@ func newShardedCache(shards int, maxEntries int) *shardedCache {
 }
 
 // shardIndex hashes the key onto a shard.
+//
+//scar:hotpath
 func (c *shardedCache) shardIndex(key string) uint64 {
 	return maphash.String(c.seed, key) & c.mask
 }
 
+//scar:hotpath
 func (c *shardedCache) counters(key string) *counterBlock {
 	return &c.stats[c.shardIndex(key)]
 }
 
 func (c *shardedCache) simCounter() *counterBlock { return &c.sim }
 
+// lookupOrStart's hit path — the singleflight fast path every cached
+// request takes — must not allocate; only the miss path below the
+// early return constructs state.
+//
+//scar:hotpath
 func (c *shardedCache) lookupOrStart(key string) (*entry, bool) {
 	sh := c.shards[c.shardIndex(key)]
 	sh.mu.Lock()
@@ -174,7 +182,7 @@ func (c *shardedCache) lookupOrStart(key string) (*entry, bool) {
 		sh.mu.Unlock()
 		return e, false
 	}
-	e := &entry{done: make(chan struct{}), key: key}
+	e := &entry{done: make(chan struct{}), key: key} //scar:hotalloc miss path: constructs the in-flight entry once per search; cache hits return above
 	sh.entries[key] = e
 	sh.mu.Unlock()
 	c.inflight.Add(1)

@@ -417,3 +417,31 @@ func TestSingleMutexServiceStillCorrect(t *testing.T) {
 		t.Errorf("legacy sizes: cached=%d inflight=%d", st.CachedSchedules, st.InflightSearches)
 	}
 }
+
+// TestShardCacheHitZeroAllocs pins the //scar:hotpath contract on the
+// singleflight hit path at runtime (hotalloc proves it statically):
+// looking up a completed entry and bumping the shard's hot counters
+// must not allocate.
+func TestShardCacheHitZeroAllocs(t *testing.T) {
+	c := newShardedCache(8, 16)
+	const key = "alloc-pin"
+	e, created := c.lookupOrStart(key)
+	if !created {
+		t.Fatal("first lookup did not create the entry")
+	}
+	c.complete(key, e)
+	close(e.done)
+	if n := testing.AllocsPerRun(1000, func() {
+		got, created := c.lookupOrStart(key)
+		if created || got != e {
+			t.Fatal("lookup did not hit the completed entry")
+		}
+	}); n != 0 {
+		t.Errorf("lookupOrStart hit path allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		c.counters(key).requests.Add(1)
+	}); n != 0 {
+		t.Errorf("counter lookup+increment allocates %v/op, want 0", n)
+	}
+}

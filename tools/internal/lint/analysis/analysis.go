@@ -17,6 +17,16 @@ import (
 	"go/types"
 )
 
+// PkgInfo is one loaded, type-checked package. The lint package's
+// Package type aliases it; it lives here so Pass can carry the whole
+// module's packages without an import cycle.
+type PkgInfo struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
 // Analyzer describes one named check.
 type Analyzer struct {
 	// Name identifies the analyzer in output. It must be a valid Go
@@ -45,6 +55,44 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// All is every module package loaded in this run, the analyzed
+	// package included, for interprocedural analyses (hotalloc's
+	// module call graph). Under analysistest it holds only the
+	// package under test. All packages share Fset.
+	All []*PkgInfo
+
+	// Escapes carries compiler escape-analysis facts for the analyzed
+	// module, or nil when unavailable (golden-corpus runs); analyzers
+	// that use it must degrade to their AST-level checks when nil.
+	Escapes *EscapeFacts
+}
+
+// HeapSite is one compiler diagnostic proving a heap allocation.
+type HeapSite struct {
+	Line    int
+	Col     int
+	Message string // e.g. "make([]Segment, len(segs)) escapes to heap"
+}
+
+// EscapeFacts indexes `go build -gcflags=-m=2` heap diagnostics by
+// absolute source path. The gc toolchain replays cached compile
+// diagnostics, so facts are complete even on a warm build cache.
+type EscapeFacts struct {
+	Sites map[string][]HeapSite // abs file path -> sites sorted by line, col
+}
+
+// Range returns the heap sites in file between startLine and endLine
+// inclusive. file must be absolute (as token.Position.Filename is for
+// loader-loaded packages).
+func (e *EscapeFacts) Range(file string, startLine, endLine int) []HeapSite {
+	var out []HeapSite
+	for _, s := range e.Sites[file] {
+		if s.Line >= startLine && s.Line <= endLine {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // Reportf reports a diagnostic at pos with a formatted message.

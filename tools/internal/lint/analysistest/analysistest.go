@@ -46,7 +46,7 @@ import (
 var stdPackages = []string{
 	"context", "crypto/rand", "errors", "fmt", "log", "math",
 	"math/rand", "math/rand/v2", "net/http", "os", "sort", "strings",
-	"sync", "time",
+	"sync", "sync/atomic", "time",
 }
 
 var (
@@ -165,8 +165,10 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
 	}
 }
 
-var wantRE = regexp.MustCompile(`want((?:\s+"(?:[^"\\]|\\.)*")+)`)
-var quoteRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+// Expectations may be double-quoted (escapes interpreted) or
+// backquoted (raw, for patterns full of backslashes), as in x/tools.
+var wantRE = regexp.MustCompile("want((?:\\s+(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`))+)")
+var quoteRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
 // wants extracts the compiled expectations from one comment's text.
 func wants(t *testing.T, comment string) []*regexp.Regexp {

@@ -1,0 +1,282 @@
+// Package atomicsafe enforces the two atomicity conventions the repo
+// relies on for its sharded counters and padded atomic blocks:
+//
+//  1. all-or-nothing atomics: a variable whose address is passed to a
+//     sync/atomic package function anywhere in the package must be
+//     accessed through sync/atomic everywhere — one plain read or
+//     write next to atomic.AddInt64 is a data race the race detector
+//     only catches if the schedule cooperates. (Typed atomics —
+//     atomic.Int64 and friends — make mixed access unrepresentable
+//     and are the preferred fix.)
+//
+//  2. no copying lock-bearing values: a value whose type transitively
+//     contains a sync primitive or a typed atomic must not be copied
+//     — by assignment from an existing value, by passing or returning
+//     by value, by a range clause, or by a value receiver. The copy
+//     forks the lock/counter state; both halves silently diverge.
+//
+// Construction is not copying: composite literals and call results
+// assigned to a fresh variable are allowed.
+package atomicsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// Analyzer reports mixed atomic/plain access and by-value copies of
+// atomic- or lock-bearing structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicsafe",
+	Doc:  "variables accessed with sync/atomic must be accessed atomically everywhere; structs containing atomics/mutexes must never be copied by value",
+	Run:  run,
+}
+
+// nocopyNames are the sync and sync/atomic types that must never be
+// copied once placed.
+var nocopyNames = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Cond": true, "sync.Once": true, "sync.Pool": true, "sync.Map": true,
+	"sync/atomic.Bool": true, "sync/atomic.Int32": true, "sync/atomic.Int64": true,
+	"sync/atomic.Uint32": true, "sync/atomic.Uint64": true, "sync/atomic.Uintptr": true,
+	"sync/atomic.Pointer": true, "sync/atomic.Value": true,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	checkCopies(pass)
+	return nil
+}
+
+// checkMixedAccess implements rule 1.
+func checkMixedAccess(pass *analysis.Pass) {
+	type span struct{ start, end token.Pos }
+	var (
+		sites    = make(map[*types.Var][]token.Pos) // var -> atomic access sites
+		addrArgs []span                             // &x subtrees passed to sync/atomic
+	)
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // typed-atomic methods cannot be mixed with plain access
+			}
+			addr := call.Args[0]
+			addrArgs = append(addrArgs, span{addr.Pos(), addr.End()})
+			if v := addrVar(pass.TypesInfo, addr); v != nil {
+				sites[v] = append(sites[v], call.Pos())
+			}
+			return true
+		})
+	}
+	if len(sites) == 0 {
+		return
+	}
+	for _, ps := range sites {
+		sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	}
+	inAtomicArg := func(pos token.Pos) bool {
+		for _, s := range addrArgs {
+			if pos >= s.start && pos < s.end {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			ps, tracked := sites[v]
+			if !tracked || inAtomicArg(id.Pos()) {
+				return true
+			}
+			ref := pass.Fset.Position(ps[0])
+			pass.Reportf(id.Pos(), "plain access to %s races with its sync/atomic access at %s:%d; use sync/atomic everywhere (or a typed atomic)",
+				id.Name, base(ref.Filename), ref.Line)
+			return true
+		})
+	}
+}
+
+// checkCopies implements rule 2.
+func checkCopies(pass *analysis.Pass) {
+	display := func(t types.Type) string {
+		return types.TypeString(t, types.RelativeTo(pass.Pkg))
+	}
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) == 1 {
+					rt := n.Recv.List[0].Type
+					if _, isPtr := rt.(*ast.StarExpr); !isPtr {
+						if tv, ok := pass.TypesInfo.Types[rt]; ok && tv.Type != nil {
+							if inner, bad := nocopy(tv.Type, nil); bad {
+								pass.Reportf(rt.Pos(), "value receiver copies %s (contains %s) on every call; use a pointer receiver",
+									display(tv.Type), inner)
+							}
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, rhs := range n.Rhs {
+						// Assigning to _ retains nothing; the idiom
+						// is not a diverging copy.
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+						reportCopy(pass, rhs, "assignment copies", display)
+					}
+				}
+			case *ast.CallExpr:
+				if tv, ok := pass.TypesInfo.Types[n.Fun]; ok && tv.IsType() {
+					return true // conversion, not a call
+				}
+				for _, arg := range n.Args {
+					reportCopy(pass, arg, "call passes by value", display)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					reportCopy(pass, res, "return copies", display)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := typeOfExpr(pass.TypesInfo, n.Value); t != nil {
+						if inner, bad := nocopy(t, nil); bad {
+							pass.Reportf(n.Value.Pos(), "range clause copies %s (contains %s); iterate by index or over pointers",
+								display(t), inner)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportCopy flags expr when it reads an existing nocopy value by
+// value. Fresh construction (composite literals, call results) is
+// allowed.
+func reportCopy(pass *analysis.Pass, expr ast.Expr, what string, display func(types.Type) string) {
+	switch ast.Unparen(expr).(type) {
+	case *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit:
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if inner, bad := nocopy(tv.Type, nil); bad {
+		pass.Reportf(expr.Pos(), "%s %s (contains %s); pass a pointer instead", what, display(tv.Type), inner)
+	}
+}
+
+// nocopy reports whether t transitively contains a sync primitive or
+// typed atomic, naming the first one found.
+func nocopy(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if seen[t] {
+		return "", false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		key := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+		if nocopyNames[key] {
+			return key, true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if inner, bad := nocopy(u.Field(i).Type(), seen); bad {
+				return inner, true
+			}
+		}
+	case *types.Array:
+		return nocopy(u.Elem(), seen)
+	}
+	return "", false
+}
+
+func typeOfExpr(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// addrVar resolves the variable whose address &x takes, or nil.
+func addrVar(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	switch e := ast.Unparen(u.X).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, n *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func base(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package atomicsafe_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/atomicsafe"
+)
+
+func TestAtomicsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicsafe.Analyzer, "internal/atomics")
+}

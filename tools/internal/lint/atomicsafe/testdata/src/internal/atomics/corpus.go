@@ -1,0 +1,108 @@
+// Corpus for the atomicsafe analyzer: all-or-nothing sync/atomic
+// access, and no by-value copies of atomic- or lock-bearing structs.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n    int64 // accessed atomically in bump: every access must be atomic
+	safe int64 // never accessed atomically: plain access is fine
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) atomicRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want "plain access to n races with its sync/atomic access"
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want "plain access to n races with its sync/atomic access"
+}
+
+func (c *counter) plainOK() int64 {
+	c.safe++
+	return c.safe
+}
+
+type guarded struct {
+	mu sync.Mutex
+	v  atomic.Int64
+	n  int
+}
+
+// wrapper embeds a nocopy type one level down; copies are still
+// findings.
+type wrapper struct {
+	g guarded
+}
+
+func copyAssign(g *guarded) {
+	x := *g // want `assignment copies guarded \(contains sync.Mutex\)`
+	_ = x
+}
+
+func sink(guarded) {}
+
+func copyArg(g *guarded) {
+	sink(*g) // want `call passes by value guarded \(contains sync.Mutex\)`
+}
+
+func copyReturn(g *guarded) guarded {
+	return *g // want `return copies guarded \(contains sync.Mutex\)`
+}
+
+func (g guarded) bad() {} // want `value receiver copies guarded \(contains sync.Mutex\)`
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want `range clause copies guarded \(contains sync.Mutex\)`
+		_ = g
+	}
+}
+
+func nestedCopy(w *wrapper) wrapper {
+	return *w // want `return copies wrapper \(contains sync.Mutex\)`
+}
+
+// Atomic-only structs are nocopy too: a copied atomic.Int64 forks the
+// counter.
+type stats struct {
+	hits atomic.Int64
+}
+
+func copyStats(s *stats) stats {
+	return *s // want `return copies stats \(contains sync/atomic.Int64\)`
+}
+
+// Construction is not copying.
+func construct() guarded {
+	return guarded{}
+}
+
+func pointerOK(g *guarded) *guarded {
+	g.mu.Lock()
+	g.mu.Unlock()
+	return g
+}
+
+func indexOK(gs []guarded) int {
+	total := 0
+	for i := range gs {
+		total += gs[i].n
+	}
+	return total
+}
+
+// A documented exception carries a suppression with a reason.
+func snapshotSuppressed(s *stats) int64 {
+	copied := *s //scar:atomicsafe one-shot test-fixture snapshot taken before any goroutine shares s
+	return copied.hits.Load()
+}

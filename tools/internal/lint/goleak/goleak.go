@@ -1,0 +1,213 @@
+// Package goleak requires every go statement outside package main to
+// have a provably bounded lifetime. A fire-and-forget goroutine in a
+// library package outlives its request, pins its captures, and leaks
+// under load; the repo's convention is that every spawn carries one
+// of three shapes of completion evidence in the spawned body (or,
+// transitively, in a same-module function it calls):
+//
+//   - a reachable sync.WaitGroup.Done (the pool/fan-out shape)
+//   - a ctx.Done() wait (the cancellation-scoped worker shape)
+//   - a channel completion signal: send, receive, close, or ranging
+//     over a channel (the bounded pipeline shape — the peer side
+//     bounds the goroutine's life)
+//
+// A go statement whose body cannot be resolved (a function value or
+// an interface method) cannot be proven bounded and is a finding.
+// package main and test files are exempt: a process-lifetime daemon
+// loop belongs in main, not in a library.
+package goleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// Analyzer rejects library goroutines without bounded-lifetime
+// evidence.
+var Analyzer = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement outside package main needs a provably bounded lifetime: WaitGroup.Done, ctx.Done wait, or a channel completion signal",
+	Run:  run,
+}
+
+// einfo is one function body's evidence summary.
+type einfo struct {
+	ok    bool            // direct evidence in the body
+	calls map[string]bool // module callees by FullName
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	module := make(map[string]bool, len(pass.All))
+	for _, p := range pass.All {
+		module[p.Pkg.Path()] = true
+	}
+
+	// Evidence summaries for every module function, closed over the
+	// call graph: a goroutine that calls a function that waits on
+	// ctx.Done is bounded too.
+	ev := make(map[string]*einfo)
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			if testFile(p.Fset, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Body == nil {
+					continue
+				}
+				fn, _ := p.TypesInfo.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				ev[fn.FullName()] = analyze(p.TypesInfo, d.Body, module)
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range ev {
+			if e.ok {
+				continue
+			}
+			for c := range e.calls {
+				if ce, ok := ev[c]; ok && ce.ok {
+					e.ok = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	bounded := func(e *einfo) bool {
+		if e.ok {
+			return true
+		}
+		for c := range e.calls {
+			if ce, ok := ev[c]; ok && ce.ok {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			switch fun := ast.Unparen(g.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if !bounded(analyze(pass.TypesInfo, fun.Body, module)) {
+					pass.Reportf(g.Pos(), "goroutine has no provable bounded lifetime: no WaitGroup.Done, ctx.Done wait, or channel completion signal in its body")
+				}
+			default:
+				fn := calleeFunc(pass.TypesInfo, g.Call)
+				if fn == nil || fn.Pkg() == nil || !module[fn.Pkg().Path()] {
+					pass.Reportf(g.Pos(), "goroutine body cannot be resolved (function value or non-module callee); bounded lifetime is unprovable")
+					return true
+				}
+				e, ok := ev[fn.FullName()]
+				if !ok {
+					pass.Reportf(g.Pos(), "goroutine body %s cannot be analyzed (interface or dynamic method); bounded lifetime is unprovable", fn.Name())
+					return true
+				}
+				if !e.ok {
+					pass.Reportf(g.Pos(), "goroutine %s has no provable bounded lifetime: no WaitGroup.Done, ctx.Done wait, or channel completion signal", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// analyze scans one body for direct completion evidence and collects
+// module callees for the transitive pass. Nested function literals
+// are included: a deferred func(){ wg.Done() }() is evidence.
+func analyze(info *types.Info, body ast.Node, module map[string]bool) *einfo {
+	e := &einfo{calls: make(map[string]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			e.ok = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				e.ok = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					e.ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := info.Uses[id].(*types.Builtin); ok {
+					if b.Name() == "close" {
+						e.ok = true
+					}
+					return true
+				}
+			}
+			fn := calleeFunc(info, n)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			switch {
+			case path == "sync" && fn.Name() == "Done" && recvTypeName(fn) == "WaitGroup":
+				e.ok = true
+			case path == "context" && fn.Name() == "Done":
+				e.ok = true
+			case module[path]:
+				e.calls[fn.FullName()] = true
+			}
+		}
+		return true
+	})
+	return e
+}
+
+func calleeFunc(info *types.Info, n *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

@@ -1,0 +1,16 @@
+package goleak_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/goleak"
+)
+
+func TestGoleak(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "internal/leaky")
+}
+
+func TestGoleakMainExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", goleak.Analyzer, "cmd/app")
+}

@@ -1,0 +1,11 @@
+// Corpus: package main is exempt from goleak — a process-lifetime
+// daemon loop belongs in main.
+package main
+
+func main() {
+	go func() { // no finding: package main owns process lifetime
+		for {
+		}
+	}()
+	select {}
+}

@@ -1,0 +1,99 @@
+// Corpus for the goleak analyzer: library goroutines must carry
+// bounded-lifetime evidence (WaitGroup.Done, ctx.Done wait, or a
+// channel completion signal), directly or through a module callee.
+package leaky
+
+import (
+	"context"
+	"sync"
+)
+
+type svc struct {
+	wg      sync.WaitGroup
+	results chan int
+	done    chan struct{}
+}
+
+func (s *svc) fireAndForget() {
+	go func() { // want "no provable bounded lifetime"
+		for {
+		}
+	}()
+}
+
+func (s *svc) pooled() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+	s.wg.Wait()
+}
+
+func (s *svc) scoped(ctx context.Context) {
+	go func() {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-s.results:
+			_ = v
+		}
+	}()
+}
+
+func (s *svc) pipeline() {
+	go func() { s.results <- work() }()
+}
+
+func (s *svc) drains() {
+	go func() {
+		for v := range s.results {
+			_ = v
+		}
+	}()
+}
+
+func (s *svc) closer() {
+	go func() { close(s.done) }()
+}
+
+// Evidence through a deferred literal still counts.
+func (s *svc) deferredDone() {
+	s.wg.Add(1)
+	go func() {
+		defer func() { s.wg.Done() }()
+		work()
+	}()
+}
+
+func work() int { return 42 }
+
+func spin() {
+	for {
+	}
+}
+
+func waiter(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// helper is bounded transitively: it calls waiter, which waits on
+// ctx.Done.
+func helper(ctx context.Context) {
+	waiter(ctx)
+}
+
+func (s *svc) named(ctx context.Context) {
+	go spin()      // want "goroutine spin has no provable bounded lifetime"
+	go waiter(ctx) // direct evidence in the named body
+	go helper(ctx) // transitive evidence through the call graph
+}
+
+func (s *svc) dynamic(f func()) {
+	go f() // want "goroutine body cannot be resolved"
+}
+
+// A documented exception carries a suppression with a reason.
+func (s *svc) suppressed() {
+	go spin() //scar:goleak process-lifetime sampler; torn down only at exit by design
+}

@@ -1,0 +1,555 @@
+// Package hotalloc enforces the //scar:hotpath annotation: a function
+// whose doc comment carries it is a zero-allocation region.
+//
+// Inside an annotated body, every construct that allocates — or that
+// static analysis cannot prove allocation-free — is a finding:
+//
+//   - intrinsic allocations: make, new, &T{}, slice/map composite
+//     literals, append, map writes, go statements, non-constant string
+//     concatenation, string<->[]byte/[]rune conversions
+//   - boxing: explicit conversion of a concrete non-pointer-shaped
+//     value to an interface, or passing one to an interface parameter
+//     (pointers, chans, maps and funcs are pointer-shaped and store
+//     into an interface without allocating)
+//   - closures that capture variables (non-capturing func literals
+//     compile to static closures and are free)
+//   - calls: a call into a non-hotpath module function that may
+//     allocate (computed transitively over the module call graph from
+//     Pass.All), a denylisted always-allocating stdlib helper (fmt,
+//     errors, sort's interface-based sorts, growing buffer methods,
+//     sync.Pool.Get), or a call through a function value, which the
+//     call graph cannot see
+//
+// When scarlint supplies compiler escape facts (Pass.Escapes, from
+// `go build -gcflags=-m=2`), every "escapes to heap" / "moved to
+// heap" site inside an annotated body is reported too, so the AST
+// gate and the compiler's escape analysis cross-check each other.
+// Annotated callees of annotated functions are trusted — they are
+// gated at their own declaration.
+//
+// Genuine cold-path exceptions (a miss path that constructs the cache
+// entry, an invariant-violation panic) carry //scar:hotalloc
+// suppressions with reasons, like any other analyzer.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// Analyzer rejects allocations inside //scar:hotpath functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//scar:hotpath functions must be allocation-free: no heap allocations, boxing, capturing closures, or calls into allocating non-hotpath code",
+	Run:  run,
+}
+
+// annotation marks a hot-path function when it appears in the
+// function's doc comment, optionally followed by a reason.
+const annotation = "//scar:hotpath"
+
+func isAnnotation(text string) bool {
+	return text == annotation || strings.HasPrefix(text, annotation+" ")
+}
+
+// The stdlib denylist: helpers that allocate by contract. The rest of
+// the standard library is trusted at the AST layer — the compiler
+// escape facts catch what the denylist misses when scarlint runs.
+var denyPkg = map[string]bool{
+	"fmt":    true,
+	"errors": true,
+}
+
+var denyFunc = map[string]bool{
+	"sort.Sort":           true,
+	"sort.Stable":         true,
+	"sort.Slice":          true,
+	"sort.SliceStable":    true,
+	"strings.Join":        true,
+	"strings.Repeat":      true,
+	"strings.Split":       true,
+	"strings.Fields":      true,
+	"strings.ToUpper":     true,
+	"strings.ToLower":     true,
+	"strconv.Itoa":        true,
+	"strconv.FormatInt":   true,
+	"strconv.FormatFloat": true,
+	"strconv.Quote":       true,
+}
+
+// denyRecv rejects every method on stdlib types whose point is to
+// grow a heap buffer.
+var denyRecv = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+}
+
+// summary is one module function's allocation behavior, keyed by
+// types.Func.FullName so identities survive the source/export-data
+// universe split between separately type-checked packages.
+type summary struct {
+	hot       bool
+	allocates bool            // direct allocation, or conservative (dynamic/denylisted call)
+	calls     map[string]bool // module callees by FullName
+}
+
+func run(pass *analysis.Pass) error {
+	// The module is whatever this run loaded; a callee outside it is
+	// stdlib (trusted modulo the denylist) or unknown (a finding).
+	module := make(map[string]bool, len(pass.All))
+	for _, p := range pass.All {
+		module[p.Pkg.Path()] = true
+	}
+	sums := moduleSummaries(pass, module)
+
+	// Propagate may-allocate through the module call graph to a
+	// fixpoint. Hot functions are treated as allocation-free here:
+	// they are gated at their own declaration, so a hot->hot call is
+	// not a finding even when the callee carries suppressed
+	// exceptions.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			if s.allocates || s.hot {
+				continue
+			}
+			for callee := range s.calls {
+				cs, ok := sums[callee]
+				if !ok || (!cs.hot && cs.allocates) {
+					s.allocates = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		docs := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if d.Doc != nil {
+				for _, c := range d.Doc.List {
+					if isAnnotation(c.Text) {
+						docs[c] = true
+					}
+				}
+			}
+			if !isHot(d) || d.Body == nil {
+				continue
+			}
+			walkBody(pass.TypesInfo, d.Body,
+				func(pos token.Pos, msg string) { pass.Reportf(pos, "hot path: %s", msg) },
+				func(fn *types.Func, pos token.Pos) { checkCallee(pass, module, sums, fn, pos) },
+				func(pos token.Pos) {
+					pass.Reportf(pos, "hot path: call through a function value cannot be proven allocation-free")
+				})
+			reportEscapes(pass, d)
+		}
+		// An annotation anywhere but a function's doc comment
+		// silently gates nothing; reject it like an unknown
+		// suppression key.
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isAnnotation(c.Text) && !docs[c] {
+					pass.Reportf(c.Pos(), "//scar:hotpath must be in the doc comment of the function it annotates")
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// moduleSummaries builds allocation summaries for every function body
+// in the loaded module view (Pass.All).
+func moduleSummaries(pass *analysis.Pass, module map[string]bool) map[string]*summary {
+	sums := make(map[string]*summary)
+	for _, p := range pass.All {
+		for _, f := range p.Files {
+			if testFile(p.Fset, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				d, ok := decl.(*ast.FuncDecl)
+				if !ok || d.Body == nil {
+					continue
+				}
+				fn, _ := p.TypesInfo.Defs[d.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				s := &summary{hot: isHot(d), calls: make(map[string]bool)}
+				walkBody(p.TypesInfo, d.Body,
+					func(token.Pos, string) { s.allocates = true },
+					func(callee *types.Func, _ token.Pos) {
+						if callee.Pkg() == nil {
+							return
+						}
+						path := callee.Pkg().Path()
+						switch {
+						case module[path]:
+							s.calls[callee.FullName()] = true
+						case stdlibPath(path):
+							if denied(callee) != "" {
+								s.allocates = true
+							}
+						default:
+							s.allocates = true // outside the loaded view: unknown
+						}
+					},
+					func(token.Pos) { s.allocates = true })
+				sums[fn.FullName()] = s
+			}
+		}
+	}
+	return sums
+}
+
+// checkCallee judges one resolved call from a hot body.
+func checkCallee(pass *analysis.Pass, module map[string]bool, sums map[string]*summary, fn *types.Func, pos token.Pos) {
+	if fn.Pkg() == nil {
+		return // universe scope (error.Error); nothing there allocates
+	}
+	path := fn.Pkg().Path()
+	if !module[path] {
+		if stdlibPath(path) {
+			if d := denied(fn); d != "" {
+				pass.Reportf(pos, "hot path: %s allocates", d)
+			}
+			return
+		}
+		pass.Reportf(pos, "hot path: cannot prove %s allocation-free (package %s is outside this run's loaded view)", fn.Name(), path)
+		return
+	}
+	s, ok := sums[fn.FullName()]
+	switch {
+	case !ok:
+		pass.Reportf(pos, "hot path: cannot prove %s allocation-free (no analyzed body: interface or dynamic method)", fn.Name())
+	case s.hot:
+		// gated at its own declaration
+	case s.allocates:
+		pass.Reportf(pos, "hot path: calls %s, which may allocate; annotate it //scar:hotpath or hoist the allocation", fn.Name())
+	}
+}
+
+// reportEscapes surfaces compiler-proven heap sites inside the
+// annotated body when escape facts are available.
+func reportEscapes(pass *analysis.Pass, d *ast.FuncDecl) {
+	if pass.Escapes == nil {
+		return
+	}
+	tf := pass.Fset.File(d.Pos())
+	if tf == nil {
+		return
+	}
+	start := pass.Fset.Position(d.Pos())
+	end := pass.Fset.Position(d.End())
+	for _, s := range pass.Escapes.Range(start.Filename, start.Line, end.Line) {
+		if s.Line > tf.LineCount() {
+			continue
+		}
+		pos := tf.LineStart(s.Line) + token.Pos(s.Col-1)
+		pass.Reportf(pos, "hot path: compiler: %s", s.Message)
+	}
+}
+
+// walkBody reports every intrinsic allocation construct via alloc and
+// dispatches calls: resolved functions to call, calls through
+// function values to dyn.
+func walkBody(info *types.Info, body ast.Node, alloc func(token.Pos, string), call func(*types.Func, token.Pos), dyn func(token.Pos)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			alloc(n.Pos(), "go statement starts a heap-allocated goroutine")
+		case *ast.FuncLit:
+			if v := capturedVar(info, n); v != "" {
+				alloc(n.Pos(), "closure captures "+v+" and allocates")
+			}
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok && tv.Type != nil {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					alloc(n.Pos(), "slice/map composite literal allocates")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					alloc(n.Pos(), "&composite literal allocates")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := info.Types[n]; ok && tv.Value == nil && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						alloc(n.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if mapWrite(info, lhs) {
+					alloc(lhs.Pos(), "map write may allocate (growth)")
+				}
+			}
+		case *ast.IncDecStmt:
+			if mapWrite(info, n.X) {
+				alloc(n.Pos(), "map write may allocate (growth)")
+			}
+		case *ast.CallExpr:
+			handleCall(info, n, alloc, call, dyn)
+		}
+		return true
+	})
+}
+
+func mapWrite(info *types.Info, lhs ast.Expr) bool {
+	ix, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := info.Types[ix.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+func handleCall(info *types.Info, n *ast.CallExpr, alloc func(token.Pos, string), call func(*types.Func, token.Pos), dyn func(token.Pos)) {
+	if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+		checkConversion(info, n, tv.Type, alloc)
+		return
+	}
+	if _, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+		return // directly invoked literal: its body is walked in place
+	}
+	obj := calleeObject(info, n.Fun)
+	if b, ok := obj.(*types.Builtin); ok {
+		switch b.Name() {
+		case "append":
+			alloc(n.Pos(), "append may allocate (slice growth)")
+		case "make":
+			alloc(n.Pos(), "make allocates")
+		case "new":
+			alloc(n.Pos(), "new allocates")
+		case "panic":
+			if len(n.Args) == 1 {
+				checkBoxed(info, n.Args[0], alloc)
+			}
+		}
+		return
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		call(fn, n.Pos())
+		checkArgs(info, n, alloc)
+		return
+	}
+	if sigOf(info, n.Fun) != nil {
+		dyn(n.Pos())
+		checkArgs(info, n, alloc)
+	}
+}
+
+func calleeObject(info *types.Info, fun ast.Expr) types.Object {
+	switch e := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func sigOf(info *types.Info, fun ast.Expr) *types.Signature {
+	tv, ok := info.Types[fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// checkConversion flags the conversions that copy into fresh heap
+// storage: boxing into an interface and string<->byte/rune slices.
+func checkConversion(info *types.Info, n *ast.CallExpr, target types.Type, alloc func(token.Pos, string)) {
+	if len(n.Args) != 1 {
+		return
+	}
+	tv, ok := info.Types[n.Args[0]]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	switch {
+	case types.IsInterface(target):
+		if boxes(src) {
+			alloc(n.Pos(), "conversion to interface allocates")
+		}
+	case isString(target) && isByteOrRuneSlice(src):
+		alloc(n.Pos(), "[]byte/[]rune to string conversion allocates")
+	case isByteOrRuneSlice(target) && isString(src):
+		alloc(n.Pos(), "string to []byte/[]rune conversion allocates")
+	}
+}
+
+// checkArgs flags concrete values boxed into interface parameters of
+// a call whose signature is statically known.
+func checkArgs(info *types.Info, n *ast.CallExpr, alloc func(token.Pos, string)) {
+	sig := sigOf(info, n.Fun)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range n.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if n.Ellipsis != token.NoPos {
+				continue // slice passed through whole; no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		checkBoxed(info, arg, alloc)
+	}
+}
+
+func checkBoxed(info *types.Info, arg ast.Expr, alloc func(token.Pos, string)) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if boxes(tv.Type) {
+		alloc(arg.Pos(), "argument boxed into interface allocates")
+	}
+}
+
+// boxes reports whether storing a value of type t into an interface
+// allocates: true for every concrete type that is not pointer-shaped.
+func boxes(t types.Type) bool {
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return false
+		}
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune)
+}
+
+// capturedVar returns the name of a variable the literal captures
+// from an enclosing function, or "" when the closure is static.
+// Package-level variables and struct fields are not captures.
+func capturedVar(info *types.Info, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+// denied returns the display name of an always-allocating stdlib
+// callee, or "".
+func denied(fn *types.Func) string {
+	path := fn.Pkg().Path()
+	if denyPkg[path] || denyFunc[path+"."+fn.Name()] {
+		return path + "." + fn.Name()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	recv := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	if denyRecv[recv] {
+		return recv + "." + fn.Name()
+	}
+	if recv == "sync.Pool" && fn.Name() == "Get" {
+		return "sync.Pool.Get" // may invoke New; hits must be proven by the runtime pin
+	}
+	return ""
+}
+
+func isHot(d *ast.FuncDecl) bool {
+	if d.Doc == nil {
+		return false
+	}
+	for _, c := range d.Doc.List {
+		if isAnnotation(c.Text) {
+			return true
+		}
+	}
+	return false
+}
+
+func stdlibPath(path string) bool {
+	first, _, _ := strings.Cut(path, "/")
+	return !strings.Contains(first, ".")
+}
+
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

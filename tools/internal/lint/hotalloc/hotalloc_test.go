@@ -1,0 +1,77 @@
+package hotalloc_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"example.com/scar/tools/internal/lint"
+	"example.com/scar/tools/internal/lint/analysis"
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "internal/hot")
+}
+
+// TestEscapeFacts checks the compiler-fact layer: a heap site inside
+// an annotated body is a finding positioned at the site, one outside
+// is ignored.
+func TestEscapeFacts(t *testing.T) {
+	const src = `package p
+
+//scar:hotpath compiler facts land here
+func hot(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func cold() *int {
+	x := 41
+	return &x
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Uses:  make(map[*ast.Ident]types.Object),
+		Defs:  make(map[*ast.Ident]types.Object),
+	}
+	tpkg, err := new(types.Config).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &lint.Package{Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, TypesInfo: info}
+
+	ctx := &lint.Context{
+		All: []*lint.Package{pkg},
+		Escapes: &analysis.EscapeFacts{Sites: map[string][]analysis.HeapSite{
+			"p.go": {
+				{Line: 5, Col: 2, Message: "moved to heap: total"}, // inside hot
+				{Line: 13, Col: 2, Message: "moved to heap: x"},    // inside cold: ignored
+			},
+		}},
+	}
+	findings, err := lint.CheckWith(ctx, pkg, []*analysis.Analyzer{hotalloc.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the hot-body heap site: %v", len(findings), findings)
+	}
+	got := findings[0]
+	if got.Pos.Line != 5 || !strings.Contains(got.Message, "moved to heap: total") {
+		t.Errorf("finding = %v, want compiler heap site at line 5", got)
+	}
+}

@@ -1,0 +1,118 @@
+// Corpus for the hotalloc analyzer: //scar:hotpath functions must be
+// allocation-free. Un-annotated functions may allocate freely; hot
+// ones are checked for intrinsic allocations, boxing, capturing
+// closures, denylisted stdlib calls, and calls into non-hotpath
+// module functions that may allocate (transitively).
+package hot
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+type item struct{ k, v int }
+
+type table struct {
+	mu      sync.Mutex
+	m       map[string]*item
+	scratch []int
+	pool    sync.Pool
+}
+
+// lookup is the model hot read path: lock, map read, unlock. Nothing
+// here allocates, so nothing is reported.
+//
+//scar:hotpath shard-cache style lookup, pinned at 0 allocs/op
+func (t *table) lookup(k string) *item {
+	t.mu.Lock()
+	it := t.m[k]
+	t.mu.Unlock()
+	return it
+}
+
+// cold allocates freely — no annotation, no findings.
+func cold() []int {
+	return make([]int, 8)
+}
+
+//scar:hotpath exercises every intrinsic allocation finding
+func (t *table) dirty(k string, xs []int) int {
+	p := &item{}                     // want "&composite literal allocates"
+	s := make([]int, 4)              // want "make allocates"
+	n := new(item)                   // want "new allocates"
+	t.scratch = append(t.scratch, 1) // want "append may allocate"
+	t.m[k] = nil                     // want "map write may allocate"
+	go func() {}()                   // want "go statement starts a heap-allocated goroutine"
+	cat := k + "!"                   // want "string concatenation allocates"
+	raw := []byte(k)                 // want `string to \[\]byte/\[\]rune conversion allocates`
+	lit := []int{1, 2, 3}            // want "slice/map composite literal allocates"
+	box := any(xs)                   // want "conversion to interface allocates"
+	_, _, _ = p, n, box
+	return s[0] + len(cat) + len(raw) + lit[0]
+}
+
+//scar:hotpath closures that capture allocate; static ones do not
+func closures(x int) func() int {
+	inc := func(a int) int { return a + 1 } // static: no finding
+	bad := func() int { return x }          // want "closure captures x and allocates"
+	_ = inc
+	return bad
+}
+
+func cleanHelper(a, b int) int { return a + b }
+
+func allocHelper() []int { return make([]int, 8) }
+
+func transitively() int { return len(allocHelper()) }
+
+//scar:hotpath hot callees are gated at their own declaration
+func hotHelper(a int) int { return a * 2 }
+
+//scar:hotpath calls are checked against the module call graph
+func caller(a int) int {
+	a = cleanHelper(a, a)   // allocation-free helper: no finding
+	a += hotHelper(a)       // hot callee: gated there, no finding
+	a += len(allocHelper()) // want "calls allocHelper, which may allocate"
+	a += transitively()     // want "calls transitively, which may allocate"
+	return a
+}
+
+//scar:hotpath function values defeat the call graph
+func viaValue(f func() int) int {
+	return f() // want "call through a function value cannot be proven allocation-free"
+}
+
+//scar:hotpath growing-buffer methods are denylisted
+func build(b *strings.Builder, s string) {
+	b.WriteString(s) // want `strings\.Builder\.WriteString allocates`
+}
+
+//scar:hotpath fmt both allocates and boxes its arguments
+func report(k string) string {
+	return fmt.Sprintln(k) // want `fmt\.Sprintln allocates` "argument boxed into interface allocates"
+}
+
+//scar:hotpath Pool.Get may invoke New; only the runtime pin proves hits
+func fromPool(t *table) any {
+	return t.pool.Get() // want `sync\.Pool\.Get allocates`
+}
+
+// missPath shows the suppression convention: the documented cold miss
+// path is excused with a reason; the trailing comment also covers the
+// insert on the next line (the line-above rule), and the hot hit path
+// above it stays gated.
+//
+//scar:hotpath hit path returns the cached entry without allocating
+func (t *table) missPath(k string) *item {
+	if it := t.m[k]; it != nil {
+		return it
+	}
+	it := &item{} //scar:hotalloc miss path: constructs and inserts the entry exactly once per key
+	t.m[k] = it
+	return it
+}
+
+func notADoc() {
+	//scar:hotpath inside a body gates nothing // want "must be in the doc comment of the function it annotates"
+}

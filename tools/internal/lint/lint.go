@@ -14,7 +14,6 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
-	"go/types"
 	"sort"
 	"strings"
 
@@ -22,12 +21,9 @@ import (
 )
 
 // Package is one loaded, type-checked package ready for analysis.
-type Package struct {
-	Fset      *token.FileSet
-	Files     []*ast.File
-	Pkg       *types.Package
-	TypesInfo *types.Info
-}
+// It aliases analysis.PkgInfo so a loaded package can flow into
+// Pass.All unchanged.
+type Package = analysis.PkgInfo
 
 // Finding is one reported problem, positioned and attributed.
 type Finding struct {
@@ -44,6 +40,15 @@ func (f Finding) String() string {
 
 // SuppressMarker introduces a suppression comment: //scar:<key> <reason>.
 const SuppressMarker = "scar:"
+
+// AnnotationKeys are //scar: keys that mark code for an analyzer
+// instead of silencing one — they are contracts, not exceptions, so
+// parseSuppressions passes over them and the load-bearing rule does
+// not apply. hotpath declares a function allocation-free for the
+// hotalloc analyzer.
+var AnnotationKeys = map[string]bool{
+	"hotpath": true,
+}
 
 // suppressKey returns the analyzer's suppression keyword.
 func suppressKey(a *analysis.Analyzer) string {
@@ -76,6 +81,9 @@ func parseSuppressions(pkg *Package, known map[string]bool, report func(Finding)
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				name, rest, _ := strings.Cut(text, " ")
+				if AnnotationKeys[name] {
+					continue
+				}
 				// The reason ends at a nested `//` so trailing
 				// machine-readable comments (test expectations)
 				// are not mistaken for justification text.
@@ -106,11 +114,27 @@ func parseSuppressions(pkg *Package, known map[string]bool, report func(Finding)
 	return sups
 }
 
-// Check runs the analyzers over pkg and returns the surviving
+// Context is the module-wide state shared by every package's check in
+// one scarlint run: the full set of loaded packages (for
+// interprocedural analyses) and, when available, compiler
+// escape-analysis facts.
+type Context struct {
+	All     []*Package
+	Escapes *analysis.EscapeFacts
+}
+
+// Check runs the analyzers over pkg in isolation: the module view is
+// just pkg itself and no escape facts are available. analysistest and
+// single-package callers use it; scarlint uses CheckWith.
+func Check(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	return CheckWith(&Context{All: []*Package{pkg}}, pkg, analyzers)
+}
+
+// CheckWith runs the analyzers over pkg and returns the surviving
 // findings: analyzer diagnostics minus valid suppressions, plus
 // problems with the suppressions themselves (malformed or not
 // load-bearing), sorted by position.
-func Check(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+func CheckWith(ctx *Context, pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 	var findings []Finding
 	report := func(f Finding) { findings = append(findings, f) }
 
@@ -129,6 +153,8 @@ func Check(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 			Pkg:       pkg.Pkg,
 			TypesInfo: pkg.TypesInfo,
 			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			All:       ctx.All,
+			Escapes:   ctx.Escapes,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Pkg.Path(), err)
@@ -175,6 +201,45 @@ func Check(pkg *Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
 		return a.Message < b.Message
 	})
 	return findings, nil
+}
+
+// Suppression is one //scar: comment as listed by the -suppressions
+// audit: key, reason text, and whether the key is an annotation
+// (hotpath) rather than a finding suppression.
+type Suppression struct {
+	Key        string
+	Reason     string
+	Annotation bool
+	Pos        token.Position
+}
+
+// Suppressions lists every //scar: comment in pkg in source order,
+// annotations included, without validating keys or matching findings
+// — the audit wants the raw inventory.
+func Suppressions(pkg *Package) []Suppression {
+	var out []Suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+SuppressMarker)
+				if !ok {
+					continue
+				}
+				name, rest, _ := strings.Cut(text, " ")
+				reason := rest
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = reason[:i]
+				}
+				out = append(out, Suppression{
+					Key:        name,
+					Reason:     strings.TrimSpace(reason),
+					Annotation: AnnotationKeys[name],
+					Pos:        pkg.Fset.Position(c.Pos()),
+				})
+			}
+		}
+	}
+	return out
 }
 
 // TestFile reports whether the file containing pos is a _test.go file.

@@ -1,0 +1,51 @@
+package loader
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// canned -m=2 output in the shape the gc toolchain actually prints:
+// package headers, inline chatter, parameter-leak notes, indented
+// explanation lines, trailing-colon variants, and replayed duplicates.
+const cannedEscapes = `# example.com/scar/internal/eval
+internal/eval/compiled.go:100:6: can inline (*Compiled).bucket with cost 62
+internal/eval/compiled.go:288:27: arg to fmt.Sprintf escapes to heap:
+internal/eval/compiled.go:288:27:   flow: {heap} = &{storage for arg}:
+internal/eval/compiled.go:288:27:     from arg (spill) at internal/eval/compiled.go:288:27
+internal/eval/compiled.go:304:16: make([]Segment, len(segs)) escapes to heap
+internal/eval/compiled.go:304:16: make([]Segment, len(segs)) escapes to heap
+internal/eval/compiled.go:310:2: moved to heap: scratch
+internal/eval/compiled.go:50:20: leaking param: segs
+# example.com/scar/internal/serve
+internal/serve/shard.go:177:15: &entry{...} escapes to heap
+`
+
+func TestParseEscapes(t *testing.T) {
+	facts := ParseEscapes("/mod", cannedEscapes)
+
+	evalFile := filepath.Join("/mod", "internal/eval/compiled.go")
+	want := []analysis.HeapSite{
+		{Line: 288, Col: 27, Message: "arg to fmt.Sprintf escapes to heap"},
+		{Line: 304, Col: 16, Message: "make([]Segment, len(segs)) escapes to heap"},
+		{Line: 310, Col: 2, Message: "moved to heap: scratch"},
+	}
+	if got := facts.Sites[evalFile]; !reflect.DeepEqual(got, want) {
+		t.Errorf("eval sites:\n got %v\nwant %v", got, want)
+	}
+
+	serveFile := filepath.Join("/mod", "internal/serve/shard.go")
+	if got := facts.Sites[serveFile]; len(got) != 1 || got[0].Line != 177 {
+		t.Errorf("serve sites: got %v, want the line-177 entry escape", got)
+	}
+
+	if got := facts.Range(evalFile, 300, 320); len(got) != 2 {
+		t.Errorf("Range(300,320): got %v, want the 304 and 310 sites", got)
+	}
+	if got := facts.Range(evalFile, 1, 100); got != nil {
+		t.Errorf("Range(1,100): got %v, want none (inline/leak chatter must not parse as heap sites)", got)
+	}
+}

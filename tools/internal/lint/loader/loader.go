@@ -21,10 +21,13 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 
 	"example.com/scar/tools/internal/lint"
+	"example.com/scar/tools/internal/lint/analysis"
 )
 
 // listPackage is the subset of `go list -json` output the loader uses.
@@ -95,6 +98,75 @@ func Load(dir string, patterns ...string) ([]*lint.Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// EscapeDiagnostics builds patterns in dir with -gcflags=-m=2 and
+// returns the heap-allocation facts the compiler printed. The gc
+// toolchain replays diagnostics from the build cache, so the facts
+// are complete even when nothing recompiles. Paths in the returned
+// facts are absolute.
+func EscapeDiagnostics(dir string, patterns ...string) (*analysis.EscapeFacts, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	args := append([]string{"build", "-gcflags=-m=2"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// -m diagnostics land on stderr alongside any build errors; a
+	// failed build means the facts are unusable.
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m=2: %w\n%s", err, out)
+	}
+	return ParseEscapes(abs, string(out)), nil
+}
+
+var escapeLineRE = regexp.MustCompile(`^([^\s:]+\.go):(\d+):(\d+): (.+?):?$`)
+
+// ParseEscapes extracts heap-allocation sites from -m=2 compiler
+// output. base is the directory relative paths resolve against.
+// Only allocation proofs are kept ("... escapes to heap",
+// "moved to heap: x"); inlining chatter, parameter-leak notes, and
+// the indented explanation lines under each diagnostic are dropped,
+// and replayed duplicates are deduplicated.
+func ParseEscapes(base string, output string) *analysis.EscapeFacts {
+	facts := &analysis.EscapeFacts{Sites: make(map[string][]analysis.HeapSite)}
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(output, "\n") {
+		if line == "" || line[0] == '#' || line[0] == ' ' || line[0] == '\t' {
+			continue
+		}
+		m := escapeLineRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(base, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		key := fmt.Sprintf("%s:%d:%d:%s", file, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		facts.Sites[file] = append(facts.Sites[file], analysis.HeapSite{Line: ln, Col: col, Message: msg})
+	}
+	for _, sites := range facts.Sites {
+		sort.Slice(sites, func(i, j int) bool {
+			if sites[i].Line != sites[j].Line {
+				return sites[i].Line < sites[j].Line
+			}
+			return sites[i].Col < sites[j].Col
+		})
+	}
+	return facts
 }
 
 // check parses and type-checks one package from source against the

@@ -1,0 +1,509 @@
+// Package lockorder builds a per-package lock-acquisition graph over
+// sync.Mutex/sync.RWMutex values and reports the three deadlock
+// shapes that survive review most often:
+//
+//   - inconsistent pairwise order: one function acquires A then B,
+//     another B then A (directly, or through a same-package callee via
+//     per-function acquisition summaries)
+//   - a lock held across a blocking operation: channel send/receive,
+//     a default-less select, ranging over a channel, WaitGroup/Cond
+//     Wait, time.Sleep, or a call into net, net/http, os/exec, or
+//     os's file I/O
+//   - recursive acquisition of the same lock expression (sync locks
+//     are not reentrant; a second Lock of s.mu while s.mu is held
+//     self-deadlocks, and a second RLock deadlocks under a pending
+//     writer)
+//
+// Identity is the lock's field or variable object, so s.mu across two
+// functions is one node; two instances of the same field (a.mu vs
+// b.mu) are not comparable and are skipped rather than guessed at.
+// Lifetimes are tracked linearly through each function: branches are
+// explored with a copy of the held set, deferred Unlocks hold to
+// function end, and function literals (goroutine bodies) start empty.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"example.com/scar/tools/internal/lint/analysis"
+)
+
+// Analyzer reports lock-order inversions, locks held across blocking
+// operations, and recursive acquisitions.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "consistent sync.Mutex/RWMutex acquisition order; no lock held across blocking operations; no recursive acquisition",
+	Run:  run,
+}
+
+// acq is one live acquisition in the walker's held set.
+type acq struct {
+	v    *types.Var
+	name string // source text of the lock expression, e.g. "s.mu"
+	pos  token.Pos
+}
+
+// edge records "to acquired while from was held".
+type edge struct {
+	from, to         *types.Var
+	fromName, toName string
+	pos              token.Pos
+}
+
+// fsum is one function's may-acquire summary for the interprocedural
+// pass: every lock it (or a same-package callee, transitively) can
+// take on some path.
+type fsum struct {
+	acquires map[*types.Var]string // lock -> display name at its direct site
+	calls    map[*types.Func]bool
+}
+
+func run(pass *analysis.Pass) error {
+	type fdecl struct {
+		fn   *types.Func
+		body *ast.BlockStmt
+	}
+	var decls []fdecl
+	sums := make(map[*types.Func]*fsum)
+	for _, f := range pass.Files {
+		if testFile(pass.Fset, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			d, ok := decl.(*ast.FuncDecl)
+			if !ok || d.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[d.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			decls = append(decls, fdecl{fn, d.Body})
+			sums[fn] = summarize(pass, d.Body)
+		}
+	}
+
+	// Close the summaries over same-package calls.
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			for callee := range s.calls {
+				cs, ok := sums[callee]
+				if !ok {
+					continue
+				}
+				for v, name := range cs.acquires {
+					if _, ok := s.acquires[v]; !ok {
+						s.acquires[v] = name
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	w := &walker{pass: pass, sums: sums}
+	for _, d := range decls {
+		w.walkFunc(d.body)
+	}
+
+	// Pair up inverted edges; report each direction once, at its
+	// earliest occurrence, referencing the opposite site.
+	sort.Slice(w.edges, func(i, j int) bool { return w.edges[i].pos < w.edges[j].pos })
+	type pairKey struct{ a, b *types.Var }
+	first := make(map[pairKey]edge)
+	var order []pairKey
+	for _, e := range w.edges {
+		k := pairKey{e.from, e.to}
+		if _, ok := first[k]; !ok {
+			first[k] = e
+			order = append(order, k)
+		}
+	}
+	for _, k := range order {
+		rk := pairKey{k.b, k.a}
+		re, ok := first[rk]
+		if !ok {
+			continue
+		}
+		e := first[k]
+		pass.Reportf(e.pos, "inconsistent lock order: %s acquired while holding %s; the opposite order at %s",
+			e.toName, e.fromName, w.pos(re.pos))
+	}
+	return nil
+}
+
+// summarize collects the locks a body acquires directly and its
+// same-package callees. Function literals are excluded: their bodies
+// usually run on other goroutines, where the caller's held set does
+// not apply.
+func summarize(pass *analysis.Pass, body *ast.BlockStmt) *fsum {
+	s := &fsum{acquires: make(map[*types.Var]string), calls: make(map[*types.Func]bool)}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, v, name := lockOp(pass.TypesInfo, call); v != nil {
+			if kind == "Lock" || kind == "RLock" {
+				if _, ok := s.acquires[v]; !ok {
+					s.acquires[v] = name
+				}
+			}
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() == pass.Pkg {
+			s.calls[fn] = true
+		}
+		return true
+	})
+	return s
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	sums  map[*types.Func]*fsum
+	edges []edge
+	lits  []*ast.FuncLit
+}
+
+func (w *walker) walkFunc(body *ast.BlockStmt) {
+	w.stmts(body.List, nil)
+	// Queued function literals (go statements, deferred closures,
+	// callbacks) start with nothing held.
+	for len(w.lits) > 0 {
+		lit := w.lits[0]
+		w.lits = w.lits[1:]
+		w.stmts(lit.Body.List, nil)
+	}
+}
+
+func (w *walker) pos(p token.Pos) string {
+	pp := w.pass.Fset.Position(p)
+	return fmt.Sprintf("%s:%d", filepath.Base(pp.Filename), pp.Line)
+}
+
+// clone caps the held slice so branch walks cannot stomp the parent's
+// backing array.
+func clone(held []acq) []acq {
+	return held[:len(held):len(held)]
+}
+
+func (w *walker) stmts(list []ast.Stmt, held []acq) []acq {
+	for _, s := range list {
+		held = w.stmt(s, held)
+	}
+	return held
+}
+
+func (w *walker) stmt(s ast.Stmt, held []acq) []acq {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.ExprStmt:
+		return w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.IfStmt:
+		held = w.stmt(s.Init, held)
+		held = w.expr(s.Cond, held)
+		w.stmt(s.Body, clone(held))
+		if s.Else != nil {
+			w.stmt(s.Else, clone(held))
+		}
+		return held
+	case *ast.ForStmt:
+		held = w.stmt(s.Init, held)
+		held = w.expr(s.Cond, held)
+		inner := w.stmt(s.Body, clone(held))
+		w.stmt(s.Post, inner)
+		return held
+	case *ast.RangeStmt:
+		held = w.expr(s.X, held)
+		if tv, ok := w.pass.TypesInfo.Types[s.X]; ok && tv.Type != nil {
+			if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+				w.blocked(held, s.Range, "channel range")
+			}
+		}
+		w.stmt(s.Body, clone(held))
+		return held
+	case *ast.SwitchStmt:
+		held = w.stmt(s.Init, held)
+		held = w.expr(s.Tag, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			h := clone(held)
+			for _, e := range cc.List {
+				h = w.expr(e, h)
+			}
+			w.stmts(cc.Body, h)
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		held = w.stmt(s.Init, held)
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, clone(held))
+		}
+		return held
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if c.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blocked(held, s.Select, "select")
+		}
+		// Comm clauses' sends/receives are the select's own blocking
+		// point, already reported above; walk bodies only.
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CommClause).Body, clone(held))
+		}
+		return held
+	case *ast.SendStmt:
+		w.blocked(held, s.Arrow, "channel send")
+		held = w.expr(s.Chan, held)
+		return w.expr(s.Value, held)
+	case *ast.DeferStmt:
+		if kind, v, _ := lockOp(w.pass.TypesInfo, s.Call); v != nil && (kind == "Unlock" || kind == "RUnlock") {
+			return held // held to function end; never reported as leaked
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		}
+		for _, e := range s.Call.Args {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.GoStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		}
+		for _, e := range s.Call.Args {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.expr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						held = w.expr(e, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		return w.expr(s.X, held)
+	}
+	return held
+}
+
+// expr scans one expression in evaluation order for lock operations,
+// blocking receives, and calls.
+func (w *walker) expr(e ast.Expr, held []acq) []acq {
+	if e == nil {
+		return held
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blocked(held, n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			held = w.call(n, held)
+		}
+		return true
+	})
+	return held
+}
+
+func (w *walker) call(n *ast.CallExpr, held []acq) []acq {
+	kind, v, name := lockOp(w.pass.TypesInfo, n)
+	switch kind {
+	case "Lock", "RLock":
+		for _, h := range held {
+			if h.v == v && h.name == name {
+				w.pass.Reportf(n.Pos(), "recursive %s of %s: already held since %s (sync locks are not reentrant)",
+					kind, name, w.pos(h.pos))
+				return held
+			}
+		}
+		for _, h := range held {
+			if h.v != v {
+				w.edges = append(w.edges, edge{h.v, v, h.name, name, n.Pos()})
+			}
+		}
+		return append(clone(held), acq{v, name, n.Pos()})
+	case "Unlock", "RUnlock":
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].v == v && held[i].name == name {
+				return append(held[:i:i], held[i+1:]...)
+			}
+		}
+		return held
+	}
+	if d := blockDesc(w.pass.TypesInfo, n); d != "" {
+		w.blocked(held, n.Pos(), d)
+		return held
+	}
+	if fn := calleeFunc(w.pass.TypesInfo, n); fn != nil && fn.Pkg() == w.pass.Pkg {
+		if s, ok := w.sums[fn]; ok {
+			for _, h := range held {
+				for v2, nm := range s.acquires {
+					if v2 != h.v {
+						w.edges = append(w.edges, edge{h.v, v2, h.name, nm + " (via " + fn.Name() + ")", n.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+func (w *walker) blocked(held []acq, pos token.Pos, what string) {
+	if len(held) == 0 {
+		return
+	}
+	names := make([]string, len(held))
+	for i, h := range held {
+		names[i] = h.name
+	}
+	w.pass.Reportf(pos, "lock %s held across blocking %s (deadlock risk: release before waiting)",
+		strings.Join(names, ", "), what)
+}
+
+// lockOp classifies a call as a sync lock operation and resolves the
+// lock's identity: the field or variable object of the receiver
+// expression.
+func lockOp(info *types.Info, n *ast.CallExpr) (kind string, v *types.Var, name string) {
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", nil, ""
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", nil, ""
+	}
+	v = lockVarOf(info, sel.X)
+	if v == nil {
+		return "", nil, ""
+	}
+	return fn.Name(), v, types.ExprString(sel.X)
+}
+
+func lockVarOf(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		return lockVarOf(info, e.X)
+	case *ast.StarExpr:
+		return lockVarOf(info, e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return lockVarOf(info, e.X)
+		}
+	}
+	return nil
+}
+
+func calleeFunc(info *types.Info, n *ast.CallExpr) *types.Func {
+	switch e := ast.Unparen(n.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[e].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[e.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// blockDesc names the blocking operation a call performs, or "".
+func blockDesc(info *types.Info, n *ast.CallExpr) string {
+	fn := calleeFunc(info, n)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "sync":
+		if name == "Wait" {
+			return "sync." + recvTypeName(fn) + ".Wait"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net/http", "net", "os/exec":
+		return path + "." + name
+	case "os":
+		switch name {
+		case "ReadFile", "WriteFile", "Open", "OpenFile", "Create", "Remove", "Rename":
+			return "os." + name
+		}
+		if recvTypeName(fn) == "File" {
+			return "os.File." + name
+		}
+	}
+	return ""
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func testFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Package).Filename, "_test.go")
+}

@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"example.com/scar/tools/internal/lint/analysistest"
+	"example.com/scar/tools/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockorder.Analyzer, "internal/locks")
+}

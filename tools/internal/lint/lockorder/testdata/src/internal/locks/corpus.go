@@ -1,0 +1,172 @@
+// Corpus for the lockorder analyzer: inconsistent pairwise
+// acquisition order (direct and through same-package callees), locks
+// held across blocking operations, and recursive acquisition.
+package locks
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	mu sync.RWMutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want "inconsistent lock order: p.b acquired while holding p.a"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock() // want "inconsistent lock order: p.a acquired while holding p.b"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+func (p *pair) sendWhileHeld(v int) {
+	p.a.Lock()
+	p.ch <- v // want "lock p.a held across blocking channel send"
+	p.a.Unlock()
+}
+
+func (p *pair) recvWhileHeld() int {
+	p.mu.RLock()
+	v := <-p.ch // want "lock p.mu held across blocking channel receive"
+	p.mu.RUnlock()
+	return v
+}
+
+func (p *pair) selectWhileHeld(done chan struct{}) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	select { // want "lock p.a held across blocking select"
+	case <-done:
+	case v := <-p.ch:
+		_ = v
+	}
+}
+
+// A select with a default is a poll, not a wait.
+func (p *pair) pollOK() {
+	p.a.Lock()
+	select {
+	case v := <-p.ch:
+		_ = v
+	default:
+	}
+	p.a.Unlock()
+}
+
+func (p *pair) sleepy() {
+	p.a.Lock()
+	time.Sleep(time.Millisecond) // want "lock p.a held across blocking time.Sleep"
+	p.a.Unlock()
+}
+
+func (p *pair) waits() {
+	p.a.Lock()
+	p.wg.Wait() // want `lock p.a held across blocking sync\.WaitGroup\.Wait`
+	p.a.Unlock()
+}
+
+func (p *pair) fetch(url string) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	resp, err := http.Get(url) // want `lock p.a held across blocking net/http\.Get`
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func (p *pair) drain() {
+	p.a.Lock()
+	for v := range p.ch { // want "lock p.a held across blocking channel range"
+		_ = v
+	}
+	p.a.Unlock()
+}
+
+func (p *pair) recurse() {
+	p.a.Lock()
+	p.a.Lock() // want "recursive Lock of p.a"
+	p.a.Unlock()
+	p.a.Unlock()
+}
+
+// Same field on a different receiver is a different instance; the
+// analyzer does not guess about aliasing.
+func (p *pair) twoInstances(q *pair) {
+	p.a.Lock()
+	q.a.Lock()
+	q.a.Unlock()
+	p.a.Unlock()
+}
+
+// The singleflight shape: snapshot under the lock, release, then
+// wait. No finding.
+func (p *pair) singleflight() int {
+	p.a.Lock()
+	ch := p.ch
+	p.a.Unlock()
+	return <-ch
+}
+
+// A goroutine body starts with nothing held, so its acquisitions
+// create no edges from the spawner's held set.
+func (p *pair) spawn() {
+	p.a.Lock()
+	go func() {
+		p.mu.Lock()
+		p.mu.Unlock()
+	}()
+	p.a.Unlock()
+}
+
+// Early-return unlock in a branch is fine.
+func (p *pair) guarded(ok bool) {
+	p.a.Lock()
+	if ok {
+		p.a.Unlock()
+		return
+	}
+	p.a.Unlock()
+}
+
+type two struct {
+	c, d sync.Mutex
+}
+
+func (t *two) lockD() {
+	t.d.Lock()
+	t.d.Unlock()
+}
+
+// The summary pass sees through lockD: calling it while holding c is
+// a c-then-d edge.
+func (t *two) cThenD() {
+	t.c.Lock()
+	t.lockD() // want `inconsistent lock order: t\.d \(via lockD\) acquired while holding t\.c`
+	t.c.Unlock()
+}
+
+func (t *two) dThenC() {
+	t.d.Lock()
+	t.c.Lock() // want "inconsistent lock order: t.c acquired while holding t.d"
+	t.c.Unlock()
+	t.d.Unlock()
+}
+
+// A documented exception is suppressed with a reason.
+func (p *pair) suppressed() {
+	p.a.Lock()
+	time.Sleep(time.Millisecond) //scar:lockorder startup-only calibration pause; no concurrent acquirers exist yet
+	p.a.Unlock()
+}

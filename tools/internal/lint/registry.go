@@ -2,8 +2,12 @@ package lint
 
 import (
 	"example.com/scar/tools/internal/lint/analysis"
+	"example.com/scar/tools/internal/lint/atomicsafe"
 	"example.com/scar/tools/internal/lint/ctxfirst"
 	"example.com/scar/tools/internal/lint/errshape"
+	"example.com/scar/tools/internal/lint/goleak"
+	"example.com/scar/tools/internal/lint/hotalloc"
+	"example.com/scar/tools/internal/lint/lockorder"
 	"example.com/scar/tools/internal/lint/nodeterm"
 	"example.com/scar/tools/internal/lint/noexit"
 )
@@ -11,8 +15,12 @@ import (
 // All returns the scarlint analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		atomicsafe.Analyzer,
 		ctxfirst.Analyzer,
 		errshape.Analyzer,
+		goleak.Analyzer,
+		hotalloc.Analyzer,
+		lockorder.Analyzer,
 		nodeterm.Analyzer,
 		noexit.Analyzer,
 	}
